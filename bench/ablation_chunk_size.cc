@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ablation: MREAD chunk size (the NVMe transfer-granularity limit the
+ * runtime splits streams into, §V-B). Small chunks pay per-command
+ * overhead; the MDTS-sized default amortizes it.
+ */
+
+#include "bench_common.hh"
+
+using namespace morpheus;
+namespace wk = morpheus::workloads;
+
+int
+main()
+{
+    bench::banner("Ablation: Morpheus MREAD chunk size",
+                  "per-command overhead vs amortization (design "
+                  "choice, DESIGN.md #1)");
+
+    const wk::AppSpec &app = wk::findApp("hybridsort");
+    const std::uint32_t chunks_blocks[] = {8, 16, 32, 64, 128, 256};
+
+    std::printf("%-12s %14s %10s %12s\n", "chunk", "deser(ms)",
+                "speedup", "mreads");
+    wk::RunOptions base;
+    base.mode = wk::ExecutionMode::kBaseline;
+    base.scale = bench::benchScale();
+    const auto base_m = wk::runWorkload(app, base);
+
+    for (const auto cb : chunks_blocks) {
+        wk::RunOptions o;
+        o.mode = wk::ExecutionMode::kMorpheus;
+        o.scale = bench::benchScale();
+        o.chunkBlocks = cb;
+        const auto m = wk::runWorkload(app, o);
+        std::printf("%9u KiB %14.2f %9.2fx %12llu\n",
+                    cb * 512 / 1024,
+                    sim::ticksToSeconds(m.deserTime) * 1e3,
+                    static_cast<double>(base_m.deserTime) /
+                        static_cast<double>(m.deserTime),
+                    static_cast<unsigned long long>(
+                        m.rawTextBytes / (cb * 512) + 1));
+    }
+    return 0;
+}

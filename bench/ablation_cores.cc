@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Ablation: number of embedded cores in the SSD. MPI apps run one
+ * StorageApp instance per rank; with the paper's static
+ * instance-to-core map, deserialization throughput scales with cores
+ * until flash or the x4 link saturates.
+ */
+
+#include "bench_common.hh"
+
+using namespace morpheus;
+namespace wk = morpheus::workloads;
+
+int
+main()
+{
+    bench::banner("Ablation: embedded core count",
+                  "multi-instance (MPI) offload scales with cores "
+                  "(design choice, DESIGN.md #2)");
+
+    const wk::AppSpec &app = wk::findApp("pagerank");  // 4 ranks
+    std::printf("%-8s %14s %10s\n", "cores", "deser(ms)", "vs 1 core");
+    double first = 0.0;
+    for (const unsigned cores : {1u, 2u, 4u, 8u}) {
+        wk::RunOptions o;
+        o.mode = wk::ExecutionMode::kMorpheus;
+        o.scale = bench::benchScale();
+        o.sys.ssd.numCores = cores;
+        const auto m = wk::runWorkload(app, o);
+        const double ms = sim::ticksToSeconds(m.deserTime) * 1e3;
+        if (first == 0.0)
+            first = ms;
+        std::printf("%-8u %14.2f %9.2fx\n", cores, ms, first / ms);
+    }
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Ablation: D-SRAM staging budget (paper §V-A restriction 3: the
+ * StorageApp working set is bounded by D-SRAM; bigger staging batches
+ * DMA flushes, smaller staging flushes often).
+ */
+
+#include "bench_common.hh"
+
+using namespace morpheus;
+namespace wk = morpheus::workloads;
+
+int
+main()
+{
+    bench::banner("Ablation: StorageApp staging (ms_memcpy flush) "
+                  "threshold",
+                  "D-SRAM working-set limit forces streaming flushes "
+                  "(design choice #5)");
+
+    const wk::AppSpec &app = wk::findApp("kmeans");
+    std::printf("%-12s %14s\n", "staging", "deser(ms)");
+    for (const std::uint32_t threshold :
+         {2u * 1024, 8u * 1024, 32u * 1024, 64u * 1024}) {
+        wk::RunOptions o;
+        o.mode = wk::ExecutionMode::kMorpheus;
+        o.scale = bench::benchScale();
+        // Thread the flush threshold through the embedded-core D-SRAM
+        // size: the device default threshold is D-SRAM / 4.
+        o.sys.ssd.core.dsramBytes = threshold * 4;
+        const auto m = wk::runWorkload(app, o);
+        std::printf("%9u KiB %14.2f\n", threshold / 1024,
+                    sim::ticksToSeconds(m.deserTime) * 1e3);
+    }
+    return 0;
+}

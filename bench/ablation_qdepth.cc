@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ablation: NVMe queue depth. The Morpheus runtime batches MREADs up
+ * to the queue depth and sleeps until the batch completes — this is
+ * the Fig 10 mechanism (context switches per *batch*, not per chunk).
+ * Shallow queues force more wakeups and leave the device idle between
+ * batches.
+ */
+
+#include "bench_common.hh"
+
+using namespace morpheus;
+namespace wk = morpheus::workloads;
+
+int
+main()
+{
+    bench::banner("Ablation: NVMe queue depth (Morpheus MREAD "
+                  "batching)",
+                  "deep queues amortize the host wakeups Fig 10 "
+                  "counts");
+
+    const wk::AppSpec &app = wk::findApp("bfs");
+    std::printf("%-8s %14s %14s %14s\n", "depth", "deser(ms)",
+                "ctx-switches", "cs/s");
+    for (const std::uint16_t depth : {4, 8, 16, 64, 256}) {
+        wk::RunOptions o;
+        o.mode = wk::ExecutionMode::kMorpheus;
+        o.scale = bench::benchScale();
+        o.chunkBlocks = 32;  // 16 KiB chunks -> many commands
+        o.sys.queueEntries = depth;
+        const auto m = wk::runWorkload(app, o);
+        std::printf("%-8u %14.2f %14llu %14.0f\n", depth,
+                    sim::ticksToSeconds(m.deserTime) * 1e3,
+                    static_cast<unsigned long long>(
+                        m.contextSwitchesDeser),
+                    m.contextSwitchesPerSec);
+    }
+    return 0;
+}

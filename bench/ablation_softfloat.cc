@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: the FPU gap. SpMV's input is ~33% floating-point tokens;
+ * on the FPU-less cores software emulation eats the offload gain
+ * (paper: only ~1.1x on SpMV). Sweeping the soft-float penalty — and
+ * giving the cores a hardware FPU — shows the crossover the paper
+ * predicts for next-generation SSD processors.
+ */
+
+#include "bench_common.hh"
+
+using namespace morpheus;
+namespace wk = morpheus::workloads;
+
+int
+main()
+{
+    bench::banner("Ablation: soft-float penalty on the embedded cores",
+                  "SpMV ~1.1x without an FPU; future FPU-equipped "
+                  "cores recover the gain (design choice #3)");
+
+    const wk::AppSpec &app = wk::findApp("spmv");
+    wk::RunOptions base;
+    base.mode = wk::ExecutionMode::kBaseline;
+    base.scale = bench::benchScale();
+    const auto base_m = wk::runWorkload(app, base);
+
+    std::printf("%-24s %14s %10s\n", "config", "deser(ms)", "speedup");
+    for (const double penalty : {44.0, 22.0, 11.0, 5.0}) {
+        wk::RunOptions o;
+        o.mode = wk::ExecutionMode::kMorpheus;
+        o.scale = bench::benchScale();
+        o.sys.ssd.core.hasFpu = false;
+        o.sys.ssd.core.cyclesPerFloatOpSoft = penalty;
+        const auto m = wk::runWorkload(app, o);
+        std::printf("soft-float %4.0f cyc/op  %14.2f %9.2fx\n",
+                    penalty, sim::ticksToSeconds(m.deserTime) * 1e3,
+                    static_cast<double>(base_m.deserTime) /
+                        static_cast<double>(m.deserTime));
+    }
+    {
+        wk::RunOptions o;
+        o.mode = wk::ExecutionMode::kMorpheus;
+        o.scale = bench::benchScale();
+        o.sys.ssd.core.hasFpu = true;
+        const auto m = wk::runWorkload(app, o);
+        std::printf("%-24s %14.2f %9.2fx\n", "hardware FPU",
+                    sim::ticksToSeconds(m.deserTime) * 1e3,
+                    static_cast<double>(base_m.deserTime) /
+                        static_cast<double>(m.deserTime));
+    }
+    return 0;
+}

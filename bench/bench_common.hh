@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ *
+ * Every bench binary prints the rows/series of one paper artifact.
+ * Default scale keeps each full-suite sweep in the seconds range;
+ * override with MORPHEUS_BENCH_SCALE (a double) for bigger inputs —
+ * all reported quantities are ratios or rates, so the shapes are
+ * scale-invariant.
+ */
+
+#ifndef MORPHEUS_BENCH_BENCH_COMMON_HH
+#define MORPHEUS_BENCH_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "workloads/runner.hh"
+
+namespace morpheus::bench {
+
+/** Bench input scale (Table I sizes / ~800 by default). */
+inline double
+benchScale()
+{
+    if (const char *env = std::getenv("MORPHEUS_BENCH_SCALE"))
+        return std::atof(env);
+    return 0.25;
+}
+
+/** One app's metrics under one mode. */
+struct SuiteRow
+{
+    const workloads::AppSpec *app;
+    workloads::RunMetrics metrics;
+};
+
+/** Run the whole Table I suite under @p opts (mode etc. pre-set;
+ *  the scale always comes from benchScale()). */
+inline std::vector<SuiteRow>
+runSuite(workloads::RunOptions opts)
+{
+    opts.scale = benchScale();
+    std::vector<SuiteRow> rows;
+    for (const auto &app : workloads::standardSuite()) {
+        workloads::RunMetrics m = workloads::runWorkload(app, opts);
+        if (!m.validated) {
+            std::fprintf(stderr,
+                         "VALIDATION FAILED: %s (mode %d)\n",
+                         app.name.c_str(),
+                         static_cast<int>(opts.mode));
+            std::exit(1);
+        }
+        rows.push_back(SuiteRow{&app, m});
+    }
+    return rows;
+}
+
+/** Geometric mean of a vector of ratios. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+/** Print the standard header naming the artifact being reproduced. */
+inline void
+banner(const char *artifact, const char *claim)
+{
+    std::printf("== %s ==\n", artifact);
+    std::printf("paper: %s\n", claim);
+    std::printf("scale: %g (set MORPHEUS_BENCH_SCALE to change)\n\n",
+                benchScale());
+}
+
+}  // namespace morpheus::bench
+
+#endif  // MORPHEUS_BENCH_BENCH_COMMON_HH

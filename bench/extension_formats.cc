@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Extension study: the CSV and JSON interchange formats §II motivates,
+ * quantified with the same three-path comparison as the Table I suite.
+ * (Not a paper figure — the paper evaluates token-text inputs only —
+ * but the question "does in-storage deserialization still pay for
+ * structured formats?" follows directly from its motivation.)
+ */
+
+#include "bench_common.hh"
+
+using namespace morpheus;
+namespace wk = morpheus::workloads;
+
+int
+main()
+{
+    bench::banner("Extension: CSV and JSON deserialization offload",
+                  "the §II format motivation, quantified");
+
+    // CSV/JSON deserialize every cell through the floating-point
+    // path, so (unlike the integer-dominated Table I inputs) the
+    // FPU-less cores lose — the SpMV effect writ large. The paper's
+    // predicted "next generation of SSD processors" with native FP
+    // support recovers the offload win.
+    std::printf("%-12s %6s %14s %12s %12s\n", "app", "ranks",
+                "baseline(ms)", "no-FPU", "with-FPU");
+    for (const auto &app : wk::extensionSuite()) {
+        wk::RunOptions base;
+        base.mode = wk::ExecutionMode::kBaseline;
+        base.scale = bench::benchScale();
+        const auto b = wk::runWorkload(app, base);
+        wk::RunOptions morph = base;
+        morph.mode = wk::ExecutionMode::kMorpheus;
+        const auto m_soft = wk::runWorkload(app, morph);
+        morph.sys.ssd.core.hasFpu = true;
+        const auto m_fpu = wk::runWorkload(app, morph);
+        if (!b.validated || !m_soft.validated || !m_fpu.validated) {
+            std::fprintf(stderr, "VALIDATION FAILED: %s\n",
+                         app.name.c_str());
+            return 1;
+        }
+        std::printf("%-12s %6u %14.2f %11.2fx %11.2fx\n",
+                    app.name.c_str(), app.ranks,
+                    sim::ticksToSeconds(b.deserTime) * 1e3,
+                    static_cast<double>(b.deserTime) /
+                        static_cast<double>(m_soft.deserTime),
+                    static_cast<double>(b.deserTime) /
+                        static_cast<double>(m_fpu.deserTime));
+    }
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 8: speedup of object deserialization using Morpheus-SSD over
+ * the conventional baseline, per application plus the mean.
+ *
+ * Paper shape: mean ~1.66x, best ~2.3x, SpMV ~1.1x (33% float tokens
+ * on FPU-less embedded cores).
+ */
+
+#include "bench_common.hh"
+
+using namespace morpheus;
+namespace wk = morpheus::workloads;
+
+int
+main()
+{
+    bench::banner("Figure 8: deserialization speedup (Morpheus-SSD / "
+                  "baseline)",
+                  "mean 1.66x, max 2.3x, spmv ~1.1x");
+
+    wk::RunOptions base;
+    base.mode = wk::ExecutionMode::kBaseline;
+    const auto base_rows = bench::runSuite(base);
+
+    wk::RunOptions morph;
+    morph.mode = wk::ExecutionMode::kMorpheus;
+    const auto morph_rows = bench::runSuite(morph);
+
+    std::printf("%-12s %14s %14s %9s\n", "app", "baseline(ms)",
+                "morpheus(ms)", "speedup");
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < base_rows.size(); ++i) {
+        const double b =
+            sim::ticksToSeconds(base_rows[i].metrics.deserTime) * 1e3;
+        const double m =
+            sim::ticksToSeconds(morph_rows[i].metrics.deserTime) * 1e3;
+        const double s = b / m;
+        speedups.push_back(s);
+        std::printf("%-12s %14.2f %14.2f %8.2fx\n",
+                    base_rows[i].app->name.c_str(), b, m, s);
+    }
+    std::printf("%-12s %14s %14s %8.2fx\n", "mean", "", "",
+                bench::mean(speedups));
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * §VII-B "slower servers": end-to-end Morpheus speedup with the host
+ * underclocked to 1.2 GHz.
+ *
+ * Paper shape: the gain grows on slower hosts (the CPU-side
+ * deserialization gets worse; the SSD-side cost is unchanged).
+ */
+
+#include "bench_common.hh"
+
+using namespace morpheus;
+namespace wk = morpheus::workloads;
+
+namespace {
+
+double
+meanSpeedup(double freq)
+{
+    wk::RunOptions base;
+    base.mode = wk::ExecutionMode::kBaseline;
+    base.cpuFreqHz = freq;
+    const auto b = morpheus::bench::runSuite(base);
+    wk::RunOptions morph;
+    morph.mode = wk::ExecutionMode::kMorpheus;
+    morph.cpuFreqHz = freq;
+    const auto m = morpheus::bench::runSuite(morph);
+
+    std::vector<double> speedups;
+    std::printf("%-12s", freq > 2.0e9 ? "2.5GHz" : "1.2GHz");
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        const double s =
+            static_cast<double>(b[i].metrics.totalTime) /
+            static_cast<double>(m[i].metrics.totalTime);
+        speedups.push_back(s);
+        std::printf(" %7.2fx", s);
+    }
+    const double mu = morpheus::bench::mean(speedups);
+    std::printf(" | mean %.2fx\n", mu);
+    return mu;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Section VII-B: Morpheus end-to-end speedup on a "
+                  "slower server (1.2 GHz host)",
+                  "gain grows when the host CPU is slower");
+
+    std::printf("%-12s", "host clock");
+    for (const auto &app : wk::standardSuite())
+        std::printf(" %8s", app.name.substr(0, 8).c_str());
+    std::printf("\n");
+
+    const double fast = meanSpeedup(2.5e9);
+    const double slow = meanSpeedup(1.2e9);
+    std::printf("\nmean end-to-end speedup: %.2fx at 2.5 GHz -> %.2fx "
+                "at 1.2 GHz\n",
+                fast, slow);
+    return slow > fast ? 0 : 1;
+}

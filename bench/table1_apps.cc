@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table I: the benchmark applications, their suites, parallel models,
+ * and input sizes (paper sizes and the scaled sizes generated here).
+ */
+
+#include "bench_common.hh"
+#include "workloads/objects.hh"
+
+using namespace morpheus;
+namespace wk = morpheus::workloads;
+
+namespace {
+
+const char *
+parallelName(wk::ParallelModel p)
+{
+    switch (p) {
+      case wk::ParallelModel::kMpi:
+        return "MPI";
+      case wk::ParallelModel::kCuda:
+        return "CUDA";
+      case wk::ParallelModel::kSerial:
+        return "N/A";
+    }
+    return "?";
+}
+
+const char *
+objectName(wk::ObjectKind k)
+{
+    switch (k) {
+      case wk::ObjectKind::kEdgeList:
+        return "edge list";
+      case wk::ObjectKind::kEdgeListWeighted:
+        return "weighted edge list";
+      case wk::ObjectKind::kMatrix:
+        return "dense matrix";
+      case wk::ObjectKind::kIntArray:
+        return "integer array";
+      case wk::ObjectKind::kPointSet:
+        return "point set";
+      case wk::ObjectKind::kCooMatrix:
+        return "sparse COO matrix";
+    }
+    return "?";
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Table I: applications and input sizes",
+                  "10 apps from BigDataBench / Rodinia / standalone, "
+                  "text inputs up to 3.6 GB");
+
+    std::printf("%-12s %-14s %-6s %-19s %12s %14s %9s\n", "app",
+                "suite", "model", "object", "paper input",
+                "scaled input", "float%");
+    for (const auto &app : wk::standardSuite()) {
+        const auto obj = app.generate(42, bench::benchScale());
+        const auto text = wk::serializeObject(obj);
+        std::printf("%-12s %-14s %-6s %-19s %9.2f GB %11.2f MB %8.0f%%\n",
+                    app.name.c_str(), app.suite.c_str(),
+                    parallelName(app.parallel),
+                    objectName(app.object),
+                    static_cast<double>(app.paperInputBytes) / 1e9,
+                    static_cast<double>(text.size()) / 1e6,
+                    app.floatFraction * 100.0);
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * §VII-A traffic results: Morpheus reduces PCIe-interconnect traffic
+ * (objects instead of text) and CPU-memory-bus traffic (no raw buffer
+ * round trips).
+ *
+ * Paper shape: -22% PCIe bandwidth demand, -58% CPU-memory bus
+ * traffic.
+ */
+
+#include "bench_common.hh"
+
+using namespace morpheus;
+namespace wk = morpheus::workloads;
+
+int
+main()
+{
+    bench::banner("Section VII-A: interconnect traffic during "
+                  "deserialization",
+                  "-22% PCIe traffic, -58% CPU-memory-bus traffic");
+
+    wk::RunOptions base;
+    base.mode = wk::ExecutionMode::kBaseline;
+    const auto base_rows = bench::runSuite(base);
+    wk::RunOptions morph;
+    morph.mode = wk::ExecutionMode::kMorpheus;
+    const auto morph_rows = bench::runSuite(morph);
+
+    std::printf("%-12s %12s %12s %8s %12s %12s %8s\n", "app",
+                "pcie.b(MB)", "pcie.m(MB)", "saved", "mbus.b(MB)",
+                "mbus.m(MB)", "saved");
+    std::vector<double> pcie_saved, mbus_saved;
+    for (std::size_t i = 0; i < base_rows.size(); ++i) {
+        const auto &b = base_rows[i].metrics;
+        const auto &m = morph_rows[i].metrics;
+        const double ps = 1.0 - static_cast<double>(m.pcieBytesDeser) /
+                                    static_cast<double>(
+                                        b.pcieBytesDeser);
+        const double ms_ = 1.0 -
+                           static_cast<double>(m.membusBytesDeser) /
+                               static_cast<double>(b.membusBytesDeser);
+        pcie_saved.push_back(ps);
+        mbus_saved.push_back(ms_);
+        std::printf("%-12s %12.1f %12.1f %7.0f%% %12.1f %12.1f %7.0f%%\n",
+                    base_rows[i].app->name.c_str(),
+                    b.pcieBytesDeser / 1e6, m.pcieBytesDeser / 1e6,
+                    ps * 100, b.membusBytesDeser / 1e6,
+                    m.membusBytesDeser / 1e6, ms_ * 100);
+    }
+    std::printf("\nmean PCIe traffic saved %.1f%%, mean memory-bus "
+                "traffic saved %.1f%%\n",
+                bench::mean(pcie_saved) * 100,
+                bench::mean(mbus_saved) * 100);
+    return 0;
+}

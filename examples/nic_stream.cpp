@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Extension scenario (paper §I: the SSD "can directly send application
+ * objects to other peripherals (e.g. NICs, FPGAs and GPUs)"): a
+ * storage-to-network object pipeline.
+ *
+ * A NIC is attached to the PCIe switch and its TX buffer is mapped as
+ * a BAR window; the StorageApp's DMA target is the NIC, so the
+ * deserialized binary objects travel flash -> embedded cores -> wire
+ * without ever entering host DRAM.
+ */
+
+#include <cstdio>
+
+#include "core/host_runtime.hh"
+#include "core/standard_apps.hh"
+#include "host/host_system.hh"
+#include "host/nic_model.hh"
+#include "workloads/generators.hh"
+
+using namespace morpheus;
+
+int
+main()
+{
+    host::HostSystem sys;
+    core::MorpheusDeviceRuntime device(sys.ssd());
+    core::NvmeP2p p2p(sys);
+    core::MorpheusRuntime runtime(sys, device, p2p);
+    const auto images = core::StandardImages::make();
+
+    // Attach a 10 GbE NIC to the switch and map its TX buffer.
+    host::Nic nic(host::NicConfig{});
+    const pcie::PortId nic_port =
+        sys.fabric().addPort("nic", pcie::LinkConfig{3, 8});
+    const pcie::Addr nic_bar = 1ULL << 44;
+    sys.fabric().mapWindow(nic_bar, nic.config().txBufferBytes,
+                           nic_port, "nic-tx", &nic);
+
+    // The object to export: an edge list on the SSD.
+    const auto graph = workloads::genEdgeList(5, 20000, 400000, false);
+    serde::TextWriter w;
+    graph.serialize(w);
+    const auto file = sys.createFile("graph.txt", w.bytes());
+    std::printf("exporting a %zu-edge graph (%.2f MB text, %.2f MB as "
+                "objects)\n",
+                graph.numEdges(), file.sizeBytes / 1e6,
+                graph.objectBytes() / 1e6);
+
+    // Deserialize on the SSD with the NIC as the DMA target.
+    const auto host_before =
+        sys.fabric().link(sys.hostPort()).totalBytes();
+    const auto stream = runtime.streamCreate(file, file.readyAt);
+    const core::DmaTarget target{nic_bar, false};
+    const auto res = runtime.invoke(images.edgeList, stream, target,
+                                    file.readyAt);
+    const sim::Tick wire_done = nic.transmitQueued(res.done);
+
+    std::printf("deserialize+DMA %.2f ms; last frame on the wire at "
+                "%.2f ms (%llu frames)\n",
+                sim::ticksToSeconds(res.elapsed()) * 1e3,
+                sim::ticksToSeconds(wire_done - res.start) * 1e3,
+                static_cast<unsigned long long>(nic.framesSent()));
+    std::printf("host-link payload traffic: %.3f MB (command rings "
+                "only)\n",
+                (sys.fabric().link(sys.hostPort()).totalBytes() -
+                 host_before) /
+                    1e6);
+
+    // Validate: the NIC TX buffer holds the exact binary object.
+    const auto bin = nic.txBytes(
+        0, static_cast<std::size_t>(graph.objectBytes()));
+    const auto back = serde::EdgeListObject::fromBinary(bin, false);
+    if (!(back == graph)) {
+        std::fprintf(stderr, "NIC payload mismatch!\n");
+        return 1;
+    }
+    std::printf("validated: NIC transmitted the exact object "
+                "(%llu bytes DMAed peer-to-peer)\n",
+                static_cast<unsigned long long>(nic.bytesDmaIn()));
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The §III generality claim, verbatim: "the storage device supporting
+ * the Morpheus model can transform the same file into different kinds
+ * of data structures according to the demand of applications."
+ *
+ * One edge-list file on flash is deserialized twice by two different
+ * StorageApps:
+ *   1. EdgeListApp  -> a graph object (u32 endpoints) for PageRank;
+ *   2. FlatNumbersApp -> a flat f64 stream, e.g. for a statistics or
+ *      sampling pass that does not care about graph structure.
+ * No file rewrite, no host parsing — just a different applet.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/host_runtime.hh"
+#include "core/standard_apps.hh"
+#include "host/host_system.hh"
+#include "workloads/generators.hh"
+
+using namespace morpheus;
+
+int
+main()
+{
+    host::HostSystem sys;
+    core::MorpheusDeviceRuntime device(sys.ssd());
+    core::NvmeP2p p2p(sys);
+    core::MorpheusRuntime runtime(sys, device, p2p);
+    const auto images = core::StandardImages::make();
+
+    const auto graph = workloads::genEdgeList(9, 30000, 600000, false);
+    serde::TextWriter w;
+    graph.serialize(w);
+    const auto file = sys.createFile("edges.txt", w.bytes());
+    std::printf("one file: %.2f MB edge-list text on flash\n\n",
+                file.sizeBytes / 1e6);
+
+    // View 1: the typed graph object.
+    {
+        const auto stream = runtime.streamCreate(file, file.readyAt);
+        const auto target = runtime.hostTarget(graph.objectBytes());
+        const auto res = runtime.invoke(images.edgeList, stream, target,
+                                        file.readyAt);
+        const auto bin = sys.mem().store().readVec(
+            target.addr, static_cast<std::size_t>(graph.objectBytes()));
+        const auto back = serde::EdgeListObject::fromBinary(bin, false);
+        std::printf("view 1 (edge-list applet): %zu edges as u32 "
+                    "pairs, %.2f ms, %s\n",
+                    back.numEdges(),
+                    sim::ticksToSeconds(res.elapsed()) * 1e3,
+                    back == graph ? "validated" : "MISMATCH");
+        if (!(back == graph))
+            return 1;
+    }
+
+    // View 2: the same bytes as a flat f64 number stream.
+    {
+        const std::uint64_t numbers = 2 + 2 * graph.numEdges();
+        const auto stream = runtime.streamCreate(file, file.readyAt);
+        const auto target = runtime.hostTarget(numbers * 8);
+        const auto res = runtime.invoke(images.flatNumbers, stream,
+                                        target, file.readyAt);
+        std::printf("view 2 (flat-numbers applet): %u f64 values, "
+                    "%.2f ms\n",
+                    res.returnValue,
+                    sim::ticksToSeconds(res.elapsed()) * 1e3);
+        if (res.returnValue != numbers) {
+            std::fprintf(stderr, "expected %llu numbers\n",
+                         static_cast<unsigned long long>(numbers));
+            return 1;
+        }
+        // Spot-check: values 0,1 are the header (V, E); value 2 is the
+        // first edge's source.
+        const auto bin = sys.mem().store().readVec(target.addr, 24);
+        double h[3];
+        std::memcpy(h, bin.data(), 24);
+        std::printf("first numbers: %g %g %g (header V E + first "
+                    "src)\n",
+                    h[0], h[1], h[2]);
+        if (h[0] != graph.numVertices ||
+            h[1] != static_cast<double>(graph.numEdges()) ||
+            h[2] != graph.src[0]) {
+            std::fprintf(stderr, "flat view mismatch\n");
+            return 1;
+        }
+    }
+
+    std::printf("\nsame file, two object kinds, zero host parsing.\n");
+    return 0;
+}

@@ -1,0 +1,30 @@
+#include "core/compiler.hh"
+
+#include "sim/logging.hh"
+
+namespace morpheus::core {
+
+StorageAppImage
+MorpheusCompiler::compile(const std::string &name,
+                          StorageAppFactory factory,
+                          std::uint32_t text_bytes)
+{
+    MORPHEUS_ASSERT(factory, "compiling a StorageApp with no factory");
+    if (text_bytes == 0) {
+        // Deterministic size estimate: device library baseline plus a
+        // name-hashed app body, FNV-1a so it is stable across runs.
+        std::uint64_t h = 1469598103934665603ULL;
+        for (const char c : name) {
+            h ^= static_cast<std::uint8_t>(c);
+            h *= 1099511628211ULL;
+        }
+        text_bytes = 8 * 1024 + static_cast<std::uint32_t>(h % 16384);
+    }
+    StorageAppImage image;
+    image.name = name;
+    image.textBytes = text_bytes;
+    image.factory = std::move(factory);
+    return image;
+}
+
+}  // namespace morpheus::core

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The Morpheus "compiler" (paper §V-B).
+ *
+ * The real toolchain compiles a StorageApp-annotated C function twice:
+ * once for the host ISA (replaced by a runtime stub that drives
+ * MINIT/MREAD/MDEINIT) and once for the embedded-core ISA (Tensilica).
+ * In this reproduction the host side is native C++, so "compiling"
+ * means packaging a StorageAppImage: estimating the embedded text-
+ * segment size (checked against I-SRAM at MINIT) and binding the
+ * factory the device runtime instantiates.
+ */
+
+#ifndef MORPHEUS_CORE_COMPILER_HH
+#define MORPHEUS_CORE_COMPILER_HH
+
+#include <string>
+
+#include "core/storage_app.hh"
+
+namespace morpheus::core {
+
+/** Packages StorageApps into device images. */
+class MorpheusCompiler
+{
+  public:
+    /**
+     * Build an image for @p factory.
+     *
+     * @param name        Diagnostic name.
+     * @param factory     Instantiates the app at MINIT.
+     * @param text_bytes  Embedded text size; 0 selects a deterministic
+     *                    estimate (8-24 KiB depending on the name) —
+     *                    real deserializer kernels are a few KiB of
+     *                    Tensilica code plus the device library.
+     */
+    static StorageAppImage compile(const std::string &name,
+                                   StorageAppFactory factory,
+                                   std::uint32_t text_bytes = 0);
+};
+
+}  // namespace morpheus::core
+
+#endif  // MORPHEUS_CORE_COMPILER_HH

@@ -1,0 +1,242 @@
+#include "core/device_runtime.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace morpheus::core {
+
+MorpheusDeviceRuntime::MorpheusDeviceRuntime(ssd::SsdController &ssd)
+    : _ssd(ssd)
+{
+    _ssd.setMorpheusEngine(this);
+}
+
+void
+MorpheusDeviceRuntime::stageInstance(std::uint32_t instance_id,
+                                     const InstanceSetup &setup)
+{
+    MORPHEUS_ASSERT(setup.image != nullptr, "staging without an image");
+    MORPHEUS_ASSERT(setup.image->factory, "image has no factory");
+    _staged[instance_id] = setup;
+}
+
+nvme::CommandResult
+MorpheusDeviceRuntime::execute(const nvme::Command &cmd, sim::Tick start)
+{
+    switch (cmd.opcode) {
+      case nvme::Opcode::kMInit:
+        return doMInit(cmd, start);
+      case nvme::Opcode::kMRead:
+        return doMRead(cmd, start);
+      case nvme::Opcode::kMWrite:
+        return doMWrite(cmd, start);
+      case nvme::Opcode::kMDeinit:
+        return doMDeinit(cmd, start);
+      default:
+        return {start, nvme::Status::kInvalidOpcode, 0};
+    }
+}
+
+nvme::CommandResult
+MorpheusDeviceRuntime::doMInit(const nvme::Command &cmd, sim::Tick start)
+{
+    ++_minits;
+    const auto staged = _staged.find(cmd.instanceId);
+    if (staged == _staged.end())
+        return {start, nvme::Status::kNoSuchInstance, 0};
+    if (_instances.count(cmd.instanceId))
+        return {start, nvme::Status::kInstanceBusy, 0};
+
+    const InstanceSetup setup = staged->second;
+    _staged.erase(staged);
+
+    ssd::EmbeddedCore &core = _ssd.coreFor(cmd.instanceId);
+    const std::uint32_t code_bytes =
+        cmd.cdw13 ? cmd.cdw13 : setup.image->textBytes;
+    if (!core.loadImage(code_bytes))
+        return {start, nvme::Status::kAppLoadFailed, 0};
+
+    // Fetch the code image from host memory (prp1), then spend a few
+    // core cycles installing it into I-SRAM.
+    const sim::Tick fetched = _ssd.fabric().dmaRead(
+        _ssd.port(), cmd.prp1, code_bytes, start);
+    const sim::Tick installed =
+        core.execute(static_cast<double>(code_bytes) * 0.5 + 5000.0,
+                     fetched);
+
+    Instance inst;
+    inst.setup = setup;
+    inst.app = setup.image->factory(cmd.cdw14);
+    const std::uint32_t dsram = core.config().dsramBytes;
+    const std::uint32_t threshold = setup.flushThreshold
+                                        ? setup.flushThreshold
+                                        : dsram / 4;
+    inst.ctx = std::make_unique<MsChunkContext>(dsram, threshold,
+                                                cmd.cdw14);
+    inst.coreId = core.id();
+    inst.codeBytes = code_bytes;
+    inst.dmaCursor = setup.target.addr;
+    _instances.emplace(cmd.instanceId, std::move(inst));
+
+    return {installed, nvme::Status::kSuccess, 0};
+}
+
+sim::Tick
+MorpheusDeviceRuntime::drainFlushes(
+    Instance &inst, std::vector<std::vector<std::uint8_t>> segments,
+    sim::Tick earliest)
+{
+    sim::Tick done = earliest;
+    for (auto &seg : segments) {
+        // Staged objects pass through controller DRAM and out over
+        // PCIe to the instance's DMA target.
+        const sim::Tick buffered =
+            _ssd.dramTransfer(seg.size(), earliest);
+        const sim::Tick dma = _ssd.fabric().dmaWriteData(
+            _ssd.port(), inst.dmaCursor, seg.data(), seg.size(),
+            buffered);
+        inst.dmaCursor += seg.size();
+        _objectBytes += seg.size();
+        done = std::max(done, dma);
+    }
+    return done;
+}
+
+nvme::CommandResult
+MorpheusDeviceRuntime::doMRead(const nvme::Command &cmd, sim::Tick start)
+{
+    ++_mreads;
+    const auto it = _instances.find(cmd.instanceId);
+    if (it == _instances.end())
+        return {start, nvme::Status::kNoSuchInstance, 0};
+    Instance &inst = it->second;
+
+    const std::uint64_t byte_off = cmd.slba * nvme::kBlockBytes;
+    const std::uint64_t valid =
+        cmd.cdw13 ? cmd.cdw13 : cmd.dataBytes();
+    MORPHEUS_ASSERT(valid <= cmd.dataBytes(),
+                    "valid byte count exceeds the LBA range");
+    _rawBytesIn += valid;
+
+    // Flash -> controller DRAM (timed), then the embedded core parses
+    // the chunk out of D-SRAM.
+    const sim::Tick fetched =
+        _ssd.fetchToDram(byte_off, valid, start);
+    std::vector<std::uint8_t> chunk = _ssd.peekBytes(byte_off, valid);
+
+    inst.ctx->feedChunk(std::move(chunk));
+    inst.app->processChunk(*inst.ctx);
+    ++inst.chunksProcessed;
+
+    ssd::EmbeddedCore &core = _ssd.core(inst.coreId);
+    const serde::ParseCost delta = inst.ctx->takeCostDelta();
+    auto flushes = inst.ctx->takeFlushes();
+    const double cycles =
+        core.config().parseCycles(delta) +
+        core.config().cyclesPerCommand +
+        core.config().cyclesPerFlush *
+            static_cast<double>(flushes.size());
+    const sim::Tick parsed = core.execute(cycles, fetched);
+
+    // Ship whatever ms_memcpy flushed during this chunk.
+    const sim::Tick done =
+        drainFlushes(inst, std::move(flushes), parsed);
+    return {done, nvme::Status::kSuccess, 0};
+}
+
+nvme::CommandResult
+MorpheusDeviceRuntime::doMWrite(const nvme::Command &cmd, sim::Tick start)
+{
+    ++_mwrites;
+    const auto it = _instances.find(cmd.instanceId);
+    if (it == _instances.end())
+        return {start, nvme::Status::kNoSuchInstance, 0};
+    Instance &inst = it->second;
+
+    const std::uint64_t valid =
+        cmd.cdw13 ? cmd.cdw13 : cmd.dataBytes();
+
+    // Binary objects arrive from the host (prp1); the app serializes
+    // them to text, which lands on flash at slba.
+    std::vector<std::uint8_t> data(valid);
+    const sim::Tick fetched = _ssd.fabric().dmaReadData(
+        _ssd.port(), cmd.prp1, data.data(), valid, start);
+
+    inst.ctx->feedChunk(std::move(data));
+    if (!inst.app->processWriteChunk(*inst.ctx))
+        return {fetched, nvme::Status::kInvalidField, 0};
+
+    ssd::EmbeddedCore &core = _ssd.core(inst.coreId);
+    const serde::ParseCost delta = inst.ctx->takeCostDelta();
+    // Serialization cost: symmetric model — emitting text costs what
+    // scanning it would, plus per-value conversion.
+    const double cycles =
+        core.config().parseCycles(delta) +
+        static_cast<double>(inst.ctx->bytesEmitted()) *
+            core.config().cyclesPerByteScan * 0.5 +
+        core.config().cyclesPerCommand;
+    const sim::Tick serialized = core.execute(cycles, fetched);
+
+    inst.ctx->flushResidual();
+    sim::Tick done = serialized;
+    for (auto &seg : inst.ctx->takeFlushes()) {
+        const std::uint64_t dst =
+            cmd.slba * nvme::kBlockBytes +
+            (inst.dmaCursor - inst.setup.target.addr);
+        done = _ssd.storeFromDram(dst, seg, done);
+        inst.dmaCursor += seg.size();
+        _objectBytes += seg.size();
+    }
+    return {done, nvme::Status::kSuccess, 0};
+}
+
+nvme::CommandResult
+MorpheusDeviceRuntime::doMDeinit(const nvme::Command &cmd,
+                                 sim::Tick start)
+{
+    ++_mdeinits;
+    const auto it = _instances.find(cmd.instanceId);
+    if (it == _instances.end())
+        return {start, nvme::Status::kNoSuchInstance, 0};
+    Instance &inst = it->second;
+
+    // The stream is over: let the app consume any carried final token,
+    // then run its finish hook and flush the residual staging.
+    inst.ctx->signalEndOfStream();
+    inst.app->processChunk(*inst.ctx);
+    inst.app->finish(*inst.ctx);
+    inst.ctx->flushResidual();
+
+    ssd::EmbeddedCore &core = _ssd.core(inst.coreId);
+    const serde::ParseCost delta = inst.ctx->takeCostDelta();
+    auto flushes = inst.ctx->takeFlushes();
+    const sim::Tick parsed = core.execute(
+        core.config().parseCycles(delta) +
+            core.config().cyclesPerCommand +
+            core.config().cyclesPerFlush *
+                static_cast<double>(flushes.size()),
+        start);
+    const sim::Tick done =
+        drainFlushes(inst, std::move(flushes), parsed);
+
+    const std::uint32_t rv = inst.app->returnValue();
+    core.unloadImage(inst.codeBytes);
+    _instances.erase(it);
+    return {done, nvme::Status::kSuccess, rv};
+}
+
+void
+MorpheusDeviceRuntime::registerStats(sim::stats::StatSet &set,
+                                     const std::string &prefix) const
+{
+    set.registerCounter(prefix + ".minits", &_minits);
+    set.registerCounter(prefix + ".mreads", &_mreads);
+    set.registerCounter(prefix + ".mwrites", &_mwrites);
+    set.registerCounter(prefix + ".mdeinits", &_mdeinits);
+    set.registerCounter(prefix + ".objectBytesOut", &_objectBytes);
+    set.registerCounter(prefix + ".rawBytesIn", &_rawBytesIn);
+}
+
+}  // namespace morpheus::core

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Device-side Morpheus runtime: the firmware that executes the four
+ * extension commands on the SSD (paper §IV-B).
+ *
+ * Implements ssd::MorpheusEngine. Keeps a per-instance table (the
+ * instance ID distinguishes host threads), maps each instance to one
+ * embedded core, charges parse work to that core's timeline using the
+ * embedded cost model, and DMAs staged objects to the instance's
+ * target (host memory, or GPU memory through NVMe-P2P).
+ */
+
+#ifndef MORPHEUS_CORE_DEVICE_RUNTIME_HH
+#define MORPHEUS_CORE_DEVICE_RUNTIME_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/storage_app.hh"
+#include "sim/stats.hh"
+#include "ssd/ssd_controller.hh"
+
+namespace morpheus::core {
+
+/** Runtime options for one StorageApp instance. */
+struct InstanceSetup
+{
+    const StorageAppImage *image = nullptr;
+    DmaTarget target;
+    std::uint32_t arg = 0;
+    /** Staging flush threshold (0 = default: D-SRAM / 4). */
+    std::uint32_t flushThreshold = 0;
+};
+
+/** The Morpheus command engine inside the SSD. */
+class MorpheusDeviceRuntime : public ssd::MorpheusEngine
+{
+  public:
+    explicit MorpheusDeviceRuntime(ssd::SsdController &ssd);
+
+    /**
+     * Functional side channel standing in for the code image the MINIT
+     * command DMAs in: the host runtime stages the factory + target
+     * here immediately before issuing MINIT with the same instance ID.
+     */
+    void stageInstance(std::uint32_t instance_id,
+                       const InstanceSetup &setup);
+
+    // ssd::MorpheusEngine
+    nvme::CommandResult execute(const nvme::Command &cmd,
+                                sim::Tick start) override;
+
+    /** Bytes of application objects DMAed out so far. */
+    std::uint64_t objectBytesOut() const { return _objectBytes.value(); }
+
+    /** Number of live instances (for tests). */
+    std::size_t liveInstances() const { return _instances.size(); }
+
+    void registerStats(sim::stats::StatSet &set,
+                       const std::string &prefix) const;
+
+  private:
+    struct Instance
+    {
+        InstanceSetup setup;
+        std::unique_ptr<StorageApp> app;
+        std::unique_ptr<MsChunkContext> ctx;
+        unsigned coreId = 0;
+        std::uint32_t codeBytes = 0;  ///< I-SRAM bytes actually loaded.
+        pcie::Addr dmaCursor = 0;
+        std::uint64_t chunksProcessed = 0;
+    };
+
+    nvme::CommandResult doMInit(const nvme::Command &cmd,
+                                sim::Tick start);
+    nvme::CommandResult doMRead(const nvme::Command &cmd,
+                                sim::Tick start);
+    nvme::CommandResult doMWrite(const nvme::Command &cmd,
+                                 sim::Tick start);
+    nvme::CommandResult doMDeinit(const nvme::Command &cmd,
+                                  sim::Tick start);
+
+    /** DMA the staged flush segments; @return last completion tick. */
+    sim::Tick drainFlushes(Instance &inst,
+                           std::vector<std::vector<std::uint8_t>> segments,
+                           sim::Tick earliest);
+
+    ssd::SsdController &_ssd;
+    std::unordered_map<std::uint32_t, InstanceSetup> _staged;
+    std::unordered_map<std::uint32_t, Instance> _instances;
+
+    sim::stats::Counter _minits;
+    sim::stats::Counter _mreads;
+    sim::stats::Counter _mwrites;
+    sim::stats::Counter _mdeinits;
+    sim::stats::Counter _objectBytes;
+    sim::stats::Counter _rawBytesIn;
+};
+
+}  // namespace morpheus::core
+
+#endif  // MORPHEUS_CORE_DEVICE_RUNTIME_HH

@@ -1,0 +1,153 @@
+#include "core/host_runtime.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace morpheus::core {
+
+MorpheusRuntime::MorpheusRuntime(host::HostSystem &sys,
+                                 MorpheusDeviceRuntime &device,
+                                 NvmeP2p &p2p)
+    : _sys(sys), _device(device), _p2p(p2p)
+{
+}
+
+MsStream
+MorpheusRuntime::streamCreate(const host::FileExtent &extent,
+                              sim::Tick now, unsigned host_core)
+{
+    // Permission check + extent/block-map lookup: two syscalls' worth
+    // of host OS work (open + fiemap-style query).
+    sim::Tick t = _sys.os().syscall(host_core, now);
+    t = _sys.os().syscall(host_core, t);
+    return MsStream{extent, t};
+}
+
+DmaTarget
+MorpheusRuntime::hostTarget(std::uint64_t bytes)
+{
+    return DmaTarget{_sys.allocHost(bytes), false};
+}
+
+DmaTarget
+MorpheusRuntime::gpuTarget(std::uint64_t bytes, std::uint64_t *dev_addr)
+{
+    const std::uint64_t dev = _sys.gpu().alloc(bytes);
+    if (dev_addr)
+        *dev_addr = dev;
+    return DmaTarget{_p2p.busAddrFor(dev), true};
+}
+
+InvokeResult
+MorpheusRuntime::invoke(const StorageAppImage &image,
+                        const MsStream &stream, const DmaTarget &target,
+                        sim::Tick now, const InvokeOptions &opts)
+{
+    nvme::NvmeDriver &driver = _sys.nvmeDriver();
+    const unsigned core = opts.hostCore;
+    // NVMe convention: each host core drives its own queue pair, so
+    // concurrent StorageApp instances never serialize on one SQ.
+    const std::uint16_t qid = _sys.ioQueue(core);
+
+    InvokeResult result;
+    result.start = std::max(now, stream.readyAt);
+    const std::uint64_t object_bytes_before = _device.objectBytesOut();
+    sim::Tick t = result.start;
+
+    // --- MINIT -------------------------------------------------------
+    const std::uint32_t instance = _nextInstance++;
+    InstanceSetup setup;
+    setup.image = &image;
+    setup.target = target;
+    setup.arg = opts.arg;
+    setup.flushThreshold = opts.flushThreshold;
+    _device.stageInstance(instance, setup);
+
+    // Stage the code image bytes in host memory for the device to
+    // fetch (content is a placeholder; the size is what matters).
+    const pcie::Addr image_addr = _sys.allocHost(image.textBytes);
+    const std::vector<std::uint8_t> image_bytes(image.textBytes, 0x90);
+    _sys.mem().store().writeVec(image_addr, image_bytes);
+
+    t = _sys.os().syscall(core, t);  // ioctl into the Morpheus driver
+    nvme::Command minit;
+    minit.opcode = nvme::Opcode::kMInit;
+    minit.instanceId = instance;
+    minit.prp1 = image_addr;
+    minit.cdw13 = image.textBytes;
+    minit.cdw14 = opts.arg;
+    const nvme::Completion minit_cqe = driver.io(qid, minit, t);
+    MORPHEUS_ASSERT(minit_cqe.ok(), "MINIT failed: status=",
+                    static_cast<unsigned>(minit_cqe.status));
+    t = std::max(t, minit_cqe.postedAt);
+
+    // --- MREAD stream -------------------------------------------------
+    const std::uint32_t mdts = driver.maxTransferBlocks();
+    std::uint32_t chunk_blocks =
+        opts.chunkBlocks == 0 ? mdts : std::min(opts.chunkBlocks, mdts);
+    const std::uint64_t chunk_bytes =
+        std::uint64_t(chunk_blocks) * nvme::kBlockBytes;
+    const std::uint64_t file_start_block =
+        stream.extent.startByte / nvme::kBlockBytes;
+
+    // Batch submissions up to the queue depth, ring once per batch,
+    // and sleep until the whole batch completes.
+    const std::uint16_t depth =
+        _sys.config().queueEntries > 1
+            ? static_cast<std::uint16_t>(_sys.config().queueEntries - 1)
+            : 1;
+    std::uint64_t offset = 0;
+    while (offset < stream.extent.sizeBytes) {
+        std::vector<nvme::Submitted> batch;
+        while (offset < stream.extent.sizeBytes &&
+               batch.size() < depth) {
+            const std::uint64_t valid = std::min<std::uint64_t>(
+                chunk_bytes, stream.extent.sizeBytes - offset);
+            const std::uint64_t blocks =
+                (valid + nvme::kBlockBytes - 1) / nvme::kBlockBytes;
+            nvme::Command mread;
+            mread.opcode = nvme::Opcode::kMRead;
+            mread.instanceId = instance;
+            mread.slba = file_start_block + offset / nvme::kBlockBytes;
+            mread.nlb = static_cast<std::uint16_t>(blocks - 1);
+            mread.cdw13 = static_cast<std::uint32_t>(valid);
+            mread.prp1 = target.addr;  // informational; cursor advances
+            batch.push_back(driver.submit(qid, mread));
+            offset += valid;
+            ++result.mreadCommands;
+        }
+        driver.ring(qid, t);
+        // The host thread blocks once per batch (Fig 10: the Morpheus
+        // path context-switches per *stream*, not per chunk).
+        sim::Tick batch_done = t;
+        for (const auto &token : batch) {
+            const nvme::Completion cqe = driver.wait(token);
+            MORPHEUS_ASSERT(cqe.ok(), "MREAD failed");
+            batch_done = std::max(batch_done, cqe.postedAt);
+        }
+        t = _sys.os().blockingWait(core, batch_done);
+        ++result.hostWakeups;
+    }
+
+    // --- MDEINIT ------------------------------------------------------
+    nvme::Command mdeinit;
+    mdeinit.opcode = nvme::Opcode::kMDeinit;
+    mdeinit.instanceId = instance;
+    const nvme::Completion fin = driver.io(qid, mdeinit, t);
+    MORPHEUS_ASSERT(fin.ok(), "MDEINIT failed");
+    result.returnValue = fin.dw0;
+    t = std::max(t, fin.postedAt);
+
+    // Make the DMA buffer visible to the application (driver unmap +
+    // cache maintenance): one syscall, no per-page copying.
+    t = _sys.os().syscall(core, t);
+
+    result.done = t;
+    result.objectBytes =
+        _device.objectBytesOut() - object_bytes_before;
+    return result;
+}
+
+}  // namespace morpheus::core

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Host-side Morpheus runtime (paper §V).
+ *
+ * What the compiler-inserted stubs + runtime system do at a StorageApp
+ * call site:
+ *  1. ms_stream_create: file permission check and block-list lookup in
+ *     the host OS (the device never runs file-system code);
+ *  2. MINIT with a fresh instance ID and the app's code image;
+ *  3. a stream of MREAD commands chunked to the NVMe transfer limit,
+ *     batched to the queue depth so the host thread sleeps instead of
+ *     baby-sitting each command (this is where the context-switch
+ *     savings of Fig 10 come from);
+ *  4. MDEINIT, whose completion carries the StorageApp return value;
+ *  5. making the DMAed object buffer visible to the application.
+ *
+ * When the target is GPU memory the runtime asks NvmeP2p for the BAR
+ * mapping and the same MREADs deliver objects peer-to-peer.
+ */
+
+#ifndef MORPHEUS_CORE_HOST_RUNTIME_HH
+#define MORPHEUS_CORE_HOST_RUNTIME_HH
+
+#include <cstdint>
+
+#include "core/device_runtime.hh"
+#include "core/nvme_p2p.hh"
+#include "core/storage_app.hh"
+#include "host/host_system.hh"
+
+namespace morpheus::core {
+
+/** Host-side view of an open Morpheus stream (ms_stream). */
+struct MsStream
+{
+    host::FileExtent extent;
+    /** Tick when ms_stream_create's OS work finished. */
+    sim::Tick readyAt = 0;
+};
+
+/** Knobs for one invocation. */
+struct InvokeOptions
+{
+    /** MREAD chunk size in 512 B blocks; 0 = the controller's MDTS. */
+    std::uint32_t chunkBlocks = 0;
+    /** Host core that owns the calling thread. */
+    unsigned hostCore = 0;
+    /** Argument word passed to the StorageApp. */
+    std::uint32_t arg = 0;
+    /** Staging flush threshold override (0 = D-SRAM / 4). */
+    std::uint32_t flushThreshold = 0;
+};
+
+/** Measured outcome of one StorageApp invocation. */
+struct InvokeResult
+{
+    sim::Tick start = 0;
+    sim::Tick done = 0;
+    std::uint32_t returnValue = 0;
+    std::uint64_t objectBytes = 0;   ///< DMAed to the target.
+    std::uint64_t mreadCommands = 0;
+    std::uint64_t hostWakeups = 0;   ///< Blocking waits by the host.
+
+    sim::Tick elapsed() const { return done - start; }
+};
+
+/** The runtime the compiled host binary links against. */
+class MorpheusRuntime
+{
+  public:
+    MorpheusRuntime(host::HostSystem &sys,
+                    MorpheusDeviceRuntime &device, NvmeP2p &p2p);
+
+    /**
+     * ms_stream_create: permission check + block-map lookup through
+     * the host OS. @return the stream; its readyAt reflects the OS
+     * time charged on @p host_core.
+     */
+    MsStream streamCreate(const host::FileExtent &extent, sim::Tick now,
+                          unsigned host_core = 0);
+
+    /**
+     * Invoke @p image over @p stream, delivering objects to
+     * @p target. Synchronous from the calling host thread's view: the
+     * thread sleeps while the device works.
+     */
+    InvokeResult invoke(const StorageAppImage &image,
+                        const MsStream &stream, const DmaTarget &target,
+                        sim::Tick now, const InvokeOptions &opts = {});
+
+    /** Allocate a host DMA buffer and return a host-memory target. */
+    DmaTarget hostTarget(std::uint64_t bytes);
+
+    /**
+     * Allocate GPU device memory and return a P2P target (maps the GPU
+     * BAR on first use).
+     */
+    DmaTarget gpuTarget(std::uint64_t bytes,
+                        std::uint64_t *dev_addr = nullptr);
+
+    /** Instance IDs handed out so far. */
+    std::uint32_t instancesIssued() const { return _nextInstance; }
+
+  private:
+    host::HostSystem &_sys;
+    MorpheusDeviceRuntime &_device;
+    NvmeP2p &_p2p;
+    std::uint32_t _nextInstance = 1;
+};
+
+}  // namespace morpheus::core
+
+#endif  // MORPHEUS_CORE_HOST_RUNTIME_HH

@@ -1,0 +1,143 @@
+#include "core/kv_store.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace morpheus::core {
+
+void
+KvTable::serialize(serde::TextWriter &w) const
+{
+    MORPHEUS_ASSERT(keys.size() == values.size(),
+                    "ragged KV table");
+    w.appendInt64(static_cast<std::int64_t>(keys.size()));
+    w.newline();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        w.appendInt64(keys[i]);
+        w.space();
+        w.appendInt64(values[i]);
+        w.newline();
+    }
+}
+
+std::vector<std::uint8_t>
+KvTable::rangeBinary(std::uint32_t lo, std::uint32_t hi) const
+{
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (keys[i] < lo || keys[i] > hi)
+            continue;
+        const std::uint32_t k = keys[i];
+        const std::int64_t v = values[i];
+        const auto *pk = reinterpret_cast<const std::uint8_t *>(&k);
+        const auto *pv = reinterpret_cast<const std::uint8_t *>(&v);
+        out.insert(out.end(), pk, pk + sizeof(k));
+        out.insert(out.end(), pv, pv + sizeof(v));
+    }
+    return out;
+}
+
+KvTable
+KvTable::fromPairBinary(const std::vector<std::uint8_t> &bytes)
+{
+    MORPHEUS_ASSERT(bytes.size() % kPairBytes == 0,
+                    "ragged KV pair stream");
+    KvTable t;
+    const std::size_t n = bytes.size() / kPairBytes;
+    t.keys.reserve(n);
+    t.values.reserve(n);
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t k;
+        std::int64_t v;
+        std::memcpy(&k, bytes.data() + off, sizeof(k));
+        off += sizeof(k);
+        std::memcpy(&v, bytes.data() + off, sizeof(v));
+        off += sizeof(v);
+        t.keys.push_back(k);
+        t.values.push_back(v);
+    }
+    return t;
+}
+
+KvTable
+genKvTable(std::uint64_t seed, std::uint32_t n)
+{
+    sim::Rng rng(seed);
+    KvTable t;
+    t.keys.reserve(n);
+    t.values.reserve(n);
+    // Strictly increasing keys with random gaps: a realistic sorted
+    // SSTable-style layout.
+    std::uint32_t key = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        key += 1 + static_cast<std::uint32_t>(rng.nextBelow(40));
+        t.keys.push_back(key);
+        t.values.push_back(rng.nextInRange(-999999, 999999));
+    }
+    return t;
+}
+
+std::uint32_t
+packKvRange(std::uint32_t lo_key, std::uint32_t hi_key)
+{
+    const std::uint32_t lo_bucket = lo_key >> 16;
+    const std::uint32_t hi_bucket = hi_key >> 16;
+    MORPHEUS_ASSERT(lo_bucket <= 0xFFFF && hi_bucket <= 0xFFFF,
+                    "key bucket out of range");
+    return (lo_bucket << 16) | hi_bucket;
+}
+
+void
+KvRangeEmitApp::processChunk(MsChunkContext &ctx)
+{
+    std::int64_t v = 0;
+    for (;;) {
+        switch (_state) {
+          case State::kCount:
+            if (!ctx.msScanfInt(&v))
+                return;
+            _remaining = static_cast<std::uint32_t>(v);
+            _state = State::kKey;
+            break;
+          case State::kKey:
+            if (_remaining == 0)
+                return;  // table exhausted
+            if (!ctx.msScanfInt(&v))
+                return;
+            _key = static_cast<std::uint32_t>(v);
+            {
+                const std::uint32_t bucket = _key >> 16;
+                _keyInRange =
+                    bucket >= _loBucket && bucket <= _hiBucket;
+            }
+            _state = State::kValue;
+            break;
+          case State::kValue:
+            if (!ctx.msScanfInt(&v))
+                return;
+            if (_keyInRange) {
+                ctx.msEmitValue<std::uint32_t>(_key);
+                ctx.msEmitValue<std::int64_t>(v);
+                ++_emitted;
+            }
+            --_remaining;
+            _state = State::kKey;
+            break;
+        }
+    }
+}
+
+StorageAppImage
+makeKvRangeEmitImage()
+{
+    return MorpheusCompiler::compile(
+        "kv-range-emit-applet", [](std::uint32_t arg) {
+            return std::make_unique<KvRangeEmitApp>(arg);
+        });
+}
+
+}  // namespace morpheus::core

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Flash-resident key-value store + in-storage range filtering — the
+ * extension the paper sketches in §III ("other kinds of interactions
+ * between memory objects and file data (e.g. ... emitting key-value
+ * pairs from flash-based key-value store)").
+ *
+ * A KvTable is a key-sorted text table ("key value\n" per line) stored
+ * like any other file. KvRangeEmitApp is a StorageApp that scans the
+ * table on the SSD's embedded cores and DMAs out *only* the pairs
+ * whose key falls in the requested range — the host (or GPU) receives
+ * the query result, not the table. This is the strongest form of the
+ * paper's bandwidth argument: the device "delivers only those objects
+ * that are useful to host applications".
+ */
+
+#ifndef MORPHEUS_CORE_KV_STORE_HH
+#define MORPHEUS_CORE_KV_STORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compiler.hh"
+#include "core/storage_app.hh"
+#include "serde/scanner.hh"
+#include "serde/writer.hh"
+
+namespace morpheus::core {
+
+/** A key-sorted table of (u32 key, i64 value) pairs. */
+struct KvTable
+{
+    std::vector<std::uint32_t> keys;   ///< Ascending.
+    std::vector<std::int64_t> values;
+
+    std::size_t size() const { return keys.size(); }
+
+    /** Text format: "N\n" then N sorted "key value" lines. */
+    void serialize(serde::TextWriter &w) const;
+
+    template <typename Scanner>
+    bool
+    parse(Scanner &s)
+    {
+        std::int64_t n = 0;
+        if (!s.nextInt64(&n))
+            return false;
+        keys.clear();
+        values.clear();
+        keys.reserve(static_cast<std::size_t>(n));
+        values.reserve(static_cast<std::size_t>(n));
+        for (std::int64_t i = 0; i < n; ++i) {
+            std::int64_t k = 0, v = 0;
+            if (!s.nextInt64(&k) || !s.nextInt64(&v))
+                return false;
+            keys.push_back(static_cast<std::uint32_t>(k));
+            values.push_back(v);
+        }
+        return true;
+    }
+
+    /** Binary layout of one emitted pair: u32 key, i64 value. */
+    static constexpr std::size_t kPairBytes =
+        sizeof(std::uint32_t) + sizeof(std::int64_t);
+
+    /** Binary encoding of the pairs in [lo, hi] (host-side oracle). */
+    std::vector<std::uint8_t> rangeBinary(std::uint32_t lo,
+                                          std::uint32_t hi) const;
+
+    /** Decode a binary pair stream. */
+    static KvTable fromPairBinary(const std::vector<std::uint8_t> &bytes);
+
+    bool operator==(const KvTable &) const = default;
+};
+
+/** Deterministic generator: @p n sorted pairs. */
+KvTable genKvTable(std::uint64_t seed, std::uint32_t n);
+
+/**
+ * Pack a key range into the 32-bit MINIT argument word (16-bit key
+ * buckets: bucket = key >> 16). The range is inclusive in buckets.
+ */
+std::uint32_t packKvRange(std::uint32_t lo_key, std::uint32_t hi_key);
+
+/**
+ * The in-storage filter. Streams the table text and emits only the
+ * (key, value) pairs whose key bucket lies in the packed range; the
+ * return value is the number of pairs emitted.
+ */
+class KvRangeEmitApp : public StorageApp
+{
+  public:
+    explicit KvRangeEmitApp(std::uint32_t arg)
+        : _loBucket(arg >> 16), _hiBucket(arg & 0xFFFF)
+    {}
+
+    void processChunk(MsChunkContext &ctx) override;
+    std::uint32_t returnValue() const override { return _emitted; }
+
+  private:
+    enum class State { kCount, kKey, kValue };
+
+    std::uint32_t _loBucket;
+    std::uint32_t _hiBucket;
+    State _state = State::kCount;
+    std::uint32_t _remaining = 0;
+    std::uint32_t _key = 0;
+    bool _keyInRange = false;
+    std::uint32_t _emitted = 0;
+};
+
+/** Compiled image for the KV filter. */
+StorageAppImage makeKvRangeEmitImage();
+
+}  // namespace morpheus::core
+
+#endif  // MORPHEUS_CORE_KV_STORE_HH

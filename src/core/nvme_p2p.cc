@@ -1,0 +1,33 @@
+#include "core/nvme_p2p.hh"
+
+namespace morpheus::core {
+
+NvmeP2p::~NvmeP2p()
+{
+    if (_mapped)
+        unmapGpuMemory();
+}
+
+pcie::Addr
+NvmeP2p::mapGpuMemory()
+{
+    const pcie::Addr base = _sys.config().gpuBarBase;
+    if (!_mapped) {
+        _sys.fabric().mapWindow(base, _sys.gpu().config().memBytes,
+                                _sys.gpuPort(), "gpu-bar",
+                                &_sys.gpu());
+        _mapped = true;
+    }
+    return base;
+}
+
+void
+NvmeP2p::unmapGpuMemory()
+{
+    if (_mapped) {
+        _sys.fabric().unmapWindow(_sys.config().gpuBarBase);
+        _mapped = false;
+    }
+}
+
+}  // namespace morpheus::core

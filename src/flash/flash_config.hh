@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Geometry and timing parameters of the simulated NAND flash array.
+ */
+
+#ifndef MORPHEUS_FLASH_FLASH_CONFIG_HH
+#define MORPHEUS_FLASH_FLASH_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace morpheus::flash {
+
+/**
+ * NAND array geometry + timing. Defaults model a 512 GiB MLC drive of
+ * the paper's era: 8 channels of 4 dies, 16 KiB pages, ~60 us tR,
+ * ~600 us tPROG, ~3 ms tBERS, 400 MB/s per channel bus (ONFI 3.x).
+ */
+struct FlashConfig
+{
+    unsigned channels = 8;
+    unsigned diesPerChannel = 4;
+    unsigned planesPerDie = 2;
+    unsigned blocksPerPlane = 2048;
+    unsigned pagesPerBlock = 256;
+    std::uint32_t pageBytes = 16 * 1024;
+
+    sim::Tick readLatency = 60 * sim::kPsPerUs;
+    sim::Tick programLatency = 600 * sim::kPsPerUs;
+    sim::Tick eraseLatency = 3 * sim::kPsPerMs;
+
+    /** Per-channel bus bandwidth (data transfer to/from dies). */
+    double channelBytesPerSec = 400.0 * sim::kMBps;
+
+    unsigned dies() const { return channels * diesPerChannel; }
+    unsigned planes() const { return dies() * planesPerDie; }
+
+    std::uint64_t
+    blocks() const
+    {
+        return static_cast<std::uint64_t>(planes()) * blocksPerPlane;
+    }
+
+    std::uint64_t
+    pages() const
+    {
+        return blocks() * pagesPerBlock;
+    }
+
+    std::uint64_t
+    capacityBytes() const
+    {
+        return pages() * pageBytes;
+    }
+};
+
+/** Physical address of one flash page. */
+struct PagePointer
+{
+    unsigned channel = 0;
+    unsigned die = 0;
+    unsigned plane = 0;
+    unsigned block = 0;
+    unsigned page = 0;
+
+    bool operator==(const PagePointer &) const = default;
+};
+
+/** Physical address of one flash block (erase unit). */
+struct BlockPointer
+{
+    unsigned channel = 0;
+    unsigned die = 0;
+    unsigned plane = 0;
+    unsigned block = 0;
+
+    bool operator==(const BlockPointer &) const = default;
+
+    PagePointer
+    pageAt(unsigned page) const
+    {
+        return PagePointer{channel, die, plane, block, page};
+    }
+};
+
+}  // namespace morpheus::flash
+
+#endif  // MORPHEUS_FLASH_FLASH_CONFIG_HH

@@ -1,0 +1,111 @@
+#include "host/host_system.hh"
+
+#include "sim/logging.hh"
+
+namespace morpheus::host {
+
+namespace {
+
+/** Queue rings live in a small reserved region of host DRAM. */
+constexpr pcie::Addr kQueueRingBase = 1 * sim::kMiB;
+/** General allocations start above the ingest scratch area. */
+constexpr pcie::Addr kAllocBase = 9ULL * sim::kGiB;
+
+}  // namespace
+
+HostSystem::HostSystem(const SystemConfig &config)
+    : _config(config),
+      _hostPort(_fabric.addPort("host", config.hostLink)),
+      _ssdPort(_fabric.addPort("ssd", config.ssdLink)),
+      _gpuPort(_fabric.addPort("gpu", config.gpuLink)),
+      _mem(config.mem),
+      _cpu(config.cpu),
+      _os(config.os, _cpu),
+      _power(config.power),
+      _ssd(std::make_unique<ssd::SsdController>(_eq, _fabric, _ssdPort,
+                                                config.ssd)),
+      _gpu(std::make_unique<Gpu>(_fabric, _gpuPort, config.gpu)),
+      _driver(_ssd->nvme()),
+      _hostAllocTop(kAllocBase),
+      _hostAllocBase(kAllocBase),
+      _nextFileByte(0)
+{
+    MORPHEUS_ASSERT(_hostPort == 0,
+                    "host root complex must be port 0 by convention");
+    // Host DRAM window at bus address 0.
+    _fabric.mapWindow(0, _mem.config().size, _hostPort, "host-dram",
+                      &_mem);
+    const unsigned queues =
+        config.ioQueues == 0 ? 1 : config.ioQueues;
+    for (unsigned q = 0; q < queues; ++q) {
+        _ioQueues.push_back(_driver.openQueue(
+            config.queueEntries,
+            kQueueRingBase + q * 64 * sim::kKiB,
+            kQueueRingBase + 512 * sim::kKiB + q * 64 * sim::kKiB));
+    }
+    _ssdBackend = std::make_unique<NvmeBackend>(
+        _driver, _ioQueues.front(), _mem);
+}
+
+pcie::Addr
+HostSystem::allocHost(std::uint64_t bytes)
+{
+    const pcie::Addr addr = _hostAllocTop;
+    _hostAllocTop += (bytes + 4095) & ~std::uint64_t(4095);
+    MORPHEUS_ASSERT(_hostAllocTop <= _mem.config().size,
+                    "host memory allocator exhausted");
+    return addr;
+}
+
+void
+HostSystem::resetHostAllocator()
+{
+    _hostAllocTop = _hostAllocBase;
+}
+
+FileExtent
+HostSystem::createFile(const std::string &name,
+                       const std::vector<std::uint8_t> &data)
+{
+    MORPHEUS_ASSERT(_files.find(name) == _files.end(),
+                    "file already exists: ", name);
+    const std::uint32_t page = _ssd->ftl().pageBytes();
+
+    FileExtent extent;
+    extent.name = name;
+    extent.startByte = _nextFileByte;
+    extent.sizeBytes = data.size();
+    _nextFileByte +=
+        ((data.size() + page - 1) / page) * std::uint64_t(page);
+
+    extent.readyAt = _ssdBackend->ingest(extent.startByte, data);
+    _files.emplace(name, extent);
+    return extent;
+}
+
+const FileExtent &
+HostSystem::file(const std::string &name) const
+{
+    const auto it = _files.find(name);
+    MORPHEUS_ASSERT(it != _files.end(), "no such file: ", name);
+    return it->second;
+}
+
+std::vector<std::uint8_t>
+HostSystem::fileBytes(const FileExtent &extent) const
+{
+    return _ssd->peekBytes(extent.startByte, extent.sizeBytes);
+}
+
+void
+HostSystem::registerStats(sim::stats::StatSet &set)
+{
+    _ssd->registerStats(set, "ssd");
+    _mem.registerStats(set, "host.mem");
+    _os.registerStats(set, "host.os");
+    _cpu.registerStats(set, "host.cpu");
+    _gpu->registerStats(set, "gpu");
+    _fabric.registerStats(set, "pcie");
+}
+
+}  // namespace morpheus::host

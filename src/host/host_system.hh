@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The assembled platform: host CPU/OS/DRAM, PCIe fabric, Morpheus-SSD,
+ * GPU, NVMe driver, and power model — plus a minimal extent-based
+ * "file system" for placing workload inputs on the SSD.
+ *
+ * This is the top-level object examples, tests, and benches construct.
+ */
+
+#ifndef MORPHEUS_HOST_HOST_SYSTEM_HH
+#define MORPHEUS_HOST_HOST_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "host/cpu_model.hh"
+#include "host/gpu_model.hh"
+#include "host/host_memory.hh"
+#include "host/os_model.hh"
+#include "host/power_model.hh"
+#include "host/storage_backend.hh"
+#include "host/system_config.hh"
+#include "nvme/driver.hh"
+#include "sim/event_queue.hh"
+#include "ssd/ssd_controller.hh"
+
+namespace morpheus::host {
+
+/** A contiguous file on the SSD (or alternative backend). */
+struct FileExtent
+{
+    std::string name;
+    std::uint64_t startByte = 0;  ///< Device byte offset (page aligned).
+    std::uint64_t sizeBytes = 0;  ///< Logical file length.
+    sim::Tick readyAt = 0;        ///< Tick the ingest write finished.
+};
+
+/** The whole simulated machine. */
+class HostSystem
+{
+  public:
+    explicit HostSystem(const SystemConfig &config = {});
+
+    const SystemConfig &config() const { return _config; }
+
+    sim::EventQueue &eventQueue() { return _eq; }
+    pcie::PcieSwitch &fabric() { return _fabric; }
+    HostMemory &mem() { return _mem; }
+    HostCpu &cpu() { return _cpu; }
+    OsModel &os() { return _os; }
+    Gpu &gpu() { return *_gpu; }
+    ssd::SsdController &ssd() { return *_ssd; }
+    nvme::NvmeDriver &nvmeDriver() { return _driver; }
+    PowerModel &power() { return _power; }
+
+    pcie::PortId hostPort() const { return _hostPort; }
+    pcie::PortId ssdPort() const { return _ssdPort; }
+    pcie::PortId gpuPort() const { return _gpuPort; }
+
+    /** The default I/O queue pair. */
+    std::uint16_t ioQueue() const { return _ioQueues.front(); }
+
+    /** Per-core I/O queue pair (NVMe convention; wraps modulo). */
+    std::uint16_t
+    ioQueue(unsigned core) const
+    {
+        return _ioQueues[core % _ioQueues.size()];
+    }
+
+    /** Number of I/O queue pairs created. */
+    unsigned numIoQueues() const
+    {
+        return static_cast<unsigned>(_ioQueues.size());
+    }
+
+    /** Bump-allocate @p bytes of host DRAM. @return bus address. */
+    pcie::Addr allocHost(std::uint64_t bytes);
+
+    /** Reset the host allocator (between benchmark runs). */
+    void resetHostAllocator();
+
+    /**
+     * Create a file of @p data bytes on the SSD via the normal write
+     * path (setup step). @return the extent descriptor.
+     */
+    FileExtent createFile(const std::string &name,
+                          const std::vector<std::uint8_t> &data);
+
+    /** Look up a previously created file. */
+    const FileExtent &file(const std::string &name) const;
+
+    /** Functional read-back of a file's bytes (validation). */
+    std::vector<std::uint8_t> fileBytes(const FileExtent &extent) const;
+
+    /** The SSD exposed through the StorageBackend interface. */
+    StorageBackend &ssdBackend() { return *_ssdBackend; }
+
+    /**
+     * Register every component's statistics under conventional
+     * prefixes ("ssd.", "host.", "gpu.", "pcie."); the set's report()
+     * then dumps the whole machine deterministically.
+     */
+    void registerStats(sim::stats::StatSet &set);
+
+  private:
+    SystemConfig _config;
+    sim::EventQueue _eq;
+    pcie::PcieSwitch _fabric;
+
+    pcie::PortId _hostPort;
+    pcie::PortId _ssdPort;
+    pcie::PortId _gpuPort;
+
+    HostMemory _mem;
+    HostCpu _cpu;
+    OsModel _os;
+    PowerModel _power;
+    std::unique_ptr<ssd::SsdController> _ssd;
+    std::unique_ptr<Gpu> _gpu;
+    nvme::NvmeDriver _driver;
+    std::vector<std::uint16_t> _ioQueues;
+    std::unique_ptr<NvmeBackend> _ssdBackend;
+
+    pcie::Addr _hostAllocTop;
+    pcie::Addr _hostAllocBase;
+    std::uint64_t _nextFileByte;
+    std::unordered_map<std::string, FileExtent> _files;
+};
+
+}  // namespace morpheus::host
+
+#endif  // MORPHEUS_HOST_HOST_SYSTEM_HH

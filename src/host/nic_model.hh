@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A simple NIC model (10 GbE class).
+ *
+ * The paper's introduction lists NICs next to GPUs as peer-to-peer
+ * targets: "the SSD can directly send application objects to other
+ * peripherals (e.g. NICs, FPGAs and GPUs)". The NIC exposes its TX
+ * buffer as a pcie::BusTarget, so once its BAR window is mapped, a
+ * StorageApp's DMA target can be the network card itself — objects
+ * flow flash → embedded cores → wire without touching host DRAM.
+ *
+ * Transmission is modeled as a wire occupancy timeline at line rate
+ * with per-frame overhead (preamble + IFG + headers).
+ */
+
+#ifndef MORPHEUS_HOST_NIC_MODEL_HH
+#define MORPHEUS_HOST_NIC_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pcie/pcie.hh"
+#include "sim/stats.hh"
+#include "sim/timeline.hh"
+
+namespace morpheus::host {
+
+/** NIC parameters (defaults: dual-port 10 GbE of the paper's era). */
+struct NicConfig
+{
+    /** Line rate in payload bytes/sec (10 Gb/s ≈ 1.25 GB/s raw). */
+    double lineRateBytesPerSec = 1.25e9;
+    /** Maximum payload per frame. */
+    std::uint32_t mtuBytes = 9000;  // jumbo frames
+    /** Per-frame wire overhead (preamble, headers, CRC, IFG). */
+    std::uint32_t frameOverheadBytes = 42;
+    /** TX buffer (BAR window) size. */
+    std::uint64_t txBufferBytes = 16ULL * 1024 * 1024;
+};
+
+/** The network card: a DMA-able TX buffer plus a wire model. */
+class Nic : public pcie::BusTarget
+{
+  public:
+    explicit Nic(const NicConfig &config)
+        : _config(config), _txBuffer(config.txBufferBytes, 0)
+    {}
+
+    const NicConfig &config() const { return _config; }
+
+    // BusTarget: DMA writes land in the TX buffer and are queued for
+    // transmission in arrival order.
+    void
+    busWrite(pcie::Addr offset, const std::uint8_t *data,
+             std::size_t n) override
+    {
+        std::copy(data, data + n, _txBuffer.begin() +
+                                      static_cast<std::ptrdiff_t>(offset));
+        _queuedBytes += n;
+        _bytesDmaIn += n;
+    }
+
+    void
+    busRead(pcie::Addr offset, std::uint8_t *out,
+            std::size_t n) const override
+    {
+        std::copy(_txBuffer.begin() + static_cast<std::ptrdiff_t>(offset),
+                  _txBuffer.begin() +
+                      static_cast<std::ptrdiff_t>(offset + n),
+                  out);
+    }
+
+    /**
+     * Transmit everything queued since the last call, starting no
+     * earlier than @p earliest. @return tick the last frame leaves the
+     * wire.
+     */
+    sim::Tick
+    transmitQueued(sim::Tick earliest)
+    {
+        sim::Tick done = earliest;
+        while (_queuedBytes > 0) {
+            const std::uint64_t payload =
+                std::min<std::uint64_t>(_queuedBytes, _config.mtuBytes);
+            const std::uint64_t wire_bytes =
+                payload + _config.frameOverheadBytes;
+            done = _wire.acquireUntil(
+                done,
+                sim::transferTicks(wire_bytes,
+                                   _config.lineRateBytesPerSec));
+            _queuedBytes -= payload;
+            ++_frames;
+            _bytesOnWire += wire_bytes;
+        }
+        return done;
+    }
+
+    /** Peek at the TX buffer contents (validation). */
+    std::vector<std::uint8_t>
+    txBytes(std::uint64_t offset, std::size_t n) const
+    {
+        std::vector<std::uint8_t> out(n);
+        busRead(offset, out.data(), n);
+        return out;
+    }
+
+    std::uint64_t framesSent() const { return _frames.value(); }
+    std::uint64_t bytesDmaIn() const { return _bytesDmaIn.value(); }
+    std::uint64_t bytesOnWire() const { return _bytesOnWire.value(); }
+    std::uint64_t queuedBytes() const { return _queuedBytes; }
+
+    void
+    registerStats(sim::stats::StatSet &set,
+                  const std::string &prefix) const
+    {
+        set.registerCounter(prefix + ".frames", &_frames);
+        set.registerCounter(prefix + ".bytesDmaIn", &_bytesDmaIn);
+        set.registerCounter(prefix + ".bytesOnWire", &_bytesOnWire);
+    }
+
+  private:
+    NicConfig _config;
+    std::vector<std::uint8_t> _txBuffer;
+    sim::Timeline _wire{"nic.wire"};
+    std::uint64_t _queuedBytes = 0;
+    sim::stats::Counter _frames;
+    sim::stats::Counter _bytesDmaIn;
+    sim::stats::Counter _bytesOnWire;
+};
+
+}  // namespace morpheus::host
+
+#endif  // MORPHEUS_HOST_NIC_MODEL_HH

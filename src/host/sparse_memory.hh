@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Sparse functional byte store.
+ *
+ * Backs every "memory" in the simulation (host DRAM, GPU device
+ * memory, HDD platters, RAM drive) so data really flows end-to-end.
+ * Pages are allocated lazily; untouched space reads as zeros.
+ */
+
+#ifndef MORPHEUS_HOST_SPARSE_MEMORY_HH
+#define MORPHEUS_HOST_SPARSE_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace morpheus::host {
+
+/** Lazily allocated flat byte space. */
+class SparseMemory
+{
+  public:
+    explicit SparseMemory(std::uint64_t size) : _size(size) {}
+
+    std::uint64_t size() const { return _size; }
+
+    /** Store @p n bytes at @p addr. */
+    void write(std::uint64_t addr, const std::uint8_t *data,
+               std::size_t n);
+
+    /** Load @p n bytes from @p addr (zeros where never written). */
+    void read(std::uint64_t addr, std::uint8_t *out, std::size_t n) const;
+
+    /** Convenience: load a range into a fresh vector. */
+    std::vector<std::uint8_t> readVec(std::uint64_t addr,
+                                      std::size_t n) const;
+
+    /** Convenience: store a vector. */
+    void
+    writeVec(std::uint64_t addr, const std::vector<std::uint8_t> &data)
+    {
+        write(addr, data.data(), data.size());
+    }
+
+    /** Bytes of backing store actually allocated. */
+    std::uint64_t residentBytes() const
+    {
+        return _chunks.size() * kChunkBytes;
+    }
+
+  private:
+    static constexpr std::uint64_t kChunkBytes = 64 * 1024;
+
+    std::uint64_t _size;
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> _chunks;
+};
+
+}  // namespace morpheus::host
+
+#endif  // MORPHEUS_HOST_SPARSE_MEMORY_HH

@@ -1,0 +1,141 @@
+#include "host/storage_backend.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace morpheus::host {
+
+// ---------------------------------------------------------------- NVMe
+
+NvmeBackend::NvmeBackend(nvme::NvmeDriver &driver, std::uint16_t qid,
+                         HostMemory &host_mem)
+    : _driver(driver), _qid(qid), _hostMem(host_mem)
+{
+}
+
+sim::Tick
+NvmeBackend::ingest(std::uint64_t offset,
+                    const std::vector<std::uint8_t> &data)
+{
+    MORPHEUS_ASSERT(offset % nvme::kBlockBytes == 0,
+                    "ingest offset must be block aligned");
+    // Setup-time write through the normal write path, chunked by MDTS.
+    const std::uint64_t mdts_bytes =
+        std::uint64_t(_driver.maxTransferBlocks()) * nvme::kBlockBytes;
+    std::uint64_t off = 0;
+    sim::Tick t = 0;
+    while (off < data.size()) {
+        const std::uint64_t len =
+            std::min<std::uint64_t>(mdts_bytes, data.size() - off);
+        const std::uint64_t blocks =
+            (len + nvme::kBlockBytes - 1) / nvme::kBlockBytes;
+        std::vector<std::uint8_t> chunk(
+            data.begin() + off,
+            data.begin() + off + static_cast<std::ptrdiff_t>(len));
+        chunk.resize(blocks * nvme::kBlockBytes, 0);
+
+        // Stage the chunk at a scratch host address the device reads.
+        // Ingest bypasses measured phases, so we use a fixed scratch
+        // buffer high in host memory.
+        const pcie::Addr scratch = 8ULL * sim::kGiB;
+        nvme::Command cmd;
+        cmd.opcode = nvme::Opcode::kWrite;
+        cmd.prp1 = scratch;
+        cmd.slba = (offset + off) / nvme::kBlockBytes;
+        cmd.nlb = static_cast<std::uint16_t>(blocks - 1);
+        // The functional payload must be visible at the scratch
+        // address before the device DMA-reads it (store() directly so
+        // setup does not perturb the measured bus counters).
+        _hostMem.store().writeVec(scratch, chunk);
+        const nvme::Completion cqe = _driver.io(_qid, cmd, t);
+        MORPHEUS_ASSERT(cqe.ok(), "ingest write failed");
+        t = cqe.postedAt;
+        off += len;
+    }
+    return t;
+}
+
+sim::Tick
+NvmeBackend::read(std::uint64_t offset, std::uint64_t len,
+                  pcie::Addr dst, sim::Tick earliest)
+{
+    MORPHEUS_ASSERT(offset % nvme::kBlockBytes == 0,
+                    "read offset must be block aligned");
+    const std::uint64_t mdts_bytes =
+        std::uint64_t(_driver.maxTransferBlocks()) * nvme::kBlockBytes;
+    std::uint64_t off = 0;
+    sim::Tick done = earliest;
+    while (off < len) {
+        const std::uint64_t take =
+            std::min<std::uint64_t>(mdts_bytes, len - off);
+        const std::uint64_t blocks =
+            (take + nvme::kBlockBytes - 1) / nvme::kBlockBytes;
+        nvme::Command cmd;
+        cmd.opcode = nvme::Opcode::kRead;
+        cmd.prp1 = dst + off;
+        cmd.slba = (offset + off) / nvme::kBlockBytes;
+        cmd.nlb = static_cast<std::uint16_t>(blocks - 1);
+        const nvme::Completion cqe = _driver.io(_qid, cmd, earliest);
+        MORPHEUS_ASSERT(cqe.ok(), "read command failed");
+        done = std::max(done, cqe.postedAt);
+        off += take;
+    }
+    return done;
+}
+
+// -----------------------------------------------------------------HDD
+
+HddBackend::HddBackend(HostMemory &host_mem) : _hostMem(host_mem) {}
+
+sim::Tick
+HddBackend::ingest(std::uint64_t offset,
+                   const std::vector<std::uint8_t> &data)
+{
+    _platter.writeVec(offset, data);
+    return 0;
+}
+
+sim::Tick
+HddBackend::read(std::uint64_t offset, std::uint64_t len, pcie::Addr dst,
+                 sim::Tick earliest)
+{
+    // Seek when the head is not already positioned at the request.
+    sim::Tick dur = sim::transferTicks(len, bytesPerSec);
+    if (offset != _headPos)
+        dur += seekTime;
+    _headPos = offset + len;
+    const sim::Tick done = _arm.acquireUntil(earliest, dur);
+
+    const auto data = _platter.readVec(offset, len);
+    _hostMem.busWrite(dst, data.data(), data.size());
+    return done;
+}
+
+// ----------------------------------------------------------- RAM drive
+
+RamDriveBackend::RamDriveBackend(HostMemory &host_mem)
+    : _hostMem(host_mem)
+{
+}
+
+sim::Tick
+RamDriveBackend::ingest(std::uint64_t offset,
+                        const std::vector<std::uint8_t> &data)
+{
+    _image.writeVec(offset, data);
+    return 0;
+}
+
+sim::Tick
+RamDriveBackend::read(std::uint64_t offset, std::uint64_t len,
+                      pcie::Addr dst, sim::Tick earliest)
+{
+    // A RAM-drive read is a kernel memcpy: the source and destination
+    // both live in DRAM, so the payload crosses the memory bus twice.
+    const auto data = _image.readVec(offset, len);
+    _hostMem.busWrite(dst, data.data(), data.size());
+    return _hostMem.cpuAccess(len, len, earliest);
+}
+
+}  // namespace morpheus::host

@@ -1,0 +1,71 @@
+#include "nvme/command.hh"
+
+#include <cstring>
+
+namespace morpheus::nvme {
+
+namespace {
+
+template <typename T>
+void
+put(std::array<std::uint8_t, kCommandBytes> &raw, std::size_t off, T v)
+{
+    std::memcpy(raw.data() + off, &v, sizeof(T));
+}
+
+template <typename T>
+T
+get(const std::array<std::uint8_t, kCommandBytes> &raw, std::size_t off)
+{
+    T v;
+    std::memcpy(&v, raw.data() + off, sizeof(T));
+    return v;
+}
+
+}  // namespace
+
+// Layout (little-endian, byte offsets):
+//   0  opcode        1  flags (0)     2  cid          4  nsid
+//   8  reserved     16  metadata (0) 24  prp1         32  prp2
+//  40  slba (cdw10/11)               48  nlb (cdw12 low 16)
+//  50  instanceId (cdw12 high 16 + cdw12b; we use 4 bytes at 50)
+//  54  reserved
+//  56  cdw13        60  cdw14 truncated to fit 64 bytes
+//
+// The exact packing is internal to this simulator; what matters for
+// fidelity is that every command round-trips through exactly 64 bytes.
+std::array<std::uint8_t, kCommandBytes>
+Command::encode() const
+{
+    std::array<std::uint8_t, kCommandBytes> raw{};
+    put(raw, 0, static_cast<std::uint8_t>(opcode));
+    put(raw, 2, cid);
+    put(raw, 4, nsid);
+    put(raw, 24, prp1);
+    put(raw, 32, prp2);
+    put(raw, 40, slba);
+    put(raw, 48, nlb);
+    put(raw, 50, instanceId);
+    put(raw, 56, cdw13);
+    put(raw, 60, cdw14);
+    return raw;
+}
+
+Command
+Command::decode(const std::array<std::uint8_t, kCommandBytes> &raw)
+{
+    Command c;
+    c.opcode = static_cast<Opcode>(get<std::uint8_t>(raw, 0));
+    c.cid = get<std::uint16_t>(raw, 2);
+    c.nsid = get<std::uint32_t>(raw, 4);
+    c.prp1 = get<std::uint64_t>(raw, 24);
+    c.prp2 = get<std::uint64_t>(raw, 32);
+    c.slba = get<std::uint64_t>(raw, 40);
+    c.nlb = get<std::uint16_t>(raw, 48);
+    c.instanceId = get<std::uint32_t>(raw, 50);
+    c.cdw13 = get<std::uint32_t>(raw, 56);
+    c.cdw14 = get<std::uint32_t>(raw, 60);
+    return c;
+}
+
+}  // namespace morpheus::nvme

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * NVMe command set: standard I/O opcodes plus the four Morpheus
+ * extensions (paper §IV-A), and the 64-byte wire format.
+ *
+ * The Morpheus commands reuse the one-byte opcode space left free by
+ * the NVMe standard (vendor-specific range):
+ *  - MINIT:   install a StorageApp (PRP points at the code image;
+ *             CDW13 carries the code length, CDW14 the argument word).
+ *  - MREAD:   like Read, but the data is routed through the StorageApp
+ *             selected by the instance ID before being DMAed out.
+ *  - MWRITE:  like Write, with StorageApp processing on the inbound
+ *             data.
+ *  - MDEINIT: tear down the instance; the completion's DW0 returns the
+ *             StorageApp's return value.
+ */
+
+#ifndef MORPHEUS_NVME_COMMAND_HH
+#define MORPHEUS_NVME_COMMAND_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace morpheus::nvme {
+
+/** Bytes per logical block (LBA). */
+constexpr std::uint32_t kBlockBytes = 512;
+
+/** Size of an encoded submission queue entry. */
+constexpr std::size_t kCommandBytes = 64;
+
+/** Size of an encoded completion queue entry. */
+constexpr std::size_t kCompletionBytes = 16;
+
+/** I/O command set opcodes (plus Morpheus vendor extensions). */
+enum class Opcode : std::uint8_t {
+    kFlush = 0x00,
+    kWrite = 0x01,
+    kRead = 0x02,
+    kDsm = 0x09,  ///< Dataset Management (deallocate/TRIM).
+
+    // Morpheus extensions (vendor-specific opcode space).
+    kMInit = 0x80,
+    kMRead = 0x81,
+    kMWrite = 0x82,
+    kMDeinit = 0x83,
+};
+
+/** True for the four Morpheus extension opcodes. */
+constexpr bool
+isMorpheusOpcode(Opcode op)
+{
+    return op == Opcode::kMInit || op == Opcode::kMRead ||
+           op == Opcode::kMWrite || op == Opcode::kMDeinit;
+}
+
+/** Completion status codes (subset). */
+enum class Status : std::uint16_t {
+    kSuccess = 0x0,
+    kInvalidOpcode = 0x1,
+    kInvalidField = 0x2,
+    kLbaOutOfRange = 0x80,
+    kNoSuchInstance = 0x1C0,   // Morpheus: unknown instance ID
+    kAppLoadFailed = 0x1C1,    // Morpheus: image too big for I-SRAM
+    kInstanceBusy = 0x1C2,     // Morpheus: instance table full
+};
+
+/**
+ * A decoded submission queue entry. Field names follow the NVMe spec
+ * loosely; Morpheus-specific meanings are noted per command above.
+ */
+struct Command
+{
+    Opcode opcode = Opcode::kFlush;
+    std::uint16_t cid = 0;        ///< Command identifier.
+    std::uint32_t nsid = 1;       ///< Namespace.
+    std::uint64_t prp1 = 0;       ///< Data pointer (bus address).
+    std::uint64_t prp2 = 0;       ///< Second data pointer.
+    std::uint64_t slba = 0;       ///< Starting LBA.
+    std::uint16_t nlb = 0;        ///< Number of blocks, 0's based.
+    std::uint32_t instanceId = 0; ///< Morpheus instance (CDW12 high bits).
+    std::uint32_t cdw13 = 0;      ///< MINIT: code length in bytes.
+    std::uint32_t cdw14 = 0;      ///< MINIT: argument word.
+
+    /** Number of logical blocks (NVMe encodes nlb as 0-based). */
+    std::uint32_t numBlocks() const { return std::uint32_t(nlb) + 1; }
+
+    /** Payload size in bytes for read/write style commands. */
+    std::uint64_t
+    dataBytes() const
+    {
+        return std::uint64_t(numBlocks()) * kBlockBytes;
+    }
+
+    /** Encode to the 64-byte wire format. */
+    std::array<std::uint8_t, kCommandBytes> encode() const;
+
+    /** Decode from the 64-byte wire format. */
+    static Command decode(
+        const std::array<std::uint8_t, kCommandBytes> &raw);
+
+    bool operator==(const Command &) const = default;
+};
+
+/** Controller identification data (admin Identify, abridged). */
+struct IdentifyData
+{
+    char model[24] = "Morpheus-SSD 512GB";
+    std::uint64_t capacityBlocks = 0;
+    std::uint32_t maxTransferBlocks = 0;
+    std::uint16_t numQueues = 0;
+    /** Vendor flag: the four Morpheus extension opcodes are live. */
+    bool morpheusCapable = false;
+};
+
+/** A decoded completion queue entry. */
+struct Completion
+{
+    std::uint32_t dw0 = 0;       ///< Command-specific result.
+    std::uint16_t sqHead = 0;    ///< SQ head pointer echo.
+    std::uint16_t sqId = 0;
+    std::uint16_t cid = 0;
+    Status status = Status::kSuccess;
+    bool phase = false;          ///< Phase tag (flips per CQ wrap).
+
+    /** Tick at which the entry was posted (simulation metadata). */
+    sim::Tick postedAt = 0;
+
+    bool ok() const { return status == Status::kSuccess; }
+};
+
+}  // namespace morpheus::nvme
+
+#endif  // MORPHEUS_NVME_COMMAND_HH

@@ -1,0 +1,82 @@
+#include "nvme/driver.hh"
+
+#include "sim/logging.hh"
+
+namespace morpheus::nvme {
+
+namespace {
+
+std::uint32_t
+key(std::uint16_t qid, std::uint16_t cid)
+{
+    return (static_cast<std::uint32_t>(qid) << 16) | cid;
+}
+
+}  // namespace
+
+NvmeDriver::NvmeDriver(NvmeController &controller)
+    : _controller(controller)
+{
+}
+
+std::uint16_t
+NvmeDriver::openQueue(std::uint16_t entries, pcie::Addr sq_base,
+                      pcie::Addr cq_base)
+{
+    const std::uint16_t qid =
+        _controller.createQueuePair(entries, sq_base, cq_base);
+    _nextCid[qid] = 0;
+    return qid;
+}
+
+Submitted
+NvmeDriver::submit(std::uint16_t qid, Command cmd)
+{
+    auto it = _nextCid.find(qid);
+    MORPHEUS_ASSERT(it != _nextCid.end(), "submit to unopened queue ",
+                    qid);
+    cmd.cid = it->second++;
+    SubmissionQueue &sq = _controller.sq(qid);
+    MORPHEUS_ASSERT(!sq.full(), "SQ ", qid,
+                    " full; increase entries or drain completions");
+    sq.push(cmd);
+    return Submitted{qid, cmd.cid};
+}
+
+sim::Tick
+NvmeDriver::ring(std::uint16_t qid, sim::Tick now)
+{
+    return _controller.ringDoorbell(qid, now);
+}
+
+Completion
+NvmeDriver::wait(const Submitted &token)
+{
+    const auto cached = _pending.find(key(token.qid, token.cid));
+    if (cached != _pending.end()) {
+        const Completion cqe = cached->second;
+        _pending.erase(cached);
+        return cqe;
+    }
+    CompletionQueue &cq = _controller.cq(token.qid);
+    while (cq.hasNew()) {
+        const Completion cqe = cq.take();
+        ++_reaped;
+        if (cqe.cid == token.cid)
+            return cqe;
+        _pending.emplace(key(token.qid, cqe.cid), cqe);
+    }
+    MORPHEUS_PANIC("no completion for qid=", token.qid,
+                   " cid=", token.cid,
+                   " (command never rung or CQ drained elsewhere)");
+}
+
+Completion
+NvmeDriver::io(std::uint16_t qid, Command cmd, sim::Tick now)
+{
+    const Submitted token = submit(qid, cmd);
+    ring(qid, now);
+    return wait(token);
+}
+
+}  // namespace morpheus::nvme

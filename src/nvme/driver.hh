@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Host-side NVMe driver.
+ *
+ * Builds commands, manages CIDs, pushes SQ entries, rings doorbells,
+ * and collects completions. This is the layer the paper extends for
+ * Morpheus: the driver accepts the four extension commands and (with
+ * the NvmeP2p module, see core/nvme_p2p.hh) DMA targets in GPU device
+ * memory. OS-level costs (syscalls, context switches while blocked) are
+ * charged by the host model, not here.
+ */
+
+#ifndef MORPHEUS_NVME_DRIVER_HH
+#define MORPHEUS_NVME_DRIVER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "nvme/controller.hh"
+
+namespace morpheus::nvme {
+
+/** Handle for an in-flight command. */
+struct Submitted
+{
+    std::uint16_t qid = 0;
+    std::uint16_t cid = 0;
+};
+
+/** Host-side driver bound to one controller. */
+class NvmeDriver
+{
+  public:
+    explicit NvmeDriver(NvmeController &controller);
+
+    /** Create an I/O queue pair (rings at the given host addresses). */
+    std::uint16_t openQueue(std::uint16_t entries, pcie::Addr sq_base,
+                            pcie::Addr cq_base);
+
+    /** Controller's MDTS in logical blocks. */
+    std::uint32_t
+    maxTransferBlocks() const
+    {
+        return _controller.config().maxTransferBlocks;
+    }
+
+    /**
+     * Enqueue @p cmd (the driver assigns the CID). Does not ring the
+     * doorbell; batch several submissions per doorbell if desired.
+     */
+    Submitted submit(std::uint16_t qid, Command cmd);
+
+    /** Ring the SQ tail doorbell. @return controller-finished tick. */
+    sim::Tick ring(std::uint16_t qid, sim::Tick now);
+
+    /**
+     * Retrieve the completion for @p token. Consumes CQ entries in
+     * order, caching those for other CIDs. The returned completion's
+     * postedAt is when its interrupt fired. Fatal if the command was
+     * never submitted/rung.
+     */
+    Completion wait(const Submitted &token);
+
+    /** submit + ring + wait for simple synchronous callers. */
+    Completion io(std::uint16_t qid, Command cmd, sim::Tick now);
+
+    std::uint64_t completionsReaped() const { return _reaped.value(); }
+
+  private:
+    NvmeController &_controller;
+    std::unordered_map<std::uint16_t, std::uint16_t> _nextCid;
+    /** (qid << 16 | cid) -> completion already reaped out of order. */
+    std::unordered_map<std::uint32_t, Completion> _pending;
+    sim::stats::Counter _reaped;
+};
+
+}  // namespace morpheus::nvme
+
+#endif  // MORPHEUS_NVME_DRIVER_HH

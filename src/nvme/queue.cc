@@ -1,0 +1,83 @@
+#include "nvme/queue.hh"
+
+#include "sim/logging.hh"
+
+namespace morpheus::nvme {
+
+SubmissionQueue::SubmissionQueue(std::uint16_t entries)
+    : _entries(entries), _ring(entries)
+{
+    MORPHEUS_ASSERT(entries >= 2, "SQ needs at least 2 entries");
+}
+
+bool
+SubmissionQueue::full() const
+{
+    return static_cast<std::uint16_t>((_tail + 1) % _entries) == _head;
+}
+
+std::uint16_t
+SubmissionQueue::freeSlots() const
+{
+    // One slot is sacrificed to distinguish full from empty.
+    const std::uint16_t used =
+        static_cast<std::uint16_t>((_tail + _entries - _head) % _entries);
+    return static_cast<std::uint16_t>(_entries - 1 - used);
+}
+
+void
+SubmissionQueue::push(const Command &cmd)
+{
+    MORPHEUS_ASSERT(!full(), "push to a full SQ");
+    _ring[_tail] = cmd;
+    _tail = static_cast<std::uint16_t>((_tail + 1) % _entries);
+}
+
+Command
+SubmissionQueue::pop()
+{
+    MORPHEUS_ASSERT(!empty(), "pop from an empty SQ");
+    const Command cmd = _ring[_head];
+    _head = static_cast<std::uint16_t>((_head + 1) % _entries);
+    return cmd;
+}
+
+CompletionQueue::CompletionQueue(std::uint16_t entries)
+    : _entries(entries), _ring(entries), _valid(entries, false)
+{
+    MORPHEUS_ASSERT(entries >= 2, "CQ needs at least 2 entries");
+}
+
+void
+CompletionQueue::post(Completion cqe)
+{
+    const std::uint16_t next =
+        static_cast<std::uint16_t>((_tail + 1) % _entries);
+    MORPHEUS_ASSERT(next != _head,
+                    "CQ overrun: host not consuming completions");
+    cqe.phase = _producerPhase;
+    _ring[_tail] = cqe;
+    _valid[_tail] = true;
+    _tail = next;
+    if (_tail == 0)
+        _producerPhase = !_producerPhase;
+}
+
+bool
+CompletionQueue::hasNew() const
+{
+    return _valid[_head] && _ring[_head].phase == _consumerPhase;
+}
+
+Completion
+CompletionQueue::take()
+{
+    MORPHEUS_ASSERT(hasNew(), "take() with no new completion");
+    const Completion cqe = _ring[_head];
+    _head = static_cast<std::uint16_t>((_head + 1) % _entries);
+    if (_head == 0)
+        _consumerPhase = !_consumerPhase;
+    return cqe;
+}
+
+}  // namespace morpheus::nvme

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * NVMe submission/completion queue rings.
+ *
+ * Functional ring buffers with real head/tail arithmetic and the CQ
+ * phase-tag protocol. The rings notionally live in host memory; the
+ * fabric cost of fetching entries across PCIe is charged by the
+ * controller, not here.
+ */
+
+#ifndef MORPHEUS_NVME_QUEUE_HH
+#define MORPHEUS_NVME_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nvme/command.hh"
+
+namespace morpheus::nvme {
+
+/** Circular submission queue (host produces, controller consumes). */
+class SubmissionQueue
+{
+  public:
+    explicit SubmissionQueue(std::uint16_t entries);
+
+    std::uint16_t entries() const { return _entries; }
+    std::uint16_t head() const { return _head; }
+    std::uint16_t tail() const { return _tail; }
+
+    bool full() const;
+    bool empty() const { return _head == _tail; }
+
+    /** Slots available to the host producer. */
+    std::uint16_t freeSlots() const;
+
+    /** Host side: place a command at the tail. Caller must check full(). */
+    void push(const Command &cmd);
+
+    /** Controller side: consume the entry at the head. */
+    Command pop();
+
+  private:
+    std::uint16_t _entries;
+    std::uint16_t _head = 0;
+    std::uint16_t _tail = 0;
+    std::vector<Command> _ring;
+};
+
+/** Circular completion queue with phase tags (controller produces). */
+class CompletionQueue
+{
+  public:
+    explicit CompletionQueue(std::uint16_t entries);
+
+    std::uint16_t entries() const { return _entries; }
+
+    /** Controller side: post an entry (sets the phase tag). */
+    void post(Completion cqe);
+
+    /** Host side: is a new entry visible at the current head? */
+    bool hasNew() const;
+
+    /** Host side: consume the entry at the head (advances head). */
+    Completion take();
+
+  private:
+    std::uint16_t _entries;
+    std::uint16_t _head = 0;   // host consumer position
+    std::uint16_t _tail = 0;   // controller producer position
+    bool _producerPhase = true;
+    bool _consumerPhase = true;
+    std::vector<Completion> _ring;
+    std::vector<bool> _valid;  // entry ever written (debug aid)
+};
+
+}  // namespace morpheus::nvme
+
+#endif  // MORPHEUS_NVME_QUEUE_HH

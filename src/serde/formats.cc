@@ -1,0 +1,321 @@
+#include "serde/formats.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace {
+
+/** Append the little-endian bytes of @p v. */
+template <typename T>
+void
+putLe(std::vector<std::uint8_t> &out, T v)
+{
+    const auto *p = reinterpret_cast<const std::uint8_t *>(&v);
+    out.insert(out.end(), p, p + sizeof(T));
+}
+
+/** Read a little-endian value at @p off, advancing it. */
+template <typename T>
+T
+getLe(const std::vector<std::uint8_t> &in, std::size_t &off)
+{
+    MORPHEUS_ASSERT(off + sizeof(T) <= in.size(),
+                    "binary object truncated");
+    T v;
+    std::memcpy(&v, in.data() + off, sizeof(T));
+    off += sizeof(T);
+    return v;
+}
+
+}  // namespace
+
+namespace morpheus::serde {
+
+std::uint64_t
+EdgeListObject::objectBytes() const
+{
+    // Header (V, E as u32) + per-edge u32 pair (+ i32 weight).
+    std::uint64_t per_edge = 2 * sizeof(std::uint32_t);
+    if (weighted)
+        per_edge += sizeof(std::int32_t);
+    return 2 * sizeof(std::uint32_t) + per_edge * numEdges();
+}
+
+void
+EdgeListObject::serialize(TextWriter &w) const
+{
+    w.appendInt64(numVertices);
+    w.space();
+    w.appendInt64(static_cast<std::int64_t>(numEdges()));
+    w.newline();
+    for (std::size_t i = 0; i < numEdges(); ++i) {
+        w.appendInt64(src[i]);
+        w.space();
+        w.appendInt64(dst[i]);
+        if (weighted) {
+            w.space();
+            w.appendInt64(weight[i]);
+        }
+        w.newline();
+    }
+}
+
+std::uint64_t
+MatrixObject::objectBytes() const
+{
+    return 2 * sizeof(std::uint32_t) + sizeof(float) * values.size();
+}
+
+void
+MatrixObject::serialize(TextWriter &w, int precision) const
+{
+    w.appendInt64(rows);
+    w.space();
+    w.appendInt64(cols);
+    w.newline();
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        for (std::uint32_t c = 0; c < cols; ++c) {
+            if (c > 0)
+                w.space();
+            const double v =
+                values[static_cast<std::size_t>(r) * cols + c];
+            // Integer-valued entries serialize as integers; the paper's
+            // benchmark inputs "mainly consist of integers".
+            if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+                w.appendInt64(static_cast<std::int64_t>(v));
+            } else {
+                w.appendDouble(v, precision);
+            }
+        }
+        w.newline();
+    }
+}
+
+std::uint64_t
+IntArrayObject::objectBytes() const
+{
+    return sizeof(std::uint32_t) + sizeof(std::int64_t) * values.size();
+}
+
+void
+IntArrayObject::serialize(TextWriter &w) const
+{
+    w.appendInt64(static_cast<std::int64_t>(values.size()));
+    w.newline();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        w.appendInt64(values[i]);
+        w.appendChar((i + 1) % 16 == 0 ? '\n' : ' ');
+    }
+    w.newline();
+}
+
+std::uint64_t
+PointSetObject::objectBytes() const
+{
+    return 2 * sizeof(std::uint32_t) + sizeof(float) * coords.size();
+}
+
+void
+PointSetObject::serialize(TextWriter &w, int precision) const
+{
+    w.appendInt64(static_cast<std::int64_t>(numPoints()));
+    w.space();
+    w.appendInt64(dims);
+    w.newline();
+    for (std::size_t p = 0; p < numPoints(); ++p) {
+        for (std::uint32_t d = 0; d < dims; ++d) {
+            if (d > 0)
+                w.space();
+            const double v = coords[p * dims + d];
+            if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+                w.appendInt64(static_cast<std::int64_t>(v));
+            } else {
+                w.appendDouble(v, precision);
+            }
+        }
+        w.newline();
+    }
+}
+
+std::uint64_t
+CooMatrixObject::objectBytes() const
+{
+    return 3 * sizeof(std::uint32_t) +
+           (2 * sizeof(std::uint32_t) + sizeof(float)) * nnz();
+}
+
+void
+CooMatrixObject::serialize(TextWriter &w, int precision) const
+{
+    w.appendInt64(rows);
+    w.space();
+    w.appendInt64(cols);
+    w.space();
+    w.appendInt64(static_cast<std::int64_t>(nnz()));
+    w.newline();
+    for (std::size_t i = 0; i < nnz(); ++i) {
+        w.appendInt64(rowIdx[i]);
+        w.space();
+        w.appendInt64(colIdx[i]);
+        w.space();
+        const double v = values[i];
+        if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+            w.appendInt64(static_cast<std::int64_t>(v));
+        } else {
+            w.appendDouble(v, precision);
+        }
+        w.newline();
+    }
+}
+
+std::vector<std::uint8_t>
+EdgeListObject::toBinary() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(objectBytes());
+    putLe(out, numVertices);
+    putLe(out, static_cast<std::uint32_t>(numEdges()));
+    for (std::size_t i = 0; i < numEdges(); ++i) {
+        putLe(out, src[i]);
+        putLe(out, dst[i]);
+        if (weighted)
+            putLe(out, weight[i]);
+    }
+    return out;
+}
+
+EdgeListObject
+EdgeListObject::fromBinary(const std::vector<std::uint8_t> &bytes,
+                           bool with_weights)
+{
+    EdgeListObject o;
+    std::size_t off = 0;
+    o.numVertices = getLe<std::uint32_t>(bytes, off);
+    const auto edges = getLe<std::uint32_t>(bytes, off);
+    o.weighted = with_weights;
+    o.src.reserve(edges);
+    o.dst.reserve(edges);
+    if (with_weights)
+        o.weight.reserve(edges);
+    for (std::uint32_t i = 0; i < edges; ++i) {
+        o.src.push_back(getLe<std::uint32_t>(bytes, off));
+        o.dst.push_back(getLe<std::uint32_t>(bytes, off));
+        if (with_weights)
+            o.weight.push_back(getLe<std::int32_t>(bytes, off));
+    }
+    return o;
+}
+
+std::vector<std::uint8_t>
+MatrixObject::toBinary() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(objectBytes());
+    putLe(out, rows);
+    putLe(out, cols);
+    for (const float v : values)
+        putLe(out, v);
+    return out;
+}
+
+MatrixObject
+MatrixObject::fromBinary(const std::vector<std::uint8_t> &bytes)
+{
+    MatrixObject o;
+    std::size_t off = 0;
+    o.rows = getLe<std::uint32_t>(bytes, off);
+    o.cols = getLe<std::uint32_t>(bytes, off);
+    const std::size_t n =
+        static_cast<std::size_t>(o.rows) * o.cols;
+    o.values.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        o.values.push_back(getLe<float>(bytes, off));
+    return o;
+}
+
+std::vector<std::uint8_t>
+IntArrayObject::toBinary() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(objectBytes());
+    putLe(out, static_cast<std::uint32_t>(values.size()));
+    for (const std::int64_t v : values)
+        putLe(out, v);
+    return out;
+}
+
+IntArrayObject
+IntArrayObject::fromBinary(const std::vector<std::uint8_t> &bytes)
+{
+    IntArrayObject o;
+    std::size_t off = 0;
+    const auto n = getLe<std::uint32_t>(bytes, off);
+    o.values.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        o.values.push_back(getLe<std::int64_t>(bytes, off));
+    return o;
+}
+
+std::vector<std::uint8_t>
+PointSetObject::toBinary() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(objectBytes());
+    putLe(out, static_cast<std::uint32_t>(numPoints()));
+    putLe(out, dims);
+    for (const float v : coords)
+        putLe(out, v);
+    return out;
+}
+
+PointSetObject
+PointSetObject::fromBinary(const std::vector<std::uint8_t> &bytes)
+{
+    PointSetObject o;
+    std::size_t off = 0;
+    const auto points = getLe<std::uint32_t>(bytes, off);
+    o.dims = getLe<std::uint32_t>(bytes, off);
+    const std::size_t n = static_cast<std::size_t>(points) * o.dims;
+    o.coords.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        o.coords.push_back(getLe<float>(bytes, off));
+    return o;
+}
+
+std::vector<std::uint8_t>
+CooMatrixObject::toBinary() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(objectBytes());
+    putLe(out, rows);
+    putLe(out, cols);
+    putLe(out, static_cast<std::uint32_t>(nnz()));
+    for (std::size_t i = 0; i < nnz(); ++i) {
+        putLe(out, rowIdx[i]);
+        putLe(out, colIdx[i]);
+        putLe(out, static_cast<float>(values[i]));
+    }
+    return out;
+}
+
+CooMatrixObject
+CooMatrixObject::fromBinary(const std::vector<std::uint8_t> &bytes)
+{
+    CooMatrixObject o;
+    std::size_t off = 0;
+    o.rows = getLe<std::uint32_t>(bytes, off);
+    o.cols = getLe<std::uint32_t>(bytes, off);
+    const auto n = getLe<std::uint32_t>(bytes, off);
+    o.rowIdx.reserve(n);
+    o.colIdx.reserve(n);
+    o.values.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        o.rowIdx.push_back(getLe<std::uint32_t>(bytes, off));
+        o.colIdx.push_back(getLe<std::uint32_t>(bytes, off));
+        o.values.push_back(getLe<float>(bytes, off));
+    }
+    return o;
+}
+
+}  // namespace morpheus::serde

@@ -1,0 +1,223 @@
+#include "serde/scanner.hh"
+
+#include "sim/logging.hh"
+
+namespace morpheus::serde {
+
+namespace {
+
+/** Advance past one run of non-separator bytes (a malformed token). */
+const std::uint8_t *
+skipToken(const std::uint8_t *p, const std::uint8_t *end, ParseCost &cost)
+{
+    const std::uint8_t *start = p;
+    while (p < end && !isSeparator(*p))
+        ++p;
+    cost.bytes += static_cast<std::uint64_t>(p - start);
+    return p;
+}
+
+}  // namespace
+
+bool
+TextScanner::nextInt64(std::int64_t *out)
+{
+    for (;;) {
+        _p = skipSeparators(_p, _end, _cost);
+        if (_p >= _end)
+            return false;
+        const std::uint8_t *next = parseInt64(_p, _end, out, _cost);
+        if (next) {
+            _p = next;
+            return true;
+        }
+        _p = skipToken(_p, _end, _cost);  // malformed token: skip it
+    }
+}
+
+bool
+TextScanner::nextDouble(double *out)
+{
+    for (;;) {
+        _p = skipSeparators(_p, _end, _cost);
+        if (_p >= _end)
+            return false;
+        const std::uint8_t *next = parseDouble(_p, _end, out, _cost);
+        if (next) {
+            _p = next;
+            return true;
+        }
+        _p = skipToken(_p, _end, _cost);
+    }
+}
+
+bool
+TextScanner::nextNumber(double *out, bool *is_float)
+{
+    for (;;) {
+        _p = skipSeparators(_p, _end, _cost);
+        if (_p >= _end)
+            return false;
+        const bool looks_float = tokenLooksFloat(_p, _end);
+        const std::uint8_t *next;
+        if (looks_float) {
+            next = parseDouble(_p, _end, out, _cost);
+        } else {
+            std::int64_t v = 0;
+            next = parseInt64(_p, _end, &v, _cost);
+            if (next)
+                *out = static_cast<double>(v);
+        }
+        if (next) {
+            if (is_float)
+                *is_float = looks_float;
+            _p = next;
+            return true;
+        }
+        _p = skipToken(_p, _end, _cost);
+    }
+}
+
+bool
+TextScanner::atEnd()
+{
+    _p = skipSeparators(_p, _end, _cost);
+    return _p >= _end;
+}
+
+StreamingScanner::StreamingScanner(Refill refill, std::size_t chunk_bytes,
+                                   bool incremental)
+    : _refill(std::move(refill)), _chunkBytes(chunk_bytes),
+      _incremental(incremental), _finalized(!incremental)
+{
+    MORPHEUS_ASSERT(_refill, "StreamingScanner needs a refill callback");
+    MORPHEUS_ASSERT(_chunkBytes > 0, "StreamingScanner chunk must be > 0");
+}
+
+bool
+StreamingScanner::pull()
+{
+    if (_exhausted)
+        return false;
+    // Compact the consumed prefix before appending.
+    if (_pos > 0) {
+        _buf.erase(_buf.begin(),
+                   _buf.begin() + static_cast<std::ptrdiff_t>(_pos));
+        _pos = 0;
+    }
+    const std::size_t old = _buf.size();
+    _buf.resize(old + _chunkBytes);
+    const std::size_t got = _refill(_buf.data() + old, _chunkBytes);
+    MORPHEUS_ASSERT(got <= _chunkBytes, "refill overran its capacity");
+    _buf.resize(old + got);
+    ++_refills;
+    if (got == 0) {
+        if (_finalized)
+            _exhausted = true;
+        return false;
+    }
+    return true;
+}
+
+bool
+StreamingScanner::ensureToken()
+{
+    for (;;) {
+        // Consume leading separators.
+        while (_pos < _buf.size() && isSeparator(_buf[_pos])) {
+            ++_pos;
+            ++_cost.bytes;
+        }
+        if (_pos < _buf.size()) {
+            // A token starts here; make sure it ends inside the buffer
+            // (or the stream is exhausted, so it ends at buffer end).
+            std::size_t i = _pos;
+            while (i < _buf.size() && !isSeparator(_buf[i]))
+                ++i;
+            if (i < _buf.size() || _exhausted)
+                return true;
+            if (!pull()) {
+                // Stream truly ended: the trailing token is complete.
+                // Incremental and still open: the token may continue in
+                // a later chunk; leave it buffered and report no token.
+                return _exhausted;
+            }
+            continue;
+        }
+        if (!pull())
+            return false;  // nothing available (now or ever)
+    }
+}
+
+bool
+StreamingScanner::nextInt64(std::int64_t *out)
+{
+    for (;;) {
+        if (!ensureToken())
+            return false;
+        const std::uint8_t *start = _buf.data() + _pos;
+        const std::uint8_t *end = _buf.data() + _buf.size();
+        const std::uint8_t *next = parseInt64(start, end, out, _cost);
+        if (next) {
+            _pos += static_cast<std::size_t>(next - start);
+            return true;
+        }
+        const std::uint8_t *skipped = skipToken(start, end, _cost);
+        _pos += static_cast<std::size_t>(skipped - start);
+    }
+}
+
+bool
+StreamingScanner::nextDouble(double *out)
+{
+    for (;;) {
+        if (!ensureToken())
+            return false;
+        const std::uint8_t *start = _buf.data() + _pos;
+        const std::uint8_t *end = _buf.data() + _buf.size();
+        const std::uint8_t *next = parseDouble(start, end, out, _cost);
+        if (next) {
+            _pos += static_cast<std::size_t>(next - start);
+            return true;
+        }
+        const std::uint8_t *skipped = skipToken(start, end, _cost);
+        _pos += static_cast<std::size_t>(skipped - start);
+    }
+}
+
+bool
+StreamingScanner::nextNumber(double *out, bool *is_float)
+{
+    for (;;) {
+        if (!ensureToken())
+            return false;
+        const std::uint8_t *start = _buf.data() + _pos;
+        const std::uint8_t *end = _buf.data() + _buf.size();
+        const bool looks_float = tokenLooksFloat(start, end);
+        const std::uint8_t *next;
+        if (looks_float) {
+            next = parseDouble(start, end, out, _cost);
+        } else {
+            std::int64_t v = 0;
+            next = parseInt64(start, end, &v, _cost);
+            if (next)
+                *out = static_cast<double>(v);
+        }
+        if (next) {
+            if (is_float)
+                *is_float = looks_float;
+            _pos += static_cast<std::size_t>(next - start);
+            return true;
+        }
+        const std::uint8_t *skipped = skipToken(start, end, _cost);
+        _pos += static_cast<std::size_t>(skipped - start);
+    }
+}
+
+bool
+StreamingScanner::atEnd()
+{
+    return !ensureToken();
+}
+
+}  // namespace morpheus::serde

@@ -1,0 +1,51 @@
+#include "serde/writer.hh"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace morpheus::serde {
+
+void
+TextWriter::appendInt64(std::int64_t v)
+{
+    std::array<char, 24> tmp;
+    char *p = tmp.data() + tmp.size();
+    const bool negative = v < 0;
+    // Build digits from the least significant end; handle INT64_MIN by
+    // working in unsigned space.
+    std::uint64_t u = negative
+        ? ~static_cast<std::uint64_t>(v) + 1
+        : static_cast<std::uint64_t>(v);
+    do {
+        *--p = static_cast<char>('0' + (u % 10));
+        u /= 10;
+    } while (u != 0);
+    if (negative)
+        *--p = '-';
+    appendLiteral(std::string_view(p, static_cast<std::size_t>(
+                                          tmp.data() + tmp.size() - p)));
+}
+
+void
+TextWriter::appendDouble(double v, int precision)
+{
+    MORPHEUS_ASSERT(precision >= 0 && precision <= 17,
+                    "unsupported precision");
+    std::array<char, 64> tmp;
+    const int n = std::snprintf(tmp.data(), tmp.size(), "%.*f",
+                                precision, v);
+    MORPHEUS_ASSERT(n > 0 && static_cast<std::size_t>(n) < tmp.size(),
+                    "double formatting overflow");
+    appendLiteral(std::string_view(tmp.data(), static_cast<std::size_t>(n)));
+}
+
+void
+TextWriter::appendLiteral(std::string_view s)
+{
+    _buf.insert(_buf.end(), s.begin(), s.end());
+}
+
+}  // namespace morpheus::serde

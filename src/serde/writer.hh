@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Text serialization into a growable byte buffer.
+ *
+ * TextWriter is the serialization half of the library: workload
+ * generators use it to produce the text input files stored on the
+ * simulated flash, and the Morpheus MWRITE path uses it for on-device
+ * object serialization (ms_printf).
+ */
+
+#ifndef MORPHEUS_SERDE_WRITER_HH
+#define MORPHEUS_SERDE_WRITER_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace morpheus::serde {
+
+/** Appends ASCII-encoded values to an in-memory byte buffer. */
+class TextWriter
+{
+  public:
+    TextWriter() = default;
+
+    /** Append a signed decimal integer. */
+    void appendInt64(std::int64_t v);
+
+    /**
+     * Append a decimal floating-point number with @p precision digits
+     * after the point (fixed notation; matches what our parser reads
+     * back exactly for the precisions the workloads use).
+     */
+    void appendDouble(double v, int precision = 6);
+
+    /** Append a literal byte. */
+    void appendChar(char c) { _buf.push_back(static_cast<std::uint8_t>(c)); }
+
+    /** Append literal bytes. */
+    void appendLiteral(std::string_view s);
+
+    /** Append a single space. */
+    void space() { appendChar(' '); }
+
+    /** Append a newline. */
+    void newline() { appendChar('\n'); }
+
+    /** Bytes written so far. */
+    std::size_t size() const { return _buf.size(); }
+
+    /** Read-only view of the buffer. */
+    const std::vector<std::uint8_t> &bytes() const { return _buf; }
+
+    /** Move the buffer out (writer becomes empty). */
+    std::vector<std::uint8_t> take() { return std::move(_buf); }
+
+    /** Reserve capacity up front for large generations. */
+    void reserve(std::size_t n) { _buf.reserve(n); }
+
+  private:
+    std::vector<std::uint8_t> _buf;
+};
+
+}  // namespace morpheus::serde
+
+#endif  // MORPHEUS_SERDE_WRITER_HH

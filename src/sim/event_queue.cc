@@ -1,0 +1,60 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace morpheus::sim {
+
+void
+EventQueue::schedule(Tick when, Action action, std::string label)
+{
+    MORPHEUS_ASSERT(when >= _now,
+                    "scheduling into the past: when=", when,
+                    " now=", _now, " label=", label);
+    MORPHEUS_ASSERT(action, "scheduling an empty action: ", label);
+    _heap.push(Entry{when, _nextSeq++, std::move(action),
+                     std::move(label)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (_heap.empty())
+        return false;
+    // priority_queue::top() returns a const ref; the entry must be
+    // copied out before pop() so the action survives execution.
+    Entry e = _heap.top();
+    _heap.pop();
+    _now = e.when;
+    ++_executed;
+    e.action();
+    return true;
+}
+
+void
+EventQueue::run()
+{
+    while (runOne()) {
+    }
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!_heap.empty() && _heap.top().when <= limit)
+        runOne();
+    if (_now < limit)
+        _now = limit;
+}
+
+void
+EventQueue::advanceTo(Tick when)
+{
+    MORPHEUS_ASSERT(when >= _now, "advanceTo moves time backwards");
+    MORPHEUS_ASSERT(_heap.empty() || _heap.top().when >= when,
+                    "advanceTo would skip pending events");
+    _now = when;
+}
+
+}  // namespace morpheus::sim

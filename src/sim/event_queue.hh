@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Discrete-event simulation backbone.
+ *
+ * All simulated components share one EventQueue. Components schedule
+ * closures at absolute ticks; the queue executes them in time order,
+ * breaking ties by insertion order so the simulation is deterministic.
+ */
+
+#ifndef MORPHEUS_SIM_EVENT_QUEUE_HH
+#define MORPHEUS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace morpheus::sim {
+
+/**
+ * A time-ordered queue of scheduled closures.
+ *
+ * Determinism: events at equal ticks run in the order they were
+ * scheduled (FIFO), enforced by a monotonically increasing sequence
+ * number. Events scheduled while the queue is draining are picked up in
+ * the same drain.
+ */
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p action at absolute tick @p when.
+     *
+     * @param when   Absolute tick; must be >= now().
+     * @param action Closure to run.
+     * @param label  Optional debug label (kept for tracing).
+     */
+    void schedule(Tick when, Action action, std::string label = {});
+
+    /** Schedule @p action @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, Action action, std::string label = {})
+    {
+        schedule(_now + delay, std::move(action), std::move(label));
+    }
+
+    /** Execute the single earliest event. @return false if empty. */
+    bool runOne();
+
+    /** Drain every event (including newly scheduled ones). */
+    void run();
+
+    /**
+     * Drain events with time <= @p limit; afterwards now() == max of
+     * the last executed event time and @p limit.
+     */
+    void runUntil(Tick limit);
+
+    /** Number of events not yet executed. */
+    std::size_t pending() const { return _heap.size(); }
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return _executed; }
+
+    /**
+     * Advance the clock with no event execution. Only valid when it
+     * moves time forward; used by sequential host-thread models that
+     * compute their own completion times.
+     */
+    void advanceTo(Tick when);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Action action;
+        std::string label;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+};
+
+}  // namespace morpheus::sim
+
+#endif  // MORPHEUS_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 panic/fatal split.
+ *
+ * - panic(): an internal simulator invariant was violated (a bug in this
+ *   code base). Aborts.
+ * - fatal(): the simulation cannot continue because of a user error
+ *   (bad configuration, impossible parameters). Exits with code 1.
+ * - warn()/inform(): status messages; never stop the simulation.
+ */
+
+#ifndef MORPHEUS_SIM_LOGGING_HH
+#define MORPHEUS_SIM_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace morpheus::sim {
+
+/** Verbosity threshold for inform(); warn() always prints. */
+enum class LogLevel { kQuiet, kNormal, kVerbose };
+
+/** Process-wide log level (defaults to kNormal). */
+LogLevel logLevel();
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Fold a list of streamable values into one string. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+}  // namespace detail
+
+}  // namespace morpheus::sim
+
+/** Abort on an internal invariant violation (simulator bug). */
+#define MORPHEUS_PANIC(...)                                             \
+    ::morpheus::sim::detail::panicImpl(                                 \
+        __FILE__, __LINE__, ::morpheus::sim::detail::format(__VA_ARGS__))
+
+/** Exit on an unrecoverable user/configuration error. */
+#define MORPHEUS_FATAL(...)                                             \
+    ::morpheus::sim::detail::fatalImpl(                                 \
+        __FILE__, __LINE__, ::morpheus::sim::detail::format(__VA_ARGS__))
+
+/** Print a warning; simulation continues. */
+#define MORPHEUS_WARN(...)                                              \
+    ::morpheus::sim::detail::warnImpl(                                  \
+        ::morpheus::sim::detail::format(__VA_ARGS__))
+
+/** Print an informational message (suppressed at kQuiet). */
+#define MORPHEUS_INFORM(...)                                            \
+    ::morpheus::sim::detail::informImpl(                                \
+        ::morpheus::sim::detail::format(__VA_ARGS__))
+
+/** Panic unless @p cond holds. */
+#define MORPHEUS_ASSERT(cond, ...)                                      \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            MORPHEUS_PANIC("assertion failed: " #cond " ",              \
+                           ::morpheus::sim::detail::format(__VA_ARGS__)); \
+        }                                                               \
+    } while (0)
+
+#endif  // MORPHEUS_SIM_LOGGING_HH

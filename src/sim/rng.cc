@@ -1,0 +1,87 @@
+#include "sim/rng.hh"
+
+#include "sim/logging.hh"
+
+namespace morpheus::sim {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void
+Rng::reseed(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : _s)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+    const std::uint64_t t = _s[1] << 17;
+    _s[2] ^= _s[0];
+    _s[3] ^= _s[1];
+    _s[1] ^= _s[2];
+    _s[0] ^= _s[3];
+    _s[2] ^= t;
+    _s[3] = rotl(_s[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    MORPHEUS_ASSERT(bound > 0, "nextBelow(0)");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::nextInRange(std::int64_t lo, std::int64_t hi)
+{
+    MORPHEUS_ASSERT(lo <= hi, "nextInRange with lo > hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range.
+    const std::uint64_t r = span == 0 ? next() : nextBelow(span);
+    return lo + static_cast<std::int64_t>(r);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextGaussian(double mean, double stddev)
+{
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i)
+        sum += nextDouble();
+    return mean + stddev * (sum - 6.0);
+}
+
+}  // namespace morpheus::sim

@@ -1,0 +1,105 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace morpheus::sim::stats {
+
+Histogram::Histogram(double lo, double hi, unsigned buckets)
+    : _lo(lo), _width((hi - lo) / buckets), _counts(buckets, 0)
+{
+    MORPHEUS_ASSERT(hi > lo, "histogram range is empty");
+    MORPHEUS_ASSERT(buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(double v)
+{
+    _acc.sample(v);
+    if (v < _lo) {
+        ++_underflow;
+        return;
+    }
+    const auto idx = static_cast<std::size_t>((v - _lo) / _width);
+    if (idx >= _counts.size()) {
+        ++_overflow;
+        return;
+    }
+    ++_counts[idx];
+}
+
+double
+Histogram::quantile(double q) const
+{
+    MORPHEUS_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range");
+    const std::uint64_t total = samples();
+    if (total == 0)
+        return 0.0;
+    const auto target =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+    std::uint64_t seen = _underflow;
+    if (seen >= target)
+        return _lo;
+    for (std::size_t i = 0; i < _counts.size(); ++i) {
+        seen += _counts[i];
+        if (seen >= target)
+            return _lo + (static_cast<double>(i) + 0.5) * _width;
+    }
+    return _lo + _width * static_cast<double>(_counts.size());
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_counts.begin(), _counts.end(), 0);
+    _underflow = 0;
+    _overflow = 0;
+    _acc.reset();
+}
+
+void
+StatSet::registerCounter(const std::string &name, const Counter *c)
+{
+    MORPHEUS_ASSERT(c != nullptr, "null counter: ", name);
+    const bool inserted = _counters.emplace(name, c).second;
+    MORPHEUS_ASSERT(inserted, "duplicate counter name: ", name);
+}
+
+void
+StatSet::registerAccumulator(const std::string &name, const Accumulator *a)
+{
+    MORPHEUS_ASSERT(a != nullptr, "null accumulator: ", name);
+    const bool inserted = _accumulators.emplace(name, a).second;
+    MORPHEUS_ASSERT(inserted, "duplicate accumulator name: ", name);
+}
+
+void
+StatSet::registerScalar(const std::string &name, const double *v)
+{
+    MORPHEUS_ASSERT(v != nullptr, "null scalar: ", name);
+    const bool inserted = _scalars.emplace(name, v).second;
+    MORPHEUS_ASSERT(inserted, "duplicate scalar name: ", name);
+}
+
+std::uint64_t
+StatSet::counterValue(const std::string &name) const
+{
+    const auto it = _counters.find(name);
+    return it == _counters.end() ? 0 : it->second->value();
+}
+
+void
+StatSet::report(std::ostream &os) const
+{
+    for (const auto &[name, c] : _counters)
+        os << name << " " << c->value() << "\n";
+    for (const auto &[name, a] : _accumulators) {
+        os << name << ".mean " << a->mean() << "\n";
+        os << name << ".count " << a->count() << "\n";
+    }
+    for (const auto &[name, v] : _scalars)
+        os << name << " " << *v << "\n";
+}
+
+}  // namespace morpheus::sim::stats

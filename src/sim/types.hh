@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fundamental simulation types and time-unit helpers.
+ *
+ * The simulator counts time in integer picoseconds. A 64-bit tick
+ * counter overflows after ~213 days of simulated time, far beyond any
+ * experiment in this repository.
+ */
+
+#ifndef MORPHEUS_SIM_TYPES_HH
+#define MORPHEUS_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace morpheus::sim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Ticks per common time unit. */
+constexpr Tick kPsPerNs = 1000ULL;
+constexpr Tick kPsPerUs = 1000ULL * kPsPerNs;
+constexpr Tick kPsPerMs = 1000ULL * kPsPerUs;
+constexpr Tick kPsPerSec = 1000ULL * kPsPerMs;
+
+/** Largest representable tick; used as an "idle forever" sentinel. */
+constexpr Tick kTickMax = ~Tick(0);
+
+/** Convert a floating-point quantity of seconds to ticks (rounds down). */
+constexpr Tick
+secondsToTicks(double seconds)
+{
+    return static_cast<Tick>(seconds * static_cast<double>(kPsPerSec));
+}
+
+/** Convert ticks to floating-point seconds. */
+constexpr double
+ticksToSeconds(Tick ticks)
+{
+    return static_cast<double>(ticks) / static_cast<double>(kPsPerSec);
+}
+
+/** Convert ticks to floating-point milliseconds. */
+constexpr double
+ticksToMs(Tick ticks)
+{
+    return static_cast<double>(ticks) / static_cast<double>(kPsPerMs);
+}
+
+/** Convert ticks to floating-point microseconds. */
+constexpr double
+ticksToUs(Tick ticks)
+{
+    return static_cast<double>(ticks) / static_cast<double>(kPsPerUs);
+}
+
+/**
+ * Time to move @p bytes at @p bytes_per_sec, in ticks (rounds up so a
+ * nonzero transfer never takes zero time).
+ *
+ * @param bytes          Payload size in bytes.
+ * @param bytes_per_sec  Sustained bandwidth of the resource.
+ * @return Transfer duration in ticks; 0 for an empty transfer.
+ */
+constexpr Tick
+transferTicks(std::uint64_t bytes, double bytes_per_sec)
+{
+    if (bytes == 0 || bytes_per_sec <= 0.0)
+        return 0;
+    const double seconds =
+        static_cast<double>(bytes) / bytes_per_sec;
+    const Tick t = secondsToTicks(seconds);
+    return t == 0 ? 1 : t;
+}
+
+/**
+ * Time to execute @p cycles on a clock of @p hz, in ticks (rounds up so
+ * nonzero work never takes zero time).
+ */
+constexpr Tick
+cyclesToTicks(double cycles, double hz)
+{
+    if (cycles <= 0.0 || hz <= 0.0)
+        return 0;
+    const Tick t = secondsToTicks(cycles / hz);
+    return t == 0 ? 1 : t;
+}
+
+/** Kibi/mebi/gibi byte helpers. */
+constexpr std::uint64_t kKiB = 1024ULL;
+constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/** Decimal bandwidth helpers (storage vendors use powers of ten). */
+constexpr double kKBps = 1e3;
+constexpr double kMBps = 1e6;
+constexpr double kGBps = 1e9;
+
+}  // namespace morpheus::sim
+
+#endif  // MORPHEUS_SIM_TYPES_HH

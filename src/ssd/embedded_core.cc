@@ -1,0 +1,24 @@
+#include "ssd/embedded_core.hh"
+
+#include "sim/logging.hh"
+
+namespace morpheus::ssd {
+
+bool
+EmbeddedCore::loadImage(std::uint32_t image_bytes)
+{
+    if (_isramUsed + image_bytes > _config.isramBytes)
+        return false;
+    _isramUsed += image_bytes;
+    return true;
+}
+
+void
+EmbeddedCore::unloadImage(std::uint32_t image_bytes)
+{
+    MORPHEUS_ASSERT(image_bytes <= _isramUsed,
+                    "unloading more I-SRAM than loaded");
+    _isramUsed -= image_bytes;
+}
+
+}  // namespace morpheus::ssd

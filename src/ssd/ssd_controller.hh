@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Morpheus-SSD device: flash + FTL + DRAM + embedded cores behind an
+ * NVMe front-end (paper Fig 6).
+ *
+ * SsdController implements the firmware: it is the CommandHandler the
+ * NvmeController dispatches to. Standard reads/writes run entirely
+ * here. The four Morpheus opcodes are forwarded to a MorpheusEngine —
+ * implemented by core::MorpheusDeviceRuntime — so the base SSD stays
+ * ignorant of StorageApp semantics, mirroring the paper's claim that
+ * the FTL and the conventional command paths are untouched.
+ */
+
+#ifndef MORPHEUS_SSD_SSD_CONTROLLER_HH
+#define MORPHEUS_SSD_SSD_CONTROLLER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ftl/ftl.hh"
+#include "nvme/controller.hh"
+#include "pcie/pcie.hh"
+#include "ssd/embedded_core.hh"
+
+namespace morpheus::ssd {
+
+/** Device-level parameters beyond the flash/FTL configs. */
+struct SsdConfig
+{
+    flash::FlashConfig flash;
+    ftl::FtlConfig ftl;
+    nvme::ControllerConfig nvme;
+    EmbeddedCoreConfig core;
+    unsigned numCores = 4;
+
+    /** Controller DRAM (buffers + FTL tables). */
+    std::uint64_t dramBytes = 2ULL * sim::kGiB;
+    double dramBytesPerSec = 6.4 * sim::kGBps;  // DDR3-800 x64
+};
+
+/** Extension hook for the Morpheus opcodes (implemented in core/). */
+class MorpheusEngine
+{
+  public:
+    virtual ~MorpheusEngine() = default;
+    /** Execute one of the four M* commands starting at @p start. */
+    virtual nvme::CommandResult execute(const nvme::Command &cmd,
+                                        sim::Tick start) = 0;
+};
+
+/** The SSD device model. */
+class SsdController
+{
+  public:
+    SsdController(sim::EventQueue &eq, pcie::PcieSwitch &fabric,
+                  pcie::PortId port, const SsdConfig &config);
+
+    const SsdConfig &config() const { return _config; }
+    pcie::PortId port() const { return _port; }
+
+    nvme::NvmeController &nvme() { return _nvme; }
+    ftl::Ftl &ftl() { return *_ftl; }
+    flash::FlashArray &flash() { return *_flash; }
+    pcie::PcieSwitch &fabric() { return _fabric; }
+
+    /** Embedded core serving @p instance_id (static mapping). */
+    EmbeddedCore &coreFor(std::uint32_t instance_id);
+    EmbeddedCore &core(unsigned idx) { return *_cores.at(idx); }
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(_cores.size());
+    }
+
+    /** Install the Morpheus command engine. */
+    void setMorpheusEngine(MorpheusEngine *engine) { _engine = engine; }
+
+    /** Logical capacity in 512-byte blocks. */
+    std::uint64_t capacityBlocks() const;
+
+    /** Admin Identify data (model string, capacity, MDTS, vendor
+     *  Morpheus-capability flag). */
+    nvme::IdentifyData identify() const;
+
+    /**
+     * Functional byte-level read of the logical address space
+     * (zero simulated time). Used by StorageApps' stream layer and by
+     * tests; the timed flash access is charged separately.
+     */
+    std::vector<std::uint8_t> peekBytes(std::uint64_t byte_offset,
+                                        std::uint64_t len) const;
+
+    /**
+     * Timed flash fetch of the logical byte range into controller
+     * DRAM. @return tick when the data is buffered on-device.
+     */
+    sim::Tick fetchToDram(std::uint64_t byte_offset, std::uint64_t len,
+                          sim::Tick earliest);
+
+    /**
+     * Timed write of @p data at a logical byte offset (read-modify-
+     * write for partial pages). @return completion tick.
+     */
+    sim::Tick storeFromDram(std::uint64_t byte_offset,
+                            const std::vector<std::uint8_t> &data,
+                            sim::Tick earliest);
+
+    /** Charge a pass through controller DRAM. @return completion. */
+    sim::Tick dramTransfer(std::uint64_t bytes, sim::Tick earliest);
+
+    void registerStats(sim::stats::StatSet &set,
+                       const std::string &prefix) const;
+
+  private:
+    /** Firmware dispatch (CommandHandler for the NVMe front-end). */
+    nvme::CommandResult handleCommand(const nvme::Command &cmd,
+                                      sim::Tick start);
+
+    nvme::CommandResult doRead(const nvme::Command &cmd, sim::Tick start);
+    nvme::CommandResult doWrite(const nvme::Command &cmd,
+                                sim::Tick start);
+    nvme::CommandResult doDsm(const nvme::Command &cmd, sim::Tick start);
+
+    sim::EventQueue &_eq;
+    pcie::PcieSwitch &_fabric;
+    pcie::PortId _port;
+    SsdConfig _config;
+
+    std::unique_ptr<flash::FlashArray> _flash;
+    std::unique_ptr<ftl::Ftl> _ftl;
+    nvme::NvmeController _nvme;
+    std::vector<std::unique_ptr<EmbeddedCore>> _cores;
+    sim::Timeline _dram{"ssd.dram"};
+    MorpheusEngine *_engine = nullptr;
+
+    sim::stats::Counter _readCommands;
+    sim::stats::Counter _writeCommands;
+    sim::stats::Counter _morpheusCommands;
+    sim::stats::Counter _bytesToHost;
+    sim::stats::Counter _bytesFromHost;
+};
+
+}  // namespace morpheus::ssd
+
+#endif  // MORPHEUS_SSD_SSD_CONTROLLER_HH

@@ -1,0 +1,301 @@
+#include "workloads/app_spec.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "workloads/generators.hh"
+
+namespace morpheus::workloads {
+
+namespace {
+
+std::uint32_t
+scaled(double base, double scale)
+{
+    const double v = base * scale;
+    return v < 2.0 ? 2u : static_cast<std::uint32_t>(v);
+}
+
+std::vector<AppSpec>
+buildSuite()
+{
+    std::vector<AppSpec> suite;
+
+    // ---- BigDataBench (MPI, text graph inputs) ----------------------
+    {
+        AppSpec a;
+        a.name = "pagerank";
+        a.suite = "BigDataBench";
+        a.parallel = ParallelModel::kMpi;
+        a.ranks = 4;
+        a.object = ObjectKind::kEdgeList;
+        a.paperInputBytes = 3600ULL * 1000 * 1000;
+        a.baselineChunkBytes = 64 * 1024;
+        a.otherCpuFraction = 0.08;
+        a.generate = [](std::uint64_t seed, double scale) {
+            return AnyObject(genEdgeList(seed, scaled(60000, scale),
+                                         scaled(1500000, scale), false));
+        };
+        a.kernel = [](const AnyObject &o) {
+            return pageRank(std::get<serde::EdgeListObject>(o), 10);
+        };
+        suite.push_back(std::move(a));
+    }
+    {
+        AppSpec a;
+        a.name = "conncomp";
+        a.suite = "BigDataBench";
+        a.parallel = ParallelModel::kMpi;
+        a.ranks = 4;
+        a.object = ObjectKind::kEdgeList;
+        a.paperInputBytes = 602ULL * 1000 * 1000;
+        a.baselineChunkBytes = 32 * 1024;
+        a.otherCpuFraction = 0.15;
+        a.generate = [](std::uint64_t seed, double scale) {
+            return AnyObject(genEdgeList(seed + 1,
+                                         scaled(30000, scale),
+                                         scaled(400000, scale), false));
+        };
+        a.kernel = [](const AnyObject &o) {
+            return connectedComponents(
+                std::get<serde::EdgeListObject>(o));
+        };
+        suite.push_back(std::move(a));
+    }
+    {
+        AppSpec a;
+        a.name = "sssp";
+        a.suite = "BigDataBench";
+        a.parallel = ParallelModel::kMpi;
+        a.ranks = 4;
+        a.object = ObjectKind::kEdgeListWeighted;
+        a.paperInputBytes = 1200ULL * 1000 * 1000;
+        a.baselineChunkBytes = 64 * 1024;
+        a.generate = [](std::uint64_t seed, double scale) {
+            return AnyObject(genEdgeList(seed + 2,
+                                         scaled(40000, scale),
+                                         scaled(900000, scale), true));
+        };
+        a.kernel = [](const AnyObject &o) {
+            return sssp(std::get<serde::EdgeListObject>(o), 0, 8);
+        };
+        suite.push_back(std::move(a));
+    }
+
+    // ---- Rodinia (CUDA) ---------------------------------------------
+    {
+        AppSpec a;
+        a.name = "bfs";
+        a.suite = "Rodinia";
+        a.parallel = ParallelModel::kCuda;
+        a.object = ObjectKind::kEdgeList;
+        a.paperInputBytes = 2530ULL * 1000 * 1000;
+        a.baselineChunkBytes = 64 * 1024;
+        a.otherCpuFraction = 0.04;
+        a.generate = [](std::uint64_t seed, double scale) {
+            return AnyObject(genEdgeList(seed + 3,
+                                         scaled(80000, scale),
+                                         scaled(1600000, scale), false));
+        };
+        a.kernel = [](const AnyObject &o) {
+            return bfs(std::get<serde::EdgeListObject>(o), 0);
+        };
+        suite.push_back(std::move(a));
+    }
+    {
+        AppSpec a;
+        a.name = "gaussian";
+        a.suite = "Rodinia";
+        a.parallel = ParallelModel::kCuda;
+        a.object = ObjectKind::kMatrix;
+        a.paperInputBytes = 1560ULL * 1000 * 1000;
+        a.baselineChunkBytes = 128 * 1024;
+        a.generate = [](std::uint64_t seed, double scale) {
+            return AnyObject(
+                genMatrix(seed + 4, scaled(760, std::sqrt(scale)), 0.0));
+        };
+        a.kernel = [](const AnyObject &o) {
+            return gaussianEliminate(std::get<serde::MatrixObject>(o));
+        };
+        suite.push_back(std::move(a));
+    }
+    {
+        AppSpec a;
+        a.name = "hybridsort";
+        a.suite = "Rodinia";
+        a.parallel = ParallelModel::kCuda;
+        a.object = ObjectKind::kIntArray;
+        a.paperInputBytes = 3140ULL * 1000 * 1000;
+        a.baselineChunkBytes = 16 * 1024;  // line-oriented reader
+        a.otherCpuFraction = 0.04;
+        a.generate = [](std::uint64_t seed, double scale) {
+            return AnyObject(
+                genIntArray(seed + 5, scaled(1800000, scale)));
+        };
+        a.kernel = [](const AnyObject &o) {
+            return hybridSort(std::get<serde::IntArrayObject>(o));
+        };
+        suite.push_back(std::move(a));
+    }
+    {
+        AppSpec a;
+        a.name = "kmeans";
+        a.suite = "Rodinia";
+        a.parallel = ParallelModel::kCuda;
+        a.object = ObjectKind::kPointSet;
+        a.paperInputBytes = 1300ULL * 1000 * 1000;
+        a.baselineChunkBytes = 32 * 1024;
+        a.floatFraction = 0.05;
+        a.generate = [](std::uint64_t seed, double scale) {
+            return AnyObject(genPointSet(seed + 6,
+                                         scaled(150000, scale), 10,
+                                         0.05));
+        };
+        a.kernel = [](const AnyObject &o) {
+            return kmeans(std::get<serde::PointSetObject>(o), 8, 6);
+        };
+        suite.push_back(std::move(a));
+    }
+    {
+        AppSpec a;
+        a.name = "lud";
+        a.suite = "Rodinia";
+        a.parallel = ParallelModel::kCuda;
+        a.object = ObjectKind::kMatrix;
+        a.paperInputBytes = 2420ULL * 1000 * 1000;
+        a.baselineChunkBytes = 128 * 1024;
+        a.generate = [](std::uint64_t seed, double scale) {
+            return AnyObject(
+                genMatrix(seed + 7, scaled(860, std::sqrt(scale)), 0.0));
+        };
+        a.kernel = [](const AnyObject &o) {
+            return ludDecompose(std::get<serde::MatrixObject>(o));
+        };
+        suite.push_back(std::move(a));
+    }
+    {
+        AppSpec a;
+        a.name = "nn";
+        a.suite = "Rodinia";
+        a.parallel = ParallelModel::kCuda;
+        a.object = ObjectKind::kPointSet;
+        a.paperInputBytes = 1640ULL * 1000 * 1000;
+        a.baselineChunkBytes = 8 * 1024;  // record-oriented reader
+        a.otherCpuFraction = 0.03;
+        a.generate = [](std::uint64_t seed, double scale) {
+            return AnyObject(genPointSet(seed + 8,
+                                         scaled(220000, scale), 8,
+                                         0.0));
+        };
+        a.kernel = [](const AnyObject &o) {
+            return nearestNeighbors(std::get<serde::PointSetObject>(o),
+                                    16);
+        };
+        suite.push_back(std::move(a));
+    }
+
+    // ---- Standalone -------------------------------------------------
+    {
+        AppSpec a;
+        a.name = "spmv";
+        a.suite = "N/A";
+        a.parallel = ParallelModel::kSerial;
+        a.object = ObjectKind::kCooMatrix;
+        a.paperInputBytes = 110ULL * 1000 * 1000;
+        a.baselineChunkBytes = 64 * 1024;
+        a.floatFraction = 0.33;  // §VII-A: 33% of tokens are floats
+        a.otherCpuFraction = 0.06;
+        a.generate = [](std::uint64_t seed, double scale) {
+            return AnyObject(genCooMatrix(seed + 9,
+                                          scaled(60000, scale),
+                                          scaled(60000, scale),
+                                          scaled(450000, scale), 0.33));
+        };
+        a.kernel = [](const AnyObject &o) {
+            return spmv(std::get<serde::CooMatrixObject>(o), 4);
+        };
+        suite.push_back(std::move(a));
+    }
+
+    return suite;
+}
+
+std::vector<AppSpec>
+buildExtensionSuite()
+{
+    std::vector<AppSpec> suite;
+    {
+        AppSpec a;
+        a.name = "csvstats";
+        a.suite = "extension";
+        a.parallel = ParallelModel::kMpi;
+        a.ranks = 4;
+        a.object = ObjectKind::kCsvTable;
+        a.baselineChunkBytes = 64 * 1024;
+        a.floatFraction = 0.25;
+        a.otherCpuFraction = 0.06;
+        a.generate = [](std::uint64_t seed, double scale) {
+            return AnyObject(genCsvTable(seed + 20,
+                                         scaled(200000, scale), 8,
+                                         0.25));
+        };
+        a.kernel = [](const AnyObject &o) {
+            return csvColumnStats(
+                std::get<serde::CsvTableObject>(o));
+        };
+        suite.push_back(std::move(a));
+    }
+    {
+        AppSpec a;
+        a.name = "jsonreduce";
+        a.suite = "extension";
+        a.parallel = ParallelModel::kSerial;
+        a.object = ObjectKind::kJsonRecords;
+        a.baselineChunkBytes = 64 * 1024;
+        a.floatFraction = 0.3;
+        a.otherCpuFraction = 0.06;
+        a.generate = [](std::uint64_t seed, double scale) {
+            return AnyObject(genJsonRecords(seed + 21,
+                                            scaled(250000, scale),
+                                            0.3));
+        };
+        a.kernel = [](const AnyObject &o) {
+            return jsonRecordReduce(
+                std::get<serde::JsonRecordsObject>(o));
+        };
+        suite.push_back(std::move(a));
+    }
+    return suite;
+}
+
+}  // namespace
+
+const std::vector<AppSpec> &
+standardSuite()
+{
+    static const std::vector<AppSpec> suite = buildSuite();
+    return suite;
+}
+
+const std::vector<AppSpec> &
+extensionSuite()
+{
+    static const std::vector<AppSpec> suite = buildExtensionSuite();
+    return suite;
+}
+
+const AppSpec &
+findApp(const std::string &name)
+{
+    for (const auto &app : standardSuite()) {
+        if (app.name == name)
+            return app;
+    }
+    for (const auto &app : extensionSuite()) {
+        if (app.name == name)
+            return app;
+    }
+    MORPHEUS_FATAL("no such application in any suite: ", name);
+}
+
+}  // namespace morpheus::workloads

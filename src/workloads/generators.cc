@@ -1,0 +1,203 @@
+#include "workloads/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace morpheus::workloads {
+
+serde::EdgeListObject
+genEdgeList(std::uint64_t seed, std::uint32_t vertices,
+            std::uint32_t edges, bool weighted)
+{
+    MORPHEUS_ASSERT(vertices >= 2, "graph needs at least 2 vertices");
+    sim::Rng rng(seed);
+    serde::EdgeListObject g;
+    g.numVertices = vertices;
+    g.weighted = weighted;
+    g.src.reserve(edges);
+    g.dst.reserve(edges);
+    if (weighted)
+        g.weight.reserve(edges);
+
+    for (std::uint32_t i = 0; i < edges; ++i) {
+        // Skewed source selection: squaring a uniform draw biases
+        // toward low vertex ids, giving a heavy-tailed out-degree.
+        const double u = rng.nextDouble();
+        const auto src = static_cast<std::uint32_t>(
+            u * u * static_cast<double>(vertices));
+        auto dst = static_cast<std::uint32_t>(
+            rng.nextBelow(vertices));
+        if (dst == src)
+            dst = (dst + 1) % vertices;
+        g.src.push_back(std::min(src, vertices - 1));
+        g.dst.push_back(dst);
+        if (weighted) {
+            g.weight.push_back(
+                static_cast<std::int32_t>(rng.nextInRange(1, 99)));
+        }
+    }
+    return g;
+}
+
+serde::MatrixObject
+genMatrix(std::uint64_t seed, std::uint32_t n, double float_fraction)
+{
+    sim::Rng rng(seed);
+    serde::MatrixObject m;
+    m.rows = n;
+    m.cols = n;
+    m.values.resize(static_cast<std::size_t>(n) * n);
+    for (std::uint32_t r = 0; r < n; ++r) {
+        double row_sum = 0.0;
+        for (std::uint32_t c = 0; c < n; ++c) {
+            double v;
+            if (rng.nextBool(float_fraction)) {
+                // Two-decimal fractional value; round-trips exactly
+                // through the %.4f text encoding.
+                v = static_cast<double>(rng.nextInRange(-9999, 9999)) /
+                    100.0;
+            } else {
+                v = static_cast<double>(rng.nextInRange(-9999, 9999));
+            }
+            m.values[static_cast<std::size_t>(r) * n + c] =
+                static_cast<float>(v);
+            row_sum += std::abs(v);
+        }
+        // Diagonal dominance for numerical stability.
+        // Keep the dominant diagonal integer valued so it serializes
+        // compactly and round-trips exactly through float.
+        m.values[static_cast<std::size_t>(r) * n + r] =
+            static_cast<float>(std::ceil(row_sum) + 1.0 +
+                               static_cast<double>(rng.nextInRange(0, 9)));
+    }
+    return m;
+}
+
+serde::IntArrayObject
+genIntArray(std::uint64_t seed, std::uint32_t n)
+{
+    sim::Rng rng(seed);
+    serde::IntArrayObject a;
+    a.values.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        a.values.push_back(rng.nextInRange(0, 999999));
+    return a;
+}
+
+serde::PointSetObject
+genPointSet(std::uint64_t seed, std::uint32_t points, std::uint32_t dims,
+            double float_fraction)
+{
+    sim::Rng rng(seed);
+    serde::PointSetObject p;
+    p.dims = dims;
+    p.coords.reserve(static_cast<std::size_t>(points) * dims);
+
+    // A handful of cluster centres.
+    const unsigned clusters = 8;
+    std::vector<double> centres(static_cast<std::size_t>(clusters) *
+                                dims);
+    for (auto &c : centres)
+        c = static_cast<double>(rng.nextInRange(0, 30000));
+
+    for (std::uint32_t i = 0; i < points; ++i) {
+        const unsigned k =
+            static_cast<unsigned>(rng.nextBelow(clusters));
+        for (std::uint32_t d = 0; d < dims; ++d) {
+            const double centre =
+                centres[static_cast<std::size_t>(k) * dims + d];
+            double v = centre + static_cast<double>(
+                                    rng.nextInRange(-500, 500));
+            if (rng.nextBool(float_fraction)) {
+                v += static_cast<double>(rng.nextInRange(0, 99)) /
+                     100.0;
+            }
+            p.coords.push_back(static_cast<float>(v));
+        }
+    }
+    return p;
+}
+
+serde::CsvTableObject
+genCsvTable(std::uint64_t seed, std::uint32_t rows, std::uint32_t cols,
+            double float_fraction)
+{
+    sim::Rng rng(seed);
+    serde::CsvTableObject t;
+    for (std::uint32_t c = 0; c < cols; ++c)
+        t.columns.push_back("metric_" + std::to_string(c));
+    t.values.reserve(static_cast<std::size_t>(rows) * cols);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        for (std::uint32_t c = 0; c < cols; ++c) {
+            if (rng.nextBool(float_fraction)) {
+                t.values.push_back(
+                    static_cast<double>(rng.nextInRange(-99999, 99999)) /
+                    100.0);
+            } else {
+                t.values.push_back(static_cast<double>(
+                    rng.nextInRange(-100000, 100000)));
+            }
+        }
+    }
+    return t;
+}
+
+serde::JsonRecordsObject
+genJsonRecords(std::uint64_t seed, std::uint32_t records,
+               double float_fraction)
+{
+    sim::Rng rng(seed);
+    serde::JsonRecordsObject o;
+    for (std::uint32_t r = 0; r < records; ++r) {
+        const auto n = 1 + rng.nextBelow(12);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (rng.nextBool(float_fraction)) {
+                o.values.push_back(
+                    static_cast<double>(rng.nextInRange(-9999, 9999)) /
+                    100.0);
+            } else {
+                o.values.push_back(static_cast<double>(
+                    rng.nextInRange(-100000, 100000)));
+            }
+        }
+        o.recordOffsets.push_back(
+            static_cast<std::uint32_t>(o.values.size()));
+    }
+    return o;
+}
+
+serde::CooMatrixObject
+genCooMatrix(std::uint64_t seed, std::uint32_t rows, std::uint32_t cols,
+             std::uint32_t nnz, double float_fraction)
+{
+    sim::Rng rng(seed);
+    serde::CooMatrixObject m;
+    m.rows = rows;
+    m.cols = cols;
+    m.rowIdx.reserve(nnz);
+    m.colIdx.reserve(nnz);
+    m.values.reserve(nnz);
+    for (std::uint32_t i = 0; i < nnz; ++i) {
+        // Row-sorted stream (the usual on-disk COO layout).
+        const auto r = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(i) * rows) / nnz);
+        const auto c =
+            static_cast<std::uint32_t>(rng.nextBelow(cols));
+        double v;
+        if (rng.nextBool(float_fraction)) {
+            v = static_cast<double>(rng.nextInRange(-99999, 99999)) /
+                1000.0;
+        } else {
+            v = static_cast<double>(rng.nextInRange(-999, 999));
+        }
+        m.rowIdx.push_back(r);
+        m.colIdx.push_back(c);
+        m.values.push_back(static_cast<float>(v));
+    }
+    return m;
+}
+
+}  // namespace morpheus::workloads

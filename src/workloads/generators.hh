@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic workload-input generators.
+ *
+ * Stand-ins for the BigDataBench/Rodinia input tools (which we do not
+ * have): each generator builds the in-memory object first, then
+ * text-serializes it, so every experiment knows its ground-truth
+ * object. Values are integer-dominated (paper §VI-B selection
+ * criterion) with a configurable floating-point fraction (SpMV's input
+ * is ~33% floats).
+ */
+
+#ifndef MORPHEUS_WORKLOADS_GENERATORS_HH
+#define MORPHEUS_WORKLOADS_GENERATORS_HH
+
+#include <cstdint>
+
+#include "serde/csv.hh"
+#include "serde/formats.hh"
+#include "serde/json.hh"
+
+namespace morpheus::workloads {
+
+/**
+ * Random directed graph with a skewed (preferential-attachment-style)
+ * degree distribution.
+ */
+serde::EdgeListObject genEdgeList(std::uint64_t seed,
+                                  std::uint32_t vertices,
+                                  std::uint32_t edges, bool weighted);
+
+/**
+ * Dense square matrix, diagonally dominant (so Gaussian elimination
+ * and LU decomposition are numerically stable). @p float_fraction of
+ * the entries carry a fractional part; the rest are small integers.
+ */
+serde::MatrixObject genMatrix(std::uint64_t seed, std::uint32_t n,
+                              double float_fraction = 0.0);
+
+/** Uniform random 64-bit integers (bounded to keep text compact). */
+serde::IntArrayObject genIntArray(std::uint64_t seed, std::uint32_t n);
+
+/** Clustered points (Kmeans/NN-friendly). */
+serde::PointSetObject genPointSet(std::uint64_t seed,
+                                  std::uint32_t points,
+                                  std::uint32_t dims,
+                                  double float_fraction = 0.0);
+
+/** Numeric CSV table with named columns (extension format). */
+serde::CsvTableObject genCsvTable(std::uint64_t seed,
+                                  std::uint32_t rows,
+                                  std::uint32_t cols,
+                                  double float_fraction = 0.25);
+
+/** JSON record array with 1-12 values per record (extension format). */
+serde::JsonRecordsObject genJsonRecords(std::uint64_t seed,
+                                        std::uint32_t records,
+                                        double float_fraction = 0.3);
+
+/** Sparse matrix with ~nnz/rows entries per row, sorted by row. */
+serde::CooMatrixObject genCooMatrix(std::uint64_t seed,
+                                    std::uint32_t rows,
+                                    std::uint32_t cols,
+                                    std::uint32_t nnz,
+                                    double float_fraction = 0.0);
+
+}  // namespace morpheus::workloads
+
+#endif  // MORPHEUS_WORKLOADS_GENERATORS_HH

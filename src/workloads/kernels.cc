@@ -1,0 +1,578 @@
+#include "workloads/kernels.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace morpheus::workloads {
+
+namespace {
+
+/** Stable digest of a double (bit pattern, NaN-safe). */
+std::uint64_t
+bits(double v)
+{
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
+/** FNV-1a over a stream of u64 words. */
+class Digest
+{
+  public:
+    void
+    add(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            _h ^= (v >> (8 * i)) & 0xFF;
+            _h *= 1099511628211ULL;
+        }
+    }
+
+    void addDouble(double v) { add(bits(v)); }
+    std::uint64_t value() const { return _h; }
+
+  private:
+    std::uint64_t _h = 1469598103934665603ULL;
+};
+
+/** Digest sampling stride: everything for small n, sparse for big. */
+std::size_t
+digestStep(std::size_t n)
+{
+    return n < 256 ? 1 : n / 128;
+}
+
+/**
+ * Paper-scale kernel-cost calibration.
+ *
+ * The harness runs scaled-down inputs (Table I sizes / ~200..800) so
+ * the whole suite executes in seconds, but several kernels are
+ * super-linear (O(n^3) factorizations, convergence-iteration counts
+ * that grow with input), so charging the literal FLOPs of the scaled
+ * input would collapse their share of execution time and distort the
+ * Fig 2 breakdown. The *charged* work therefore uses per-element
+ * costs fixed at the paper's input scale (e.g., a Gaussian row update
+ * costs 2/3*N_paper flops per element); the functional computation
+ * still runs on the actual data. Reported ratios are then
+ * scale-invariant, matching how the paper's testbed would behave.
+ */
+constexpr double kPaperMatrixN = 26000.0;   // 1.5-2.4 GB dense inputs
+constexpr double kPaperRankIters = 44.0;    // PageRank convergence
+constexpr double kPaperCcPasses = 4.8;      // CC label-prop sweeps
+constexpr double kPaperSsspRounds = 27.0;   // Bellman-Ford sweeps
+constexpr double kPaperKmeansIters = 130.0;  // Kmeans convergence
+constexpr double kGpuUncoalesced = 64.0;    // scattered graph gathers
+
+}  // namespace
+
+KernelResult
+pageRank(const serde::EdgeListObject &g, unsigned iters)
+{
+    const std::size_t v = g.numVertices;
+    const std::size_t e = g.numEdges();
+    std::vector<double> rank(v, 1.0 / static_cast<double>(v));
+    std::vector<double> next(v);
+    std::vector<std::uint32_t> out_degree(v, 0);
+    for (std::size_t i = 0; i < e; ++i)
+        ++out_degree[g.src[i]];
+
+    const double damping = 0.85;
+    for (unsigned it = 0; it < iters; ++it) {
+        std::fill(next.begin(), next.end(),
+                  (1.0 - damping) / static_cast<double>(v));
+        for (std::size_t i = 0; i < e; ++i) {
+            const std::uint32_t s = g.src[i];
+            if (out_degree[s] > 0) {
+                next[g.dst[i]] +=
+                    damping * rank[s] / out_degree[s];
+            }
+        }
+        rank.swap(next);
+    }
+
+    Digest d;
+    for (std::size_t i = 0; i < v; i += digestStep(v))
+        d.addDouble(rank[i]);
+    d.add(v);
+
+    KernelResult r;
+    r.checksum = d.value();
+    // ~12 cycles per edge per iteration (gather + divide amortised),
+    // high-IPC code compared to parsing.
+    r.work.cpuCycles =
+        12.0 * static_cast<double>(e) * kPaperRankIters + 40.0 * v;
+    r.work.hostMemBytes = static_cast<std::uint64_t>(
+        20.0 * static_cast<double>(e) * kPaperRankIters);
+    r.work.gpuFlop = 3.0 * static_cast<double>(e) * kPaperRankIters;
+    r.work.gpuMemBytes = r.work.hostMemBytes;
+    return r;
+}
+
+KernelResult
+connectedComponents(const serde::EdgeListObject &g)
+{
+    const std::size_t v = g.numVertices;
+    std::vector<std::uint32_t> parent(v);
+    std::iota(parent.begin(), parent.end(), 0u);
+
+    // Union-find with path halving.
+    auto find = [&parent](std::uint32_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    for (std::size_t i = 0; i < g.numEdges(); ++i) {
+        const std::uint32_t a = find(g.src[i]);
+        const std::uint32_t b = find(g.dst[i]);
+        if (a != b)
+            parent[std::max(a, b)] = std::min(a, b);
+    }
+    std::uint32_t components = 0;
+    Digest d;
+    for (std::uint32_t i = 0; i < v; ++i) {
+        const std::uint32_t root = find(i);
+        if (root == i)
+            ++components;
+        if (i % digestStep(v) == 0)
+            d.add(root);  // sampled component labels
+    }
+    d.add(components);
+    d.add(v);
+
+    KernelResult r;
+    r.checksum = d.value();
+    r.work.cpuCycles =
+        (18.0 * static_cast<double>(g.numEdges()) +
+         8.0 * static_cast<double>(v)) * kPaperCcPasses;
+    r.work.hostMemBytes = static_cast<std::uint64_t>(
+        16.0 * static_cast<double>(g.numEdges()) * kPaperCcPasses);
+    r.work.gpuFlop = 0.0;
+    r.work.gpuMemBytes = r.work.hostMemBytes;
+    return r;
+}
+
+KernelResult
+sssp(const serde::EdgeListObject &g, std::uint32_t source,
+     unsigned rounds)
+{
+    MORPHEUS_ASSERT(g.weighted, "SSSP needs weighted edges");
+    const std::size_t v = g.numVertices;
+    constexpr std::int64_t kInf =
+        std::numeric_limits<std::int64_t>::max() / 4;
+    std::vector<std::int64_t> dist(v, kInf);
+    dist[source % v] = 0;
+
+    // Bellman-Ford, bounded rounds (the MPI formulation's sweep count).
+    bool changed = true;
+    for (unsigned it = 0; it < rounds && changed; ++it) {
+        changed = false;
+        for (std::size_t i = 0; i < g.numEdges(); ++i) {
+            const std::int64_t cand = dist[g.src[i]] + g.weight[i];
+            if (dist[g.src[i]] < kInf && cand < dist[g.dst[i]]) {
+                dist[g.dst[i]] = cand;
+                changed = true;
+            }
+        }
+    }
+
+    Digest d;
+    for (std::size_t i = 0; i < v; i += digestStep(v))
+        d.add(static_cast<std::uint64_t>(dist[i]));
+
+    KernelResult r;
+    r.checksum = d.value();
+    r.work.cpuCycles =
+        10.0 * static_cast<double>(g.numEdges()) * kPaperSsspRounds;
+    r.work.hostMemBytes = static_cast<std::uint64_t>(
+        20.0 * static_cast<double>(g.numEdges()) * kPaperSsspRounds);
+    r.work.gpuFlop =
+        static_cast<double>(g.numEdges()) * kPaperSsspRounds;
+    r.work.gpuMemBytes = r.work.hostMemBytes;
+    return r;
+}
+
+KernelResult
+bfs(const serde::EdgeListObject &g, std::uint32_t source)
+{
+    const std::size_t v = g.numVertices;
+    // CSR adjacency.
+    std::vector<std::uint32_t> offset(v + 1, 0);
+    for (std::size_t i = 0; i < g.numEdges(); ++i)
+        ++offset[g.src[i] + 1];
+    for (std::size_t i = 1; i <= v; ++i)
+        offset[i] += offset[i - 1];
+    std::vector<std::uint32_t> adj(g.numEdges());
+    std::vector<std::uint32_t> cursor(offset.begin(), offset.end() - 1);
+    for (std::size_t i = 0; i < g.numEdges(); ++i)
+        adj[cursor[g.src[i]]++] = g.dst[i];
+
+    std::vector<std::int32_t> level(v, -1);
+    std::queue<std::uint32_t> q;
+    level[source % v] = 0;
+    q.push(source % v);
+    std::uint64_t visited = 1;
+    while (!q.empty()) {
+        const std::uint32_t u = q.front();
+        q.pop();
+        for (std::uint32_t i = offset[u]; i < offset[u + 1]; ++i) {
+            const std::uint32_t w = adj[i];
+            if (level[w] < 0) {
+                level[w] = level[u] + 1;
+                q.push(w);
+                ++visited;
+            }
+        }
+    }
+
+    Digest d;
+    d.add(visited);
+    for (std::size_t i = 0; i < v; i += digestStep(v))
+        d.add(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(level[i])));
+
+    // Deepest level reached (the level-synchronous GPU formulation
+    // rescans the frontier structures once per level).
+    std::int32_t max_level = 0;
+    for (const auto l : level)
+        max_level = std::max(max_level, l);
+
+    KernelResult r;
+    r.checksum = d.value();
+    r.work.cpuCycles = 14.0 * static_cast<double>(g.numEdges());
+    r.work.hostMemBytes = 12ULL * g.numEdges();
+    // Rodinia BFS is bandwidth bound on the GPU: one pass per level,
+    // with heavily uncoalesced gathers through the CSR arrays.
+    r.work.gpuFlop = 0.5 * static_cast<double>(g.numEdges());
+    r.work.gpuMemBytes = static_cast<std::uint64_t>(
+        28.0 * static_cast<double>(g.numEdges()) *
+        static_cast<double>(std::max<std::int32_t>(max_level, 1)) *
+        kGpuUncoalesced / 4.0);
+    return r;
+}
+
+KernelResult
+gaussianEliminate(serde::MatrixObject m)
+{
+    MORPHEUS_ASSERT(m.rows == m.cols, "Gaussian needs a square matrix");
+    const std::size_t n = m.rows;
+    auto at = [&m, n](std::size_t r, std::size_t c) -> float & {
+        return m.values[r * n + c];
+    };
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const float f = at(r, k) / at(k, k);
+            for (std::size_t c = k; c < n; ++c)
+                at(r, c) -= f * at(k, c);
+        }
+    }
+    Digest d;
+    for (std::size_t i = 0; i < n; i += digestStep(n))
+        d.addDouble(at(i, i));
+
+    // Charged at paper scale: each of the n^2 elements sees ~2/3 * N
+    // multiply-adds over the elimination.
+    const double n2 = static_cast<double>(n) * n;
+    KernelResult r;
+    r.checksum = d.value();
+    r.work.cpuCycles = 1.2 * (2.0 / 3.0) * n2 * kPaperMatrixN;
+    r.work.hostMemBytes =
+        static_cast<std::uint64_t>(8.0 * n2 * std::sqrt(kPaperMatrixN));
+    r.work.gpuFlop = (2.0 / 3.0) * n2 * kPaperMatrixN;
+    r.work.gpuMemBytes = r.work.hostMemBytes;
+    return r;
+}
+
+KernelResult
+hybridSort(serde::IntArrayObject a)
+{
+    const std::size_t n = a.values.size();
+    // Bucket pass then per-bucket sort — the "hybrid" structure.
+    constexpr unsigned kBuckets = 256;
+    std::vector<std::vector<std::int64_t>> buckets(kBuckets);
+    std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+    std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+    for (const auto v : a.values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const double width =
+        (static_cast<double>(hi) - static_cast<double>(lo) + 1.0) /
+        kBuckets;
+    for (const auto v : a.values) {
+        auto b = static_cast<unsigned>(
+            (static_cast<double>(v) - static_cast<double>(lo)) / width);
+        buckets[std::min(b, kBuckets - 1)].push_back(v);
+    }
+    std::size_t pos = 0;
+    for (auto &b : buckets) {
+        std::sort(b.begin(), b.end());
+        for (const auto v : b)
+            a.values[pos++] = v;
+    }
+    MORPHEUS_ASSERT(pos == n, "hybrid sort lost elements");
+
+    Digest d;
+    for (std::size_t i = 0; i < n; i += digestStep(n))
+        d.add(static_cast<std::uint64_t>(a.values[i]));
+    d.add(n);
+
+    // Paper-scale sort depth: log2 of the multi-hundred-million
+    // element input, with multi-pass bucket+merge traffic.
+    const double paper_logn = 38.0;
+    KernelResult r;
+    r.checksum = d.value();
+    r.work.cpuCycles = 9.0 * static_cast<double>(n) * paper_logn;
+    r.work.hostMemBytes =
+        static_cast<std::uint64_t>(24.0 * static_cast<double>(n));
+    r.work.gpuFlop = 2.0 * static_cast<double>(n) * paper_logn;
+    r.work.gpuMemBytes = static_cast<std::uint64_t>(
+        64.0 * static_cast<double>(n) * paper_logn / 2.0);
+    return r;
+}
+
+KernelResult
+kmeans(const serde::PointSetObject &p, unsigned k, unsigned iters)
+{
+    const std::size_t n = p.numPoints();
+    const std::size_t d = p.dims;
+    MORPHEUS_ASSERT(n >= k, "kmeans needs at least k points");
+    std::vector<double> centres(k * d);
+    for (unsigned c = 0; c < k; ++c) {
+        for (std::size_t j = 0; j < d; ++j)
+            centres[c * d + j] = p.coords[(c * (n / k)) * d + j];
+    }
+    std::vector<unsigned> assign(n, 0);
+    for (unsigned it = 0; it < iters; ++it) {
+        for (std::size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::max();
+            unsigned best_c = 0;
+            for (unsigned c = 0; c < k; ++c) {
+                double dist = 0.0;
+                for (std::size_t j = 0; j < d; ++j) {
+                    const double delta =
+                        p.coords[i * d + j] - centres[c * d + j];
+                    dist += delta * delta;
+                }
+                if (dist < best) {
+                    best = dist;
+                    best_c = c;
+                }
+            }
+            assign[i] = best_c;
+        }
+        std::vector<double> sums(k * d, 0.0);
+        std::vector<std::uint32_t> counts(k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            ++counts[assign[i]];
+            for (std::size_t j = 0; j < d; ++j)
+                sums[assign[i] * d + j] += p.coords[i * d + j];
+        }
+        for (unsigned c = 0; c < k; ++c) {
+            if (counts[c] > 0) {
+                for (std::size_t j = 0; j < d; ++j)
+                    centres[c * d + j] = sums[c * d + j] / counts[c];
+            }
+        }
+    }
+
+    Digest dig;
+    for (const double c : centres)
+        dig.addDouble(std::round(c * 1000.0));
+
+    // Charged at the paper-scale convergence iteration count.
+    const double ops =
+        static_cast<double>(n) * k * d * kPaperKmeansIters;
+    KernelResult r;
+    r.checksum = dig.value();
+    r.work.cpuCycles = 3.0 * ops;
+    r.work.hostMemBytes = static_cast<std::uint64_t>(8.0 * ops / k);
+    r.work.gpuFlop = 3.0 * ops;
+    r.work.gpuMemBytes = static_cast<std::uint64_t>(8.0 * ops / k);
+    return r;
+}
+
+KernelResult
+ludDecompose(serde::MatrixObject m)
+{
+    MORPHEUS_ASSERT(m.rows == m.cols, "LUD needs a square matrix");
+    const std::size_t n = m.rows;
+    auto at = [&m, n](std::size_t r, std::size_t c) -> float & {
+        return m.values[r * n + c];
+    };
+    // Doolittle, in place: U in the upper triangle, L below.
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t r = k + 1; r < n; ++r) {
+            at(r, k) /= at(k, k);
+            for (std::size_t c = k + 1; c < n; ++c)
+                at(r, c) -= at(r, k) * at(k, c);
+        }
+    }
+    Digest d;
+    for (std::size_t i = 0; i < n; i += digestStep(n))
+        d.addDouble(at(i, i));
+
+    const double n2 = static_cast<double>(n) * n;
+    KernelResult r;
+    r.checksum = d.value();
+    r.work.cpuCycles = 1.2 * (2.0 / 3.0) * n2 * kPaperMatrixN;
+    r.work.hostMemBytes =
+        static_cast<std::uint64_t>(8.0 * n2 * std::sqrt(kPaperMatrixN));
+    r.work.gpuFlop = (2.0 / 3.0) * n2 * kPaperMatrixN;
+    r.work.gpuMemBytes = r.work.hostMemBytes;
+    return r;
+}
+
+KernelResult
+nearestNeighbors(const serde::PointSetObject &p, unsigned k)
+{
+    const std::size_t n = p.numPoints();
+    const std::size_t d = p.dims;
+    MORPHEUS_ASSERT(n > k, "kNN needs more points than k");
+    // Query = centroid of the set (deterministic).
+    std::vector<double> query(d, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < d; ++j)
+            query[j] += p.coords[i * d + j];
+    }
+    for (auto &q : query)
+        q /= static_cast<double>(n);
+
+    // Max-heap of the k best distances.
+    std::priority_queue<std::pair<double, std::uint32_t>> heap;
+    for (std::size_t i = 0; i < n; ++i) {
+        double dist = 0.0;
+        for (std::size_t j = 0; j < d; ++j) {
+            const double delta = p.coords[i * d + j] - query[j];
+            dist += delta * delta;
+        }
+        if (heap.size() < k) {
+            heap.emplace(dist, static_cast<std::uint32_t>(i));
+        } else if (dist < heap.top().first) {
+            heap.pop();
+            heap.emplace(dist, static_cast<std::uint32_t>(i));
+        }
+    }
+    Digest dig;
+    while (!heap.empty()) {
+        dig.add(heap.top().second);
+        heap.pop();
+    }
+
+    // Rodinia NN evaluates many concurrent queries (hurricane records
+    // against a query list); charge the paper-scale query batch.
+    const double paper_queries = 32.0;
+    const double ops = static_cast<double>(n) * d * paper_queries;
+    KernelResult r;
+    r.checksum = dig.value();
+    r.work.cpuCycles = 3.5 * ops;
+    r.work.hostMemBytes = static_cast<std::uint64_t>(16.0 * ops);
+    r.work.gpuFlop = 3.0 * ops;
+    r.work.gpuMemBytes = static_cast<std::uint64_t>(16.0 * ops);
+    return r;
+}
+
+KernelResult
+spmv(const serde::CooMatrixObject &m, unsigned iters)
+{
+    const std::size_t n = m.cols;
+    std::vector<double> x(n, 1.0);
+    std::vector<double> y(m.rows, 0.0);
+    for (unsigned it = 0; it < iters; ++it) {
+        std::fill(y.begin(), y.end(), 0.0);
+        for (std::size_t i = 0; i < m.nnz(); ++i)
+            y[m.rowIdx[i]] += m.values[i] * x[m.colIdx[i]];
+        // Feed back (normalised) to keep values bounded.
+        for (std::size_t i = 0; i < std::min<std::size_t>(n, m.rows);
+             ++i) {
+            x[i] = y[i] / 1000.0;
+        }
+    }
+    Digest d;
+    for (std::size_t i = 0; i < m.rows; i += digestStep(m.rows))
+        d.addDouble(std::round(y[i] * 100.0));
+
+    const double paper_iters = 11.0;
+    const double ops = static_cast<double>(m.nnz()) * paper_iters;
+    KernelResult r;
+    r.checksum = d.value();
+    r.work.cpuCycles = 7.0 * ops;
+    r.work.hostMemBytes = static_cast<std::uint64_t>(28.0 * ops);
+    r.work.gpuFlop = 2.0 * ops;
+    r.work.gpuMemBytes = static_cast<std::uint64_t>(28.0 * ops);
+    return r;
+}
+
+KernelResult
+csvColumnStats(const serde::CsvTableObject &t)
+{
+    const std::size_t cols = t.columns.size();
+    const std::size_t rows = t.numRows();
+    std::vector<double> sum(cols, 0.0);
+    std::vector<double> lo(cols,
+                           std::numeric_limits<double>::infinity());
+    std::vector<double> hi(cols,
+                           -std::numeric_limits<double>::infinity());
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const double v = t.cell(r, c);
+            sum[c] += v;
+            lo[c] = std::min(lo[c], v);
+            hi[c] = std::max(hi[c], v);
+        }
+    }
+    Digest d;
+    for (std::size_t c = 0; c < cols; ++c) {
+        d.addDouble(rows ? sum[c] / static_cast<double>(rows) : 0.0);
+        d.addDouble(lo[c]);
+        d.addDouble(hi[c]);
+    }
+
+    const double cells = static_cast<double>(rows) * cols;
+    KernelResult r;
+    r.checksum = d.value();
+    r.work.cpuCycles = 5.0 * cells;
+    r.work.hostMemBytes = static_cast<std::uint64_t>(8.0 * cells);
+    r.work.gpuFlop = 3.0 * cells;
+    r.work.gpuMemBytes = static_cast<std::uint64_t>(8.0 * cells);
+    return r;
+}
+
+KernelResult
+jsonRecordReduce(const serde::JsonRecordsObject &o)
+{
+    Digest d;
+    double total = 0.0;
+    for (std::size_t r = 0; r < o.numRecords(); ++r) {
+        double sq = 0.0;
+        for (std::uint32_t i = o.recordOffsets[r];
+             i < o.recordOffsets[r + 1]; ++i) {
+            sq += o.values[i] * o.values[i];
+        }
+        total += std::sqrt(sq);
+        if (r % digestStep(o.numRecords()) == 0)
+            d.addDouble(std::round(std::sqrt(sq) * 100.0));
+    }
+    d.addDouble(std::round(total));
+
+    const double n = static_cast<double>(o.values.size());
+    KernelResult r;
+    r.checksum = d.value();
+    r.work.cpuCycles = 6.0 * n + 30.0 * static_cast<double>(
+                                            o.numRecords());
+    r.work.hostMemBytes = static_cast<std::uint64_t>(8.0 * n);
+    r.work.gpuFlop = 3.0 * n;
+    r.work.gpuMemBytes = static_cast<std::uint64_t>(8.0 * n);
+    return r;
+}
+
+}  // namespace morpheus::workloads

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The computation kernels of the ten benchmark applications.
+ *
+ * Every kernel is implemented functionally (real results, used to
+ * validate that all execution paths produced identical objects) and
+ * returns a checksum plus a KernelWork descriptor the timing models
+ * consume: CPU cycles for MPI/serial apps, a FLOP + memory-byte
+ * roofline for the CUDA apps (paper §VI-B: the kernels themselves are
+ * identical across baseline and Morpheus).
+ */
+
+#ifndef MORPHEUS_WORKLOADS_KERNELS_HH
+#define MORPHEUS_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+
+#include "workloads/objects.hh"
+
+namespace morpheus::workloads {
+
+/** Work descriptor the timing models charge for one kernel run. */
+struct KernelWork
+{
+    double cpuCycles = 0.0;       ///< Host-CPU kernel cycles (MPI/serial).
+    double gpuFlop = 0.0;         ///< GPU floating-point work.
+    std::uint64_t gpuMemBytes = 0;///< GPU memory traffic (roofline).
+    std::uint64_t hostMemBytes = 0;///< Host memory traffic of the kernel.
+};
+
+/** Outcome of a functional kernel run. */
+struct KernelResult
+{
+    std::uint64_t checksum = 0;  ///< Deterministic result digest.
+    KernelWork work;
+};
+
+KernelResult pageRank(const serde::EdgeListObject &g, unsigned iters);
+KernelResult connectedComponents(const serde::EdgeListObject &g);
+KernelResult sssp(const serde::EdgeListObject &g, std::uint32_t source,
+                  unsigned rounds);
+KernelResult bfs(const serde::EdgeListObject &g, std::uint32_t source);
+KernelResult gaussianEliminate(serde::MatrixObject m);
+KernelResult hybridSort(serde::IntArrayObject a);
+KernelResult kmeans(const serde::PointSetObject &p, unsigned k,
+                    unsigned iters);
+KernelResult ludDecompose(serde::MatrixObject m);
+KernelResult nearestNeighbors(const serde::PointSetObject &p,
+                              unsigned k);
+KernelResult spmv(const serde::CooMatrixObject &m, unsigned iters);
+
+/** Extension: per-column statistics over a CSV table. */
+KernelResult csvColumnStats(const serde::CsvTableObject &t);
+
+/** Extension: per-record L2-norm reduction over JSON records. */
+KernelResult jsonRecordReduce(const serde::JsonRecordsObject &o);
+
+}  // namespace morpheus::workloads
+
+#endif  // MORPHEUS_WORKLOADS_KERNELS_HH

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Device-runtime tests: the four Morpheus NVMe commands end to end on
+ * the simulated SSD (MINIT instance/core management, MREAD streaming
+ * deserialization, MWRITE serialization, MDEINIT return values).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/device_runtime.hh"
+#include "core/standard_apps.hh"
+#include "host/host_system.hh"
+#include "workloads/generators.hh"
+
+namespace co = morpheus::core;
+namespace ho = morpheus::host;
+namespace nv = morpheus::nvme;
+namespace sd = morpheus::serde;
+namespace wk = morpheus::workloads;
+
+namespace {
+
+struct Rig
+{
+    ho::HostSystem sys;
+    co::MorpheusDeviceRuntime device;
+    co::StandardImages images = co::StandardImages::make();
+
+    Rig() : device(sys.ssd()) {}
+
+    nv::Completion
+    io(nv::Command cmd, morpheus::sim::Tick now = 0)
+    {
+        return sys.nvmeDriver().io(sys.ioQueue(), cmd, now);
+    }
+
+    /** Stage + MINIT an instance. @return completion. */
+    nv::Completion
+    minit(std::uint32_t instance, const co::StorageAppImage &image,
+          co::DmaTarget target, std::uint32_t arg = 0)
+    {
+        co::InstanceSetup setup;
+        setup.image = &image;
+        setup.target = target;
+        setup.arg = arg;
+        device.stageInstance(instance, setup);
+        nv::Command c;
+        c.opcode = nv::Opcode::kMInit;
+        c.instanceId = instance;
+        c.prp1 = sys.allocHost(image.textBytes);
+        c.cdw13 = image.textBytes;
+        c.cdw14 = arg;
+        return io(c);
+    }
+};
+
+}  // namespace
+
+TEST(DeviceRuntime, MInitWithoutStagingFails)
+{
+    Rig rig;
+    nv::Command c;
+    c.opcode = nv::Opcode::kMInit;
+    c.instanceId = 77;
+    const auto cqe = rig.io(c);
+    EXPECT_EQ(cqe.status, nv::Status::kNoSuchInstance);
+}
+
+TEST(DeviceRuntime, MReadWithoutInstanceFails)
+{
+    Rig rig;
+    nv::Command c;
+    c.opcode = nv::Opcode::kMRead;
+    c.instanceId = 5;
+    const auto cqe = rig.io(c);
+    EXPECT_EQ(cqe.status, nv::Status::kNoSuchInstance);
+}
+
+TEST(DeviceRuntime, OversizedImageRejected)
+{
+    Rig rig;
+    const auto image = co::MorpheusCompiler::compile(
+        "huge",
+        [](std::uint32_t) {
+            return std::make_unique<co::IntArrayApp>(0);
+        },
+        10 * 1024 * 1024);  // way beyond I-SRAM
+    const auto cqe = rig.minit(
+        1, image, co::DmaTarget{rig.sys.allocHost(1024), false});
+    EXPECT_EQ(cqe.status, nv::Status::kAppLoadFailed);
+}
+
+TEST(DeviceRuntime, FullStreamDeserializesIntoHostMemory)
+{
+    Rig rig;
+    const auto a = wk::genIntArray(31, 20000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("ints", w.bytes());
+
+    const auto target_addr = rig.sys.allocHost(a.objectBytes());
+    ASSERT_TRUE(rig.minit(1, rig.images.intArray,
+                          co::DmaTarget{target_addr, false})
+                    .ok());
+
+    // Stream MREADs of 16 KiB.
+    const std::uint64_t chunk = 16 * 1024;
+    std::uint64_t off = 0;
+    morpheus::sim::Tick t = 0;
+    std::uint64_t mreads = 0;
+    while (off < extent.sizeBytes) {
+        const std::uint64_t valid =
+            std::min(chunk, extent.sizeBytes - off);
+        nv::Command c;
+        c.opcode = nv::Opcode::kMRead;
+        c.instanceId = 1;
+        c.slba = (extent.startByte + off) / nv::kBlockBytes;
+        c.nlb = static_cast<std::uint16_t>(
+            (valid + nv::kBlockBytes - 1) / nv::kBlockBytes - 1);
+        c.cdw13 = static_cast<std::uint32_t>(valid);
+        const auto cqe = rig.io(c, t);
+        ASSERT_TRUE(cqe.ok());
+        t = cqe.postedAt;
+        off += valid;
+        ++mreads;
+    }
+    EXPECT_GT(mreads, 5u);
+
+    nv::Command fin;
+    fin.opcode = nv::Opcode::kMDeinit;
+    fin.instanceId = 1;
+    const auto fin_cqe = rig.io(fin, t);
+    ASSERT_TRUE(fin_cqe.ok());
+    EXPECT_EQ(fin_cqe.dw0, a.values.size());
+
+    const auto bin = rig.sys.mem().store().readVec(
+        target_addr, static_cast<std::size_t>(a.objectBytes()));
+    EXPECT_EQ(sd::IntArrayObject::fromBinary(bin), a);
+    EXPECT_EQ(rig.device.objectBytesOut(), a.objectBytes());
+    EXPECT_EQ(rig.device.liveInstances(), 0u);
+}
+
+TEST(DeviceRuntime, InstanceIdReusableAfterDeinit)
+{
+    Rig rig;
+    const auto target = co::DmaTarget{rig.sys.allocHost(4096), false};
+    ASSERT_TRUE(rig.minit(9, rig.images.intArray, target).ok());
+    // Busy while live.
+    co::InstanceSetup setup;
+    setup.image = &rig.images.intArray;
+    setup.target = target;
+    rig.device.stageInstance(9, setup);
+    nv::Command again;
+    again.opcode = nv::Opcode::kMInit;
+    again.instanceId = 9;
+    again.cdw13 = rig.images.intArray.textBytes;
+    again.prp1 = rig.sys.allocHost(again.cdw13);
+    EXPECT_EQ(rig.io(again).status, nv::Status::kInstanceBusy);
+
+    nv::Command fin;
+    fin.opcode = nv::Opcode::kMDeinit;
+    fin.instanceId = 9;
+    ASSERT_TRUE(rig.io(fin).ok());
+    // Re-stage and re-init succeeds now.
+    ASSERT_TRUE(rig.minit(9, rig.images.intArray, target).ok());
+}
+
+TEST(DeviceRuntime, MReadTimeScalesWithFloatContent)
+{
+    // Same byte count, int-only vs float-heavy: soft-float makes the
+    // float stream slower on the FPU-less cores.
+    auto run = [](double float_fraction) {
+        Rig rig;
+        const auto c =
+            wk::genCooMatrix(33, 64, 64, 2000, float_fraction);
+        sd::TextWriter w;
+        c.serialize(w);
+        const auto extent = rig.sys.createFile("coo", w.bytes());
+        const auto target =
+            co::DmaTarget{rig.sys.allocHost(c.objectBytes()), false};
+        EXPECT_TRUE(
+            rig.minit(1, rig.images.cooMatrix, target).ok());
+        nv::Command cmd;
+        cmd.opcode = nv::Opcode::kMRead;
+        cmd.instanceId = 1;
+        cmd.slba = extent.startByte / nv::kBlockBytes;
+        const std::uint64_t blocks =
+            (extent.sizeBytes + nv::kBlockBytes - 1) / nv::kBlockBytes;
+        // Cap at MDTS; one command is enough for the comparison.
+        cmd.nlb = static_cast<std::uint16_t>(
+            std::min<std::uint64_t>(blocks, 256) - 1);
+        cmd.cdw13 = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            extent.sizeBytes, cmd.dataBytes()));
+        const auto t0 = rig.io(cmd, 0);
+        EXPECT_TRUE(t0.ok());
+        return t0.postedAt;
+    };
+    EXPECT_GT(run(1.0), run(0.0));
+}
+
+TEST(DeviceRuntime, MWriteSerializesToFlash)
+{
+    Rig rig;
+    const auto a = wk::genIntArray(34, 100);
+    std::vector<std::uint8_t> bin;
+    for (const auto v : a.values) {
+        const auto *p = reinterpret_cast<const std::uint8_t *>(&v);
+        bin.insert(bin.end(), p, p + 8);
+    }
+    const morpheus::pcie::Addr src = rig.sys.allocHost(bin.size());
+    rig.sys.mem().store().writeVec(src, bin);
+
+    // Destination region on flash.
+    const std::uint64_t dst_byte = 64ULL * 1024 * 1024;
+    ASSERT_TRUE(rig.minit(2, rig.images.int64Serializer,
+                          co::DmaTarget{src, false})
+                    .ok());
+    nv::Command wr;
+    wr.opcode = nv::Opcode::kMWrite;
+    wr.instanceId = 2;
+    wr.prp1 = src;
+    wr.slba = dst_byte / nv::kBlockBytes;
+    wr.nlb = static_cast<std::uint16_t>(bin.size() / nv::kBlockBytes);
+    wr.cdw13 = static_cast<std::uint32_t>(bin.size());
+    ASSERT_TRUE(rig.io(wr).ok());
+
+    // The flash now holds the ASCII text; parse it back.
+    const auto text =
+        rig.sys.ssd().peekBytes(dst_byte, 16 * a.values.size() + 16);
+    sd::TextScanner s(text.data(), text.size());
+    std::vector<std::int64_t> back;
+    std::int64_t v = 0;
+    while (s.nextInt64(&v) &&
+           back.size() < a.values.size()) {
+        back.push_back(v);
+    }
+    EXPECT_EQ(back, a.values);
+}
+
+TEST(DeviceRuntime, MWriteCursorContinuesAcrossCommands)
+{
+    // Two MWRITE chunks of binary values must serialize to one
+    // contiguous text region on flash.
+    Rig rig;
+    const auto a = wk::genIntArray(71, 400);
+    std::vector<std::uint8_t> bin;
+    for (const auto v : a.values) {
+        const auto *p = reinterpret_cast<const std::uint8_t *>(&v);
+        bin.insert(bin.end(), p, p + 8);
+    }
+    const morpheus::pcie::Addr src = rig.sys.allocHost(bin.size());
+    rig.sys.mem().store().writeVec(src, bin);
+    const std::uint64_t dst_byte = 96ULL << 20;
+    ASSERT_TRUE(rig.minit(3, rig.images.int64Serializer,
+                          co::DmaTarget{src, false})
+                    .ok());
+
+    morpheus::sim::Tick t = 0;
+    const std::size_t half = (bin.size() / 2 / 8) * 8;
+    const std::size_t parts[2][2] = {{0, half},
+                                     {half, bin.size() - half}};
+    for (const auto &[off, len] : parts) {
+        nv::Command wr;
+        wr.opcode = nv::Opcode::kMWrite;
+        wr.instanceId = 3;
+        wr.prp1 = src + off;
+        wr.slba = dst_byte / nv::kBlockBytes;
+        wr.nlb = static_cast<std::uint16_t>(
+            (len + nv::kBlockBytes - 1) / nv::kBlockBytes - 1);
+        wr.cdw13 = static_cast<std::uint32_t>(len);
+        const auto cqe = rig.io(wr, t);
+        ASSERT_TRUE(cqe.ok());
+        t = cqe.postedAt;
+    }
+
+    const auto text =
+        rig.sys.ssd().peekBytes(dst_byte, a.values.size() * 12 + 32);
+    sd::TextScanner s(text.data(), text.size());
+    std::vector<std::int64_t> back;
+    std::int64_t v = 0;
+    while (back.size() < a.values.size() && s.nextInt64(&v))
+        back.push_back(v);
+    EXPECT_EQ(back, a.values);
+}
+
+TEST(DeviceRuntime, StatsCountMorpheusCommands)
+{
+    Rig rig;
+    const auto a = wk::genIntArray(72, 3000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("s", w.bytes());
+    const auto target =
+        co::DmaTarget{rig.sys.allocHost(a.objectBytes()), false};
+    ASSERT_TRUE(rig.minit(4, rig.images.intArray, target).ok());
+    nv::Command c;
+    c.opcode = nv::Opcode::kMRead;
+    c.instanceId = 4;
+    c.slba = extent.startByte / nv::kBlockBytes;
+    c.nlb = 15;
+    c.cdw13 = 8192;
+    ASSERT_TRUE(rig.io(c).ok());
+    nv::Command fin;
+    fin.opcode = nv::Opcode::kMDeinit;
+    fin.instanceId = 4;
+    ASSERT_TRUE(rig.io(fin).ok());
+
+    morpheus::sim::stats::StatSet set;
+    rig.device.registerStats(set, "morpheus");
+    EXPECT_EQ(set.counterValue("morpheus.minits"), 1u);
+    EXPECT_EQ(set.counterValue("morpheus.mreads"), 1u);
+    EXPECT_EQ(set.counterValue("morpheus.mdeinits"), 1u);
+    EXPECT_GT(set.counterValue("morpheus.objectBytesOut"), 0u);
+    EXPECT_EQ(set.counterValue("morpheus.rawBytesIn"), 8192u);
+}

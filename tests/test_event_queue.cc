@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the discrete-event core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace ms = morpheus::sim;
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    ms::EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    ms::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    ms::EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NestedSchedulingRunsInSameDrain)
+{
+    ms::EventQueue eq;
+    int hits = 0;
+    eq.schedule(5, [&] {
+        ++hits;
+        eq.scheduleIn(5, [&] { ++hits; });
+    });
+    eq.run();
+    EXPECT_EQ(hits, 2);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty)
+{
+    ms::EventQueue eq;
+    EXPECT_FALSE(eq.runOne());
+    eq.schedule(1, [] {});
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    ms::EventQueue eq;
+    int hits = 0;
+    eq.schedule(10, [&] { ++hits; });
+    eq.schedule(20, [&] { ++hits; });
+    eq.schedule(30, [&] { ++hits; });
+    eq.runUntil(20);
+    EXPECT_EQ(hits, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(hits, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithNoEvents)
+{
+    ms::EventQueue eq;
+    eq.runUntil(12345);
+    EXPECT_EQ(eq.now(), 12345u);
+}
+
+TEST(EventQueue, AdvanceToMovesClock)
+{
+    ms::EventQueue eq;
+    eq.advanceTo(500);
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics)
+{
+    ms::EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "scheduling into the past");
+}
+
+TEST(EventQueue, ExecutedCountsEvents)
+{
+    ms::EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(static_cast<ms::Tick>(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+TEST(EventQueue, TickConversionHelpers)
+{
+    EXPECT_EQ(ms::secondsToTicks(1.0), ms::kPsPerSec);
+    EXPECT_DOUBLE_EQ(ms::ticksToSeconds(ms::kPsPerSec), 1.0);
+    EXPECT_DOUBLE_EQ(ms::ticksToUs(ms::kPsPerUs), 1.0);
+    EXPECT_DOUBLE_EQ(ms::ticksToMs(ms::kPsPerMs), 1.0);
+    // Transfers round up: a nonzero payload never takes zero time.
+    EXPECT_EQ(ms::transferTicks(0, 1e9), 0u);
+    EXPECT_GE(ms::transferTicks(1, 1e15), 1u);
+    // 1 GB at 1 GB/s = 1 second.
+    EXPECT_EQ(ms::transferTicks(1000000000ULL, 1e9), ms::kPsPerSec);
+    // Cycles: 1000 cycles at 1 GHz = 1 us.
+    EXPECT_EQ(ms::cyclesToTicks(1000.0, 1e9), ms::kPsPerUs);
+}
+
+TEST(LoggingDeath, PanicAbortsAndFatalExits)
+{
+    // gem5 semantics: panic() = simulator bug -> abort (SIGABRT);
+    // fatal() = user error -> exit(1).
+    EXPECT_DEATH(MORPHEUS_PANIC("boom ", 42), "panic: boom 42");
+    EXPECT_EXIT(MORPHEUS_FATAL("bad config ", 7),
+                ::testing::ExitedWithCode(1), "fatal: bad config 7");
+}
+
+TEST(Logging, AssertPassesOnTrueCondition)
+{
+    MORPHEUS_ASSERT(1 + 1 == 2, "arithmetic works");
+    EXPECT_DEATH(MORPHEUS_ASSERT(false, "ctx ", 99),
+                 "assertion failed");
+}
+
+TEST(Logging, LogLevelRoundTrips)
+{
+    using morpheus::sim::LogLevel;
+    const auto old = morpheus::sim::logLevel();
+    morpheus::sim::setLogLevel(LogLevel::kQuiet);
+    EXPECT_EQ(morpheus::sim::logLevel(), LogLevel::kQuiet);
+    morpheus::sim::setLogLevel(old);
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Workload-generator tests: determinism, structure, and the selection
+ * criteria of §VI-B (integer-dominated inputs, configurable float
+ * fraction).
+ */
+
+#include <gtest/gtest.h>
+
+#include "serde/writer.hh"
+#include "workloads/generators.hh"
+
+namespace sd = morpheus::serde;
+namespace wk = morpheus::workloads;
+
+TEST(Generators, EdgeListDeterministicAndInRange)
+{
+    const auto a = wk::genEdgeList(1, 1000, 5000, false);
+    const auto b = wk::genEdgeList(1, 1000, 5000, false);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.numEdges(), 5000u);
+    EXPECT_EQ(a.numVertices, 1000u);
+    for (std::size_t i = 0; i < a.numEdges(); ++i) {
+        EXPECT_LT(a.src[i], 1000u);
+        EXPECT_LT(a.dst[i], 1000u);
+        EXPECT_NE(a.src[i], a.dst[i]);  // no self loops
+    }
+}
+
+TEST(Generators, EdgeListSkewedDegrees)
+{
+    const auto g = wk::genEdgeList(2, 1000, 50000, false);
+    // Low vertex ids should source far more edges than high ones.
+    std::uint64_t low = 0, high = 0;
+    for (const auto s : g.src) {
+        if (s < 100)
+            ++low;
+        if (s >= 900)
+            ++high;
+    }
+    EXPECT_GT(low, 4 * high);
+}
+
+TEST(Generators, WeightedEdgesHavePositiveWeights)
+{
+    const auto g = wk::genEdgeList(3, 100, 1000, true);
+    ASSERT_EQ(g.weight.size(), 1000u);
+    for (const auto w : g.weight) {
+        EXPECT_GE(w, 1);
+        EXPECT_LE(w, 99);
+    }
+}
+
+TEST(Generators, MatrixIsDiagonallyDominant)
+{
+    const auto m = wk::genMatrix(4, 50, 0.2);
+    for (std::uint32_t r = 0; r < 50; ++r) {
+        double off = 0.0;
+        for (std::uint32_t c = 0; c < 50; ++c) {
+            if (c != r)
+                off += std::abs(m.values[r * 50 + c]);
+        }
+        EXPECT_GT(m.values[r * 50 + r], off * 0.49);
+    }
+}
+
+TEST(Generators, FloatFractionControlsTokenMix)
+{
+    // Serialize and count '.' tokens to estimate the float share.
+    auto float_share = [](double frac) {
+        const auto m = wk::genCooMatrix(5, 100, 100, 5000, frac);
+        std::size_t floats = 0;
+        for (const auto v : m.values) {
+            if (v != static_cast<double>(
+                         static_cast<std::int64_t>(v))) {
+                ++floats;
+            }
+        }
+        return static_cast<double>(floats) / 5000.0;
+    };
+    EXPECT_LT(float_share(0.0), 0.01);
+    EXPECT_NEAR(float_share(0.33), 0.33, 0.05);
+    EXPECT_NEAR(float_share(1.0), 1.0, 0.05);
+}
+
+TEST(Generators, PointSetShape)
+{
+    const auto p = wk::genPointSet(6, 500, 7, 0.0);
+    EXPECT_EQ(p.numPoints(), 500u);
+    EXPECT_EQ(p.dims, 7u);
+    EXPECT_EQ(p.coords.size(), 3500u);
+}
+
+TEST(Generators, CooRowsSortedNondecreasing)
+{
+    const auto m = wk::genCooMatrix(7, 200, 100, 3000, 0.0);
+    for (std::size_t i = 1; i < m.nnz(); ++i)
+        EXPECT_LE(m.rowIdx[i - 1], m.rowIdx[i]);
+    for (std::size_t i = 0; i < m.nnz(); ++i) {
+        EXPECT_LT(m.rowIdx[i], 200u);
+        EXPECT_LT(m.colIdx[i], 100u);
+    }
+}
+
+TEST(Generators, IntArrayBoundedForCompactText)
+{
+    const auto a = wk::genIntArray(8, 10000);
+    for (const auto v : a.values) {
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 999999);
+    }
+}
+
+TEST(Generators, TextSizesScaleWithElementCount)
+{
+    sd::TextWriter w1, w2;
+    wk::genIntArray(9, 1000).serialize(w1);
+    wk::genIntArray(9, 2000).serialize(w2);
+    EXPECT_GT(w2.size(), w1.size() * 3 / 2);
+}

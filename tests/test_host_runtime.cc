@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Host-runtime tests: the full invoke() path (MINIT + chunked MREADs +
+ * MDEINIT), context-switch behaviour, and chunk-size invariance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/host_runtime.hh"
+#include "core/standard_apps.hh"
+#include "workloads/generators.hh"
+
+namespace co = morpheus::core;
+namespace ho = morpheus::host;
+namespace sd = morpheus::serde;
+namespace wk = morpheus::workloads;
+
+namespace {
+
+struct Rig
+{
+    ho::HostSystem sys;
+    co::MorpheusDeviceRuntime device;
+    co::NvmeP2p p2p;
+    co::MorpheusRuntime runtime;
+    co::StandardImages images = co::StandardImages::make();
+
+    Rig() : device(sys.ssd()), p2p(sys), runtime(sys, device, p2p) {}
+};
+
+}  // namespace
+
+TEST(HostRuntime, StreamCreateChargesOsWork)
+{
+    Rig rig;
+    const auto extent =
+        rig.sys.createFile("f", std::vector<std::uint8_t>{'1', ' '});
+    const auto cs = rig.sys.os().syscalls();
+    const auto stream = rig.runtime.streamCreate(extent, 1000);
+    EXPECT_GT(stream.readyAt, 1000u);
+    EXPECT_EQ(rig.sys.os().syscalls(), cs + 2);
+}
+
+TEST(HostRuntime, InvokeDeserializesWholeFile)
+{
+    Rig rig;
+    const auto a = wk::genIntArray(41, 20000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("ints", w.bytes());
+
+    const auto stream =
+        rig.runtime.streamCreate(extent, extent.readyAt);
+    const auto target = rig.runtime.hostTarget(a.objectBytes());
+    const auto res = rig.runtime.invoke(rig.images.intArray, stream,
+                                        target, extent.readyAt);
+
+    EXPECT_EQ(res.returnValue, a.values.size());
+    EXPECT_GT(res.done, res.start);
+    EXPECT_EQ(res.objectBytes, a.objectBytes());
+    EXPECT_GT(res.mreadCommands, 1u);
+
+    const auto bin = rig.sys.mem().store().readVec(
+        target.addr, static_cast<std::size_t>(a.objectBytes()));
+    EXPECT_EQ(sd::IntArrayObject::fromBinary(bin), a);
+}
+
+TEST(HostRuntime, FewWakeupsRegardlessOfFileSize)
+{
+    // The Fig 10 mechanism: the host blocks per batch (queue depth),
+    // not per chunk.
+    Rig rig;
+    const auto a = wk::genIntArray(42, 60000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("big", w.bytes());
+    const auto stream =
+        rig.runtime.streamCreate(extent, extent.readyAt);
+    const auto target = rig.runtime.hostTarget(a.objectBytes());
+
+    co::InvokeOptions opts;
+    opts.chunkBlocks = 16;  // 8 KiB chunks -> many MREADs
+    const auto res = rig.runtime.invoke(rig.images.intArray, stream,
+                                        target, extent.readyAt, opts);
+    EXPECT_GT(res.mreadCommands, 50u);
+    EXPECT_LT(res.hostWakeups, res.mreadCommands / 10);
+}
+
+TEST(HostRuntime, ChunkSizeDoesNotChangeTheObject)
+{
+    const auto g = wk::genEdgeList(43, 128, 2000, false);
+    sd::TextWriter w;
+    g.serialize(w);
+
+    auto run = [&](std::uint32_t chunk_blocks) {
+        Rig rig;
+        const auto extent = rig.sys.createFile("g", w.bytes());
+        const auto stream =
+            rig.runtime.streamCreate(extent, extent.readyAt);
+        const auto target = rig.runtime.hostTarget(g.objectBytes());
+        co::InvokeOptions opts;
+        opts.chunkBlocks = chunk_blocks;
+        opts.arg = 0;
+        rig.runtime.invoke(rig.images.edgeList, stream, target,
+                           extent.readyAt, opts);
+        return rig.sys.mem().store().readVec(
+            target.addr, static_cast<std::size_t>(g.objectBytes()));
+    };
+    const auto a = run(8);
+    const auto b = run(64);
+    const auto c = run(0);  // MDTS
+    EXPECT_EQ(a, g.toBinary());
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(c, a);
+}
+
+TEST(HostRuntime, DistinctInstancesMapToDistinctCores)
+{
+    Rig rig;
+    const auto a = wk::genIntArray(44, 2000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto e1 = rig.sys.createFile("p0", w.bytes());
+    const auto e2 = rig.sys.createFile("p1", w.bytes());
+
+    const auto s1 = rig.runtime.streamCreate(e1, e2.readyAt);
+    const auto s2 = rig.runtime.streamCreate(e2, e2.readyAt);
+    const auto t1 = rig.runtime.hostTarget(a.objectBytes());
+    const auto t2 = rig.runtime.hostTarget(a.objectBytes());
+    rig.runtime.invoke(rig.images.intArray, s1, t1, e2.readyAt);
+    rig.runtime.invoke(rig.images.intArray, s2, t2, e2.readyAt);
+
+    // Instances 1 and 2 land on cores 1 and 2 (static modulo map).
+    EXPECT_GT(rig.sys.ssd().core(1).cyclesExecuted(), 0u);
+    EXPECT_GT(rig.sys.ssd().core(2).cyclesExecuted(), 0u);
+}
+
+TEST(HostRuntime, GpuTargetDeliversObjectsToGpuMemory)
+{
+    Rig rig;
+    const auto a = wk::genIntArray(45, 5000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("ints", w.bytes());
+    const auto stream =
+        rig.runtime.streamCreate(extent, extent.readyAt);
+
+    std::uint64_t dev_addr = 0;
+    const auto target =
+        rig.runtime.gpuTarget(a.objectBytes(), &dev_addr);
+    EXPECT_TRUE(target.isGpu);
+    const auto res = rig.runtime.invoke(rig.images.intArray, stream,
+                                        target, extent.readyAt);
+    EXPECT_EQ(res.returnValue, a.values.size());
+
+    const auto bin = rig.sys.gpu().mem().readVec(
+        dev_addr, static_cast<std::size_t>(a.objectBytes()));
+    EXPECT_EQ(sd::IntArrayObject::fromBinary(bin), a);
+    // The transfer went peer-to-peer: the host link saw none of it.
+    EXPECT_GE(rig.p2p.p2pBytes(), a.objectBytes());
+}
+
+TEST(HostRuntimeDeath, OversizedImagePanicsAtInvoke)
+{
+    Rig rig;
+    const auto extent =
+        rig.sys.createFile("f", std::vector<std::uint8_t>{'1', ' '});
+    const auto huge = co::MorpheusCompiler::compile(
+        "huge",
+        [](std::uint32_t) {
+            return std::make_unique<co::IntArrayApp>(0);
+        },
+        64 * 1024 * 1024);
+    const auto stream =
+        rig.runtime.streamCreate(extent, extent.readyAt);
+    const auto target = rig.runtime.hostTarget(64);
+    EXPECT_DEATH(rig.runtime.invoke(huge, stream, target,
+                                    extent.readyAt),
+                 "MINIT failed");
+}
+
+TEST(HostRuntime, FlushThresholdOverrideIsHonoured)
+{
+    // A tiny staging threshold forces many small DMA flushes; the
+    // object must still be byte-identical.
+    Rig rig;
+    const auto a = wk::genIntArray(55, 5000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("ints", w.bytes());
+    const auto stream =
+        rig.runtime.streamCreate(extent, extent.readyAt);
+    const auto target = rig.runtime.hostTarget(a.objectBytes());
+    co::InvokeOptions o;
+    o.flushThreshold = 256;
+    const auto res = rig.runtime.invoke(rig.images.intArray, stream,
+                                        target, extent.readyAt, o);
+    EXPECT_EQ(res.returnValue, a.values.size());
+    const auto bin = rig.sys.mem().store().readVec(
+        target.addr, static_cast<std::size_t>(a.objectBytes()));
+    EXPECT_EQ(sd::IntArrayObject::fromBinary(bin), a);
+}
+
+TEST(HostRuntime, RanksUseDistinctQueuePairs)
+{
+    Rig rig;
+    EXPECT_GT(rig.sys.numIoQueues(), 1u);
+    EXPECT_NE(rig.sys.ioQueue(0), rig.sys.ioQueue(1));
+    EXPECT_EQ(rig.sys.ioQueue(0),
+              rig.sys.ioQueue(rig.sys.numIoQueues()));
+}

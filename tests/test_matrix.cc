@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The full validation matrix: every Table-I application under every
+ * execution mode must produce objects bit-identical to a direct parse
+ * of its input text and the same kernel checksum — the end-to-end
+ * functional guarantee behind every timing comparison in bench/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "workloads/runner.hh"
+
+namespace wk = morpheus::workloads;
+
+namespace {
+
+const char *
+modeName(wk::ExecutionMode m)
+{
+    switch (m) {
+      case wk::ExecutionMode::kBaseline:
+        return "baseline";
+      case wk::ExecutionMode::kMorpheus:
+        return "morpheus";
+      case wk::ExecutionMode::kMorpheusP2p:
+        return "p2p";
+    }
+    return "?";
+}
+
+}  // namespace
+
+class AppModeMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, wk::ExecutionMode>>
+{
+};
+
+TEST_P(AppModeMatrix, ValidatesAndProducesSanePhases)
+{
+    const auto &[name, mode] = GetParam();
+    wk::RunOptions opts;
+    opts.mode = mode;
+    opts.scale = 0.05;
+    const wk::RunMetrics m =
+        wk::runWorkload(wk::findApp(name), opts);
+
+    EXPECT_TRUE(m.validated) << name << "/" << modeName(mode);
+    EXPECT_GT(m.deserTime, 0u);
+    EXPECT_GT(m.kernelTime, 0u);
+    EXPECT_GE(m.totalTime, m.deserTime + m.kernelTime);
+    EXPECT_GT(m.rawTextBytes, 0u);
+    EXPECT_GT(m.objectBytesProduced, 0u);
+    EXPECT_GT(m.effectiveBandwidthMBps, 0.0);
+    EXPECT_GT(m.deserPowerWatts, 100.0);   // at least idle power
+    EXPECT_LT(m.deserPowerWatts, 400.0);   // and not absurd
+    EXPECT_GT(m.deserEnergyJoules, 0.0);
+    if (mode == wk::ExecutionMode::kBaseline) {
+        EXPECT_GT(m.contextSwitchesDeser, 10u);
+        EXPECT_EQ(m.p2pBytes, 0u);
+    } else {
+        EXPECT_LT(m.contextSwitchesDeser, 100u);
+    }
+}
+
+namespace {
+
+std::vector<std::tuple<std::string, wk::ExecutionMode>>
+allCombinations()
+{
+    std::vector<std::tuple<std::string, wk::ExecutionMode>> out;
+    for (const auto &app : wk::standardSuite()) {
+        for (const auto mode :
+             {wk::ExecutionMode::kBaseline, wk::ExecutionMode::kMorpheus,
+              wk::ExecutionMode::kMorpheusP2p}) {
+            out.emplace_back(app.name, mode);
+        }
+    }
+    return out;
+}
+
+std::string
+comboName(
+    const ::testing::TestParamInfo<
+        std::tuple<std::string, wk::ExecutionMode>> &info)
+{
+    return std::get<0>(info.param) + "_" +
+           modeName(std::get<1>(info.param));
+}
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(Suite, AppModeMatrix,
+                         ::testing::ValuesIn(allCombinations()),
+                         comboName);
+
+TEST(Matrix, MorpheusWinsOnDeserAcrossTheSuite)
+{
+    // The qualitative Fig 8 claim at test scale: Morpheus's
+    // deserialization is at least no slower everywhere and strictly
+    // faster for the integer-heavy apps.
+    unsigned strictly_faster = 0;
+    for (const auto &app : wk::standardSuite()) {
+        wk::RunOptions base;
+        base.mode = wk::ExecutionMode::kBaseline;
+        base.scale = 0.1;
+        wk::RunOptions morph = base;
+        morph.mode = wk::ExecutionMode::kMorpheus;
+        const auto mb = wk::runWorkload(app, base);
+        const auto mm = wk::runWorkload(app, morph);
+        EXPECT_LT(mm.deserTime, mb.deserTime * 11 / 10)
+            << app.name;  // never meaningfully slower
+        if (mm.deserTime < mb.deserTime * 9 / 10)
+            ++strictly_faster;
+    }
+    EXPECT_GE(strictly_faster, 7u);
+}

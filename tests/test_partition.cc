@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Partition/merge round-trip tests (the MPI file-per-rank layout).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/generators.hh"
+#include "workloads/partition.hh"
+
+namespace wk = morpheus::workloads;
+
+namespace {
+
+void
+roundTrip(const wk::AnyObject &obj, wk::ObjectKind kind, unsigned parts)
+{
+    const auto shards = wk::partitionObject(obj, parts);
+    ASSERT_EQ(shards.size(), parts);
+    const auto merged = wk::mergeObjects(kind, shards);
+    EXPECT_TRUE(wk::objectsEqual(obj, merged));
+}
+
+}  // namespace
+
+class PartitionParts : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PartitionParts, EdgeListRoundTrips)
+{
+    roundTrip(wk::AnyObject(wk::genEdgeList(1, 100, 997, false)),
+              wk::ObjectKind::kEdgeList, GetParam());
+}
+
+TEST_P(PartitionParts, WeightedEdgeListRoundTrips)
+{
+    roundTrip(wk::AnyObject(wk::genEdgeList(2, 100, 1003, true)),
+              wk::ObjectKind::kEdgeListWeighted, GetParam());
+}
+
+TEST_P(PartitionParts, MatrixRoundTrips)
+{
+    roundTrip(wk::AnyObject(wk::genMatrix(3, 37, 0.2)),
+              wk::ObjectKind::kMatrix, GetParam());
+}
+
+TEST_P(PartitionParts, IntArrayRoundTrips)
+{
+    roundTrip(wk::AnyObject(wk::genIntArray(4, 1009)),
+              wk::ObjectKind::kIntArray, GetParam());
+}
+
+TEST_P(PartitionParts, PointSetRoundTrips)
+{
+    roundTrip(wk::AnyObject(wk::genPointSet(5, 503, 5, 0.0)),
+              wk::ObjectKind::kPointSet, GetParam());
+}
+
+TEST_P(PartitionParts, CooRoundTrips)
+{
+    roundTrip(wk::AnyObject(wk::genCooMatrix(6, 64, 64, 999, 0.3)),
+              wk::ObjectKind::kCooMatrix, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, PartitionParts,
+                         ::testing::Values(1, 2, 3, 4, 7, 16));
+
+TEST(Partition, ShardsAreBalanced)
+{
+    const auto obj = wk::AnyObject(wk::genIntArray(7, 103));
+    const auto shards = wk::partitionObject(obj, 4);
+    std::size_t lo = SIZE_MAX, hi = 0;
+    for (const auto &s : shards) {
+        const auto n =
+            std::get<morpheus::serde::IntArrayObject>(s).values.size();
+        lo = std::min(lo, n);
+        hi = std::max(hi, n);
+    }
+    EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(Partition, MatrixShardsKeepColumnCount)
+{
+    const auto obj = wk::AnyObject(wk::genMatrix(8, 10, 0.0));
+    const auto shards = wk::partitionObject(obj, 3);
+    for (const auto &s : shards) {
+        const auto &m = std::get<morpheus::serde::MatrixObject>(s);
+        EXPECT_EQ(m.cols, 10u);
+        EXPECT_EQ(m.values.size(),
+                  static_cast<std::size_t>(m.rows) * 10u);
+    }
+}
+
+TEST_P(PartitionParts, CsvTableRoundTrips)
+{
+    roundTrip(wk::AnyObject(wk::genCsvTable(9, 211, 6, 0.3)),
+              wk::ObjectKind::kCsvTable, GetParam());
+}
+
+TEST_P(PartitionParts, JsonRecordsRoundTrips)
+{
+    roundTrip(wk::AnyObject(wk::genJsonRecords(10, 307, 0.3)),
+              wk::ObjectKind::kJsonRecords, GetParam());
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Power/energy model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/power_model.hh"
+
+namespace ho = morpheus::host;
+namespace ms = morpheus::sim;
+
+TEST(PowerModel, IdleSystemDrawsIdlePower)
+{
+    ho::PowerModel p(ho::PowerConfig{});
+    EXPECT_DOUBLE_EQ(p.systemWatts(ho::PhaseActivity{}),
+                     p.config().idleWatts);
+}
+
+TEST(PowerModel, ComponentsAddLinearly)
+{
+    ho::PowerConfig cfg;
+    ho::PowerModel p(cfg);
+    ho::PhaseActivity act;
+    act.cpuCoresParsing = 2.0;
+    act.ssdIoActive = 1.0;
+    act.ssdCoresActive = 3.0;
+    EXPECT_DOUBLE_EQ(p.systemWatts(act),
+                     cfg.idleWatts + 2 * cfg.cpuCoreActiveWatts +
+                         cfg.ssdIoWatts + 3 * cfg.ssdCoreActiveWatts);
+}
+
+TEST(PowerModel, MorpheusStyleActivityDrawsLessThanBaselineStyle)
+{
+    // The Fig 9 structure: host cores parsing vs embedded cores.
+    ho::PowerModel p(ho::PowerConfig{});
+    ho::PhaseActivity baseline;
+    baseline.cpuCoresParsing = 1.0;
+    baseline.ssdIoActive = 0.5;
+    baseline.dramStreaming = 1.0;
+    ho::PhaseActivity morpheus;
+    morpheus.ssdIoActive = 0.8;
+    morpheus.ssdCoresActive = 1.0;
+    morpheus.cpuCoresParsing = 0.05;  // occasional wakeups
+    EXPECT_GT(p.systemWatts(baseline), p.systemWatts(morpheus));
+}
+
+TEST(PowerModel, EnergyIntegratesPowerOverTime)
+{
+    ho::PowerModel p(ho::PowerConfig{});
+    ho::PhaseActivity act;
+    act.gpuActive = 1.0;
+    const double watts = p.systemWatts(act);
+    const double joules = p.energyJoules(act, ms::kPsPerSec);
+    EXPECT_DOUBLE_EQ(joules, watts);
+    EXPECT_DOUBLE_EQ(p.energyJoules(act, ms::kPsPerMs), watts / 1000.0);
+}
+
+TEST(PowerModel, EnergyCanDropEvenWhenPowerIsClose)
+{
+    // Morpheus saves more energy than power because it also finishes
+    // sooner (paper: -7% power but -42% energy).
+    ho::PowerModel p(ho::PowerConfig{});
+    ho::PhaseActivity baseline;
+    baseline.cpuCoresParsing = 1.0;
+    ho::PhaseActivity morpheus;
+    morpheus.ssdCoresActive = 1.0;
+
+    const double e_base =
+        p.energyJoules(baseline, 166 * ms::kPsPerMs);
+    const double e_morph =
+        p.energyJoules(morpheus, 100 * ms::kPsPerMs);
+    const double power_ratio = p.systemWatts(morpheus) /
+                               p.systemWatts(baseline);
+    const double energy_ratio = e_morph / e_base;
+    EXPECT_LT(energy_ratio, power_ratio);
+    EXPECT_LT(energy_ratio, 0.7);
+}

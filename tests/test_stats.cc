@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace st = morpheus::sim::stats;
+
+TEST(Counter, AccumulatesAndResets)
+{
+    st::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, TracksMoments)
+{
+    st::Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(1.0);
+    a.sample(3.0);
+    a.sample(5.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 9.0);
+}
+
+TEST(Histogram, BucketsSamplesCorrectly)
+{
+    st::Histogram h(0.0, 100.0, 10);
+    h.sample(5.0);    // bucket 0
+    h.sample(15.0);   // bucket 1
+    h.sample(95.0);   // bucket 9
+    h.sample(-1.0);   // underflow
+    h.sample(100.0);  // overflow (range is half-open)
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.samples(), 5u);
+}
+
+TEST(Histogram, QuantileInterpolatesBucketMidpoints)
+{
+    st::Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i));
+    const double median = h.quantile(0.5);
+    EXPECT_GE(median, 40.0);
+    EXPECT_LE(median, 60.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    st::Histogram h(0.0, 10.0, 5);
+    h.sample(3.0);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.bucketCount(1), 0u);
+}
+
+TEST(StatSet, ReportIsSortedAndComplete)
+{
+    st::StatSet set;
+    st::Counter b, a;
+    ++a;
+    b += 2;
+    set.registerCounter("zeta", &b);
+    set.registerCounter("alpha", &a);
+    std::ostringstream os;
+    set.report(os);
+    EXPECT_EQ(os.str(), "alpha 1\nzeta 2\n");
+    EXPECT_EQ(set.counterValue("zeta"), 2u);
+    EXPECT_EQ(set.counterValue("missing"), 0u);
+}
+
+TEST(StatSetDeath, DuplicateNamePanics)
+{
+    st::StatSet set;
+    st::Counter c;
+    set.registerCounter("x", &c);
+    EXPECT_DEATH(set.registerCounter("x", &c), "duplicate");
+}

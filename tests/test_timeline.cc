@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for serialized-resource timelines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/timeline.hh"
+
+namespace ms = morpheus::sim;
+
+TEST(Timeline, FirstAcquireStartsAtRequest)
+{
+    ms::Timeline t("t");
+    EXPECT_EQ(t.acquire(100, 50), 100u);
+    EXPECT_EQ(t.freeAt(), 150u);
+}
+
+TEST(Timeline, BackToBackRequestsQueue)
+{
+    ms::Timeline t("t");
+    t.acquire(0, 100);
+    // Second op asks for tick 10 but the resource is busy until 100.
+    EXPECT_EQ(t.acquire(10, 30), 100u);
+    EXPECT_EQ(t.freeAt(), 130u);
+}
+
+TEST(Timeline, GapsLeaveIdleTime)
+{
+    ms::Timeline t("t");
+    t.acquire(0, 10);
+    EXPECT_EQ(t.acquire(100, 10), 100u);
+    EXPECT_EQ(t.busyTicks(), 20u);
+    EXPECT_DOUBLE_EQ(t.utilization(200), 0.1);
+}
+
+TEST(Timeline, AcquireUntilReturnsCompletion)
+{
+    ms::Timeline t("t");
+    EXPECT_EQ(t.acquireUntil(5, 20), 25u);
+}
+
+TEST(Timeline, UtilizationClampsToOne)
+{
+    ms::Timeline t("t");
+    t.acquire(0, 1000);
+    EXPECT_DOUBLE_EQ(t.utilization(10), 1.0);
+    EXPECT_DOUBLE_EQ(t.utilization(0), 0.0);
+}
+
+TEST(Timeline, ResetClearsState)
+{
+    ms::Timeline t("t");
+    t.acquire(0, 100);
+    t.reset();
+    EXPECT_EQ(t.freeAt(), 0u);
+    EXPECT_EQ(t.busyTicks(), 0u);
+    EXPECT_EQ(t.ops(), 0u);
+}
+
+TEST(TimelineBank, DispatchesToEarliestFreeUnit)
+{
+    ms::TimelineBank bank("b", 2);
+    unsigned unit = 99;
+    EXPECT_EQ(bank.acquire(0, 100, &unit), 0u);
+    EXPECT_EQ(unit, 0u);
+    // Unit 0 busy until 100; unit 1 free: second op runs immediately.
+    EXPECT_EQ(bank.acquire(0, 100, &unit), 0u);
+    EXPECT_EQ(unit, 1u);
+    // Both busy until 100: third op waits.
+    EXPECT_EQ(bank.acquire(0, 50, &unit), 100u);
+}
+
+TEST(TimelineBank, AcquireUnitTargetsSpecificUnit)
+{
+    ms::TimelineBank bank("b", 3);
+    bank.acquireUnit(2, 0, 40);
+    EXPECT_EQ(bank.unit(2).busyTicks(), 40u);
+    EXPECT_EQ(bank.unit(0).busyTicks(), 0u);
+    EXPECT_EQ(bank.totalBusyTicks(), 40u);
+}
+
+TEST(TimelineBankDeath, ZeroUnitsPanics)
+{
+    EXPECT_DEATH(ms::TimelineBank("b", 0), "at least one unit");
+}
+
+TEST(Timeline, GapFillingPlacesLateArrivalsEarly)
+{
+    // A reservation far in the future must not block a later-issued
+    // request for an earlier slot (logically concurrent activities are
+    // walked sequentially by the simulator).
+    ms::Timeline t("t");
+    t.acquire(1000000, 500);
+    EXPECT_EQ(t.acquire(0, 200), 0u);          // fills the early gap
+    EXPECT_EQ(t.acquire(100, 800000), 200u);   // fits before the island
+    EXPECT_EQ(t.freeAt(), 1000500u);
+}
+
+TEST(Timeline, GapTooSmallSkipsToNextGap)
+{
+    ms::Timeline t("t");
+    t.acquire(100, 50);   // busy [100,150)
+    t.acquire(200, 50);   // busy [200,250)
+    // A 80-tick request at 90 does not fit in [150,200); lands at 250.
+    EXPECT_EQ(t.acquire(90, 80), 250u);
+}
+
+TEST(Timeline, AdjacentReservationsMerge)
+{
+    ms::Timeline t("t");
+    t.acquire(0, 100);
+    t.acquire(100, 100);
+    t.acquire(200, 100);
+    EXPECT_EQ(t.intervals(), 1u);
+    EXPECT_EQ(t.freeAt(), 300u);
+}
+
+TEST(Timeline, ZeroDurationIsFree)
+{
+    ms::Timeline t("t");
+    t.acquire(0, 100);
+    EXPECT_EQ(t.acquire(50, 0), 50u);  // no occupancy, no queueing
+    EXPECT_EQ(t.busyTicks(), 100u);
+}
+
+TEST(Timeline, BusyTicksAccumulateAcrossGapFills)
+{
+    ms::Timeline t("t");
+    t.acquire(1000, 10);
+    t.acquire(0, 10);
+    t.acquire(500, 10);
+    EXPECT_EQ(t.busyTicks(), 30u);
+    EXPECT_EQ(t.ops(), 3u);
+    EXPECT_EQ(t.intervals(), 3u);
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * NVMe Dataset Management (TRIM) and Identify tests, plus the FTL-side
+ * trim semantics (trimmed pages read as zeros and are GC-reclaimable).
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/host_system.hh"
+
+namespace ho = morpheus::host;
+namespace nv = morpheus::nvme;
+namespace ms = morpheus::sim;
+
+namespace {
+
+std::vector<std::uint8_t>
+pattern(std::size_t n)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(i % 199 + 1);
+    return v;
+}
+
+}  // namespace
+
+TEST(Identify, ReportsCapacityAndMdts)
+{
+    ho::HostSystem sys;
+    const nv::IdentifyData id = sys.ssd().identify();
+    EXPECT_EQ(id.capacityBlocks, sys.ssd().capacityBlocks());
+    EXPECT_EQ(id.maxTransferBlocks,
+              sys.config().ssd.nvme.maxTransferBlocks);
+    EXPECT_GT(id.numQueues, 0);
+    EXPECT_STREQ(id.model, "Morpheus-SSD 512GB");
+    // No engine installed in a bare system.
+    EXPECT_FALSE(id.morpheusCapable);
+}
+
+TEST(Identify, MorpheusCapableOnceEngineInstalled)
+{
+    ho::HostSystem sys;
+    struct Engine : morpheus::ssd::MorpheusEngine
+    {
+        nv::CommandResult
+        execute(const nv::Command &, ms::Tick start) override
+        {
+            return {start, nv::Status::kSuccess, 0};
+        }
+    } engine;
+    sys.ssd().setMorpheusEngine(&engine);
+    EXPECT_TRUE(sys.ssd().identify().morpheusCapable);
+}
+
+TEST(FtlTrim, TrimmedPagesReadZeroAndUnmap)
+{
+    ho::HostSystem sys;
+    auto &ftl = sys.ssd().ftl();
+    const auto data = pattern(ftl.pageBytes());
+    ftl.writePages(3, data, 0);
+    ftl.writePages(4, data, 0);
+    ASSERT_TRUE(ftl.isMapped(3));
+
+    const ms::Tick t = ftl.trimPages(3, 1, 1000);
+    EXPECT_GT(t, 1000u);
+    EXPECT_FALSE(ftl.isMapped(3));
+    EXPECT_TRUE(ftl.isMapped(4));  // neighbour untouched
+    for (const auto b : ftl.peekPage(3))
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(ftl.peekPage(4), data);
+}
+
+TEST(Dsm, DeallocatesWholePagesOnly)
+{
+    ho::HostSystem sys;
+    const auto page = sys.ssd().ftl().pageBytes();
+    const auto data = pattern(3 * page);
+    const auto extent = sys.createFile("victim", data);
+    const std::uint64_t first_block =
+        extent.startByte / nv::kBlockBytes;
+    const std::uint32_t blocks_per_page = page / nv::kBlockBytes;
+
+    // Deallocate the middle page plus a partial tail into page 3.
+    nv::Command dsm;
+    dsm.opcode = nv::Opcode::kDsm;
+    dsm.slba = first_block + blocks_per_page;  // start of page 2
+    dsm.nlb = static_cast<std::uint16_t>(blocks_per_page + 3);
+    const auto cqe =
+        sys.nvmeDriver().io(sys.ioQueue(), dsm, extent.readyAt);
+    ASSERT_TRUE(cqe.ok());
+
+    const auto bytes = sys.ssd().peekBytes(extent.startByte, 3 * page);
+    // Page 1 intact.
+    for (std::size_t i = 0; i < page; ++i)
+        ASSERT_EQ(bytes[i], data[i]);
+    // Page 2 zeroed.
+    for (std::size_t i = page; i < 2 * page; ++i)
+        ASSERT_EQ(bytes[i], 0);
+    // Page 3 intact (partial coverage does not deallocate).
+    for (std::size_t i = 2 * page; i < 3 * page; ++i)
+        ASSERT_EQ(bytes[i], data[i]);
+}
+
+TEST(Dsm, OutOfRangeRejected)
+{
+    ho::HostSystem sys;
+    nv::Command dsm;
+    dsm.opcode = nv::Opcode::kDsm;
+    dsm.slba = sys.ssd().capacityBlocks() + 1000;
+    dsm.nlb = 7;
+    const auto cqe = sys.nvmeDriver().io(sys.ioQueue(), dsm, 0);
+    EXPECT_EQ(cqe.status, nv::Status::kLbaOutOfRange);
+}
+
+TEST(Dsm, TrimmedSpaceIsRewritable)
+{
+    ho::HostSystem sys;
+    const auto page = sys.ssd().ftl().pageBytes();
+    const auto a = pattern(page);
+    const auto extent = sys.createFile("f", a);
+
+    nv::Command dsm;
+    dsm.opcode = nv::Opcode::kDsm;
+    dsm.slba = extent.startByte / nv::kBlockBytes;
+    dsm.nlb = static_cast<std::uint16_t>(page / nv::kBlockBytes - 1);
+    ASSERT_TRUE(
+        sys.nvmeDriver().io(sys.ioQueue(), dsm, extent.readyAt).ok());
+
+    // Write fresh data over the trimmed range via the normal path.
+    std::vector<std::uint8_t> b(page, 0x5C);
+    const morpheus::pcie::Addr stage = sys.allocHost(page);
+    sys.mem().store().writeVec(stage, b);
+    nv::Command wr;
+    wr.opcode = nv::Opcode::kWrite;
+    wr.prp1 = stage;
+    wr.slba = dsm.slba;
+    wr.nlb = dsm.nlb;
+    ASSERT_TRUE(sys.nvmeDriver().io(sys.ioQueue(), wr, 0).ok());
+    EXPECT_EQ(sys.ssd().peekBytes(extent.startByte, page), b);
+}
+
+TEST(FtlTrimDeath, BeyondCapacityPanics)
+{
+    ho::HostSystem sys;
+    EXPECT_DEATH(sys.ssd().ftl().trimPages(
+                     sys.ssd().ftl().logicalPages(), 1, 0),
+                 "beyond logical capacity");
+}

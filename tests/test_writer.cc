@@ -1,0 +1,72 @@
+/**
+ * @file
+ * TextWriter unit tests (serialization half of serde).
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "serde/writer.hh"
+
+namespace sd = morpheus::serde;
+
+namespace {
+
+std::string
+asString(const sd::TextWriter &w)
+{
+    return std::string(w.bytes().begin(), w.bytes().end());
+}
+
+}  // namespace
+
+TEST(TextWriter, Integers)
+{
+    sd::TextWriter w;
+    w.appendInt64(0);
+    w.space();
+    w.appendInt64(-1);
+    w.space();
+    w.appendInt64(123456789);
+    EXPECT_EQ(asString(w), "0 -1 123456789");
+}
+
+TEST(TextWriter, Int64Extremes)
+{
+    sd::TextWriter w;
+    w.appendInt64(std::numeric_limits<std::int64_t>::max());
+    w.space();
+    w.appendInt64(std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(asString(w),
+              "9223372036854775807 -9223372036854775808");
+}
+
+TEST(TextWriter, Doubles)
+{
+    sd::TextWriter w;
+    w.appendDouble(3.25, 2);
+    w.space();
+    w.appendDouble(-0.5, 1);
+    EXPECT_EQ(asString(w), "3.25 -0.5");
+}
+
+TEST(TextWriter, LiteralAndLayoutHelpers)
+{
+    sd::TextWriter w;
+    w.appendLiteral("x=");
+    w.appendInt64(7);
+    w.newline();
+    EXPECT_EQ(asString(w), "x=7\n");
+    EXPECT_EQ(w.size(), 4u);
+}
+
+TEST(TextWriter, TakeMovesBufferOut)
+{
+    sd::TextWriter w;
+    w.appendInt64(42);
+    const auto taken = w.take();
+    EXPECT_EQ(taken.size(), 2u);
+    EXPECT_EQ(w.size(), 0u);
+}

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * morpheus-run: command-line driver for single experiments.
+ *
+ * Usage:
+ *   morpheus-run <app> [--mode baseline|morpheus|p2p]
+ *                [--backend nvme|hdd|ram] [--freq GHZ] [--scale S]
+ *                [--chunk-blocks N] [--seed N] [--stats]
+ *
+ * Runs one Table-I application once and prints the full metric record;
+ * --stats additionally dumps every component counter of the simulated
+ * machine. `morpheus-run list` enumerates the apps.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "workloads/runner.hh"
+
+using namespace morpheus;
+namespace wk = morpheus::workloads;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: morpheus-run <app>|list [--mode baseline|morpheus|p2p]\n"
+        "                    [--backend nvme|hdd|ram] [--freq GHZ]\n"
+        "                    [--scale S] [--chunk-blocks N] [--seed N]\n"
+        "                    [--stats]\n");
+}
+
+int
+listApps()
+{
+    std::printf("%-12s %-14s %-6s %12s\n", "app", "suite", "ranks",
+                "paper input");
+    for (const auto &app : wk::standardSuite()) {
+        std::printf("%-12s %-14s %-6u %9.2f GB\n", app.name.c_str(),
+                    app.suite.c_str(), app.ranks,
+                    static_cast<double>(app.paperInputBytes) / 1e9);
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string app_name = argv[1];
+    if (app_name == "list")
+        return listApps();
+    if (app_name == "--help" || app_name == "-h") {
+        usage();
+        return 0;
+    }
+
+    wk::RunOptions opts;
+    opts.mode = wk::ExecutionMode::kBaseline;
+    opts.scale = 0.25;
+    bool dump_stats = false;
+    // (collectStats set below once flags are parsed)
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", what);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--mode") {
+            const std::string m = next("--mode");
+            if (m == "baseline") {
+                opts.mode = wk::ExecutionMode::kBaseline;
+            } else if (m == "morpheus") {
+                opts.mode = wk::ExecutionMode::kMorpheus;
+            } else if (m == "p2p") {
+                opts.mode = wk::ExecutionMode::kMorpheusP2p;
+            } else {
+                std::fprintf(stderr, "unknown mode: %s\n", m.c_str());
+                return 2;
+            }
+        } else if (arg == "--backend") {
+            const std::string b = next("--backend");
+            if (b == "nvme") {
+                opts.backend = wk::BackendKind::kNvme;
+            } else if (b == "hdd") {
+                opts.backend = wk::BackendKind::kHdd;
+            } else if (b == "ram") {
+                opts.backend = wk::BackendKind::kRamDrive;
+            } else {
+                std::fprintf(stderr, "unknown backend: %s\n",
+                             b.c_str());
+                return 2;
+            }
+        } else if (arg == "--freq") {
+            opts.cpuFreqHz = std::atof(next("--freq")) * 1e9;
+        } else if (arg == "--scale") {
+            opts.scale = std::atof(next("--scale"));
+        } else if (arg == "--chunk-blocks") {
+            opts.chunkBlocks = static_cast<std::uint32_t>(
+                std::atoi(next("--chunk-blocks")));
+        } else if (arg == "--seed") {
+            opts.seed = static_cast<std::uint64_t>(
+                std::atoll(next("--seed")));
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    opts.collectStats = dump_stats;
+    const wk::AppSpec &app = wk::findApp(app_name);
+    const wk::RunMetrics m = wk::runWorkload(app, opts);
+
+    std::printf("app                    %s (%s)\n", app.name.c_str(),
+                app.suite.c_str());
+    std::printf("validated              %s\n",
+                m.validated ? "yes" : "NO - RESULT MISMATCH");
+    std::printf("raw text               %.3f MB\n",
+                m.rawTextBytes / 1e6);
+    std::printf("objects produced       %.3f MB\n",
+                m.objectBytesProduced / 1e6);
+    std::printf("deserialization        %.3f ms\n",
+                sim::ticksToSeconds(m.deserTime) * 1e3);
+    std::printf("gpu copy               %.3f ms\n",
+                sim::ticksToSeconds(m.gpuCopyTime) * 1e3);
+    std::printf("kernel                 %.3f ms\n",
+                sim::ticksToSeconds(m.kernelTime) * 1e3);
+    std::printf("other cpu              %.3f ms\n",
+                sim::ticksToSeconds(m.otherCpuTime) * 1e3);
+    std::printf("total                  %.3f ms\n",
+                sim::ticksToSeconds(m.totalTime) * 1e3);
+    std::printf("effective bandwidth    %.1f MB/s per I/O thread\n",
+                m.effectiveBandwidthMBps);
+    std::printf("context switches       %llu (%.0f/s)\n",
+                static_cast<unsigned long long>(m.contextSwitchesDeser),
+                m.contextSwitchesPerSec);
+    std::printf("PCIe traffic (deser)   %.3f MB\n",
+                m.pcieBytesDeser / 1e6);
+    std::printf("memory bus (deser)     %.3f MB\n",
+                m.membusBytesDeser / 1e6);
+    std::printf("P2P bytes              %.3f MB\n", m.p2pBytes / 1e6);
+    std::printf("system power (deser)   %.1f W\n", m.deserPowerWatts);
+    std::printf("energy (deser)         %.4f J\n",
+                m.deserEnergyJoules);
+    std::printf("kernel checksum        %016llx\n",
+                static_cast<unsigned long long>(m.kernelChecksum));
+
+    if (dump_stats) {
+        std::printf("\n-- component counters --\n");
+        std::fputs(m.statsReport.c_str(), stdout);
+    }
+    return m.validated ? 0 : 1;
+}
