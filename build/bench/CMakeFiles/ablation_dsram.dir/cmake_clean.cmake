@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dsram.dir/ablation_dsram.cc.o"
+  "CMakeFiles/ablation_dsram.dir/ablation_dsram.cc.o.d"
+  "ablation_dsram"
+  "ablation_dsram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dsram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_qdepth.dir/ablation_qdepth.cc.o"
+  "CMakeFiles/ablation_qdepth.dir/ablation_qdepth.cc.o.d"
+  "ablation_qdepth"
+  "ablation_qdepth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qdepth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

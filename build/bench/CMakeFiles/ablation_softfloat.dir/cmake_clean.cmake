@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_softfloat.dir/ablation_softfloat.cc.o"
+  "CMakeFiles/ablation_softfloat.dir/ablation_softfloat.cc.o.d"
+  "ablation_softfloat"
+  "ablation_softfloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_softfloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_load.dir/cpu_load.cc.o"
+  "CMakeFiles/cpu_load.dir/cpu_load.cc.o.d"
+  "cpu_load"
+  "cpu_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_formats.dir/extension_formats.cc.o"
+  "CMakeFiles/extension_formats.dir/extension_formats.cc.o.d"
+  "extension_formats"
+  "extension_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

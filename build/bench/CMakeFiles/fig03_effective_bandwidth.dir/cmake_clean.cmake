@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_effective_bandwidth.dir/fig03_effective_bandwidth.cc.o"
+  "CMakeFiles/fig03_effective_bandwidth.dir/fig03_effective_bandwidth.cc.o.d"
+  "fig03_effective_bandwidth"
+  "fig03_effective_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_effective_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_power_energy.dir/fig09_power_energy.cc.o"
+  "CMakeFiles/fig09_power_energy.dir/fig09_power_energy.cc.o.d"
+  "fig09_power_energy"
+  "fig09_power_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_power_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_context_switches.dir/fig10_context_switches.cc.o"
+  "CMakeFiles/fig10_context_switches.dir/fig10_context_switches.cc.o.d"
+  "fig10_context_switches"
+  "fig10_context_switches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_context_switches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_context_switches.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_slow_server.cc" "bench/CMakeFiles/fig12_slow_server.dir/fig12_slow_server.cc.o" "gcc" "bench/CMakeFiles/fig12_slow_server.dir/fig12_slow_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/morpheus_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/morpheus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/morpheus_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/morpheus_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/morpheus_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/morpheus_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/morpheus_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/morpheus_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/morpheus_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/morpheus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

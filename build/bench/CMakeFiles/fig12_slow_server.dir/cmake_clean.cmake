@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_slow_server.dir/fig12_slow_server.cc.o"
+  "CMakeFiles/fig12_slow_server.dir/fig12_slow_server.cc.o.d"
+  "fig12_slow_server"
+  "fig12_slow_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_slow_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

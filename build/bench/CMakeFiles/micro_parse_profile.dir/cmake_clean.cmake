@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_parse_profile.dir/micro_parse_profile.cc.o"
+  "CMakeFiles/micro_parse_profile.dir/micro_parse_profile.cc.o.d"
+  "micro_parse_profile"
+  "micro_parse_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_parse_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

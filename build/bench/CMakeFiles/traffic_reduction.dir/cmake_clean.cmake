@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_reduction.dir/traffic_reduction.cc.o"
+  "CMakeFiles/traffic_reduction.dir/traffic_reduction.cc.o.d"
+  "traffic_reduction"
+  "traffic_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

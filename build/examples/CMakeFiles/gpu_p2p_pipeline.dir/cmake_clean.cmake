@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_p2p_pipeline.dir/gpu_p2p_pipeline.cpp.o"
+  "CMakeFiles/gpu_p2p_pipeline.dir/gpu_p2p_pipeline.cpp.o.d"
+  "gpu_p2p_pipeline"
+  "gpu_p2p_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_p2p_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

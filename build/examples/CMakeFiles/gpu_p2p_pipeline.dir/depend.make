@@ -1,0 +1,2 @@
+# Empty dependencies file for gpu_p2p_pipeline.
+# This may be replaced when dependencies are built.

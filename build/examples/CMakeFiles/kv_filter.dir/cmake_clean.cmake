@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_filter.dir/kv_filter.cpp.o"
+  "CMakeFiles/kv_filter.dir/kv_filter.cpp.o.d"
+  "kv_filter"
+  "kv_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_stream.dir/nic_stream.cpp.o"
+  "CMakeFiles/nic_stream.dir/nic_stream.cpp.o.d"
+  "nic_stream"
+  "nic_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

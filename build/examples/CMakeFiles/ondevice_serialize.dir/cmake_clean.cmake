@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ondevice_serialize.dir/ondevice_serialize.cpp.o"
+  "CMakeFiles/ondevice_serialize.dir/ondevice_serialize.cpp.o.d"
+  "ondevice_serialize"
+  "ondevice_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ondevice_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

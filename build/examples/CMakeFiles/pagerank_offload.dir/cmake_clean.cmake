@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_offload.dir/pagerank_offload.cpp.o"
+  "CMakeFiles/pagerank_offload.dir/pagerank_offload.cpp.o.d"
+  "pagerank_offload"
+  "pagerank_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

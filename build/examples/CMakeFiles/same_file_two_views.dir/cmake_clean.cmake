@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/same_file_two_views.dir/same_file_two_views.cpp.o"
+  "CMakeFiles/same_file_two_views.dir/same_file_two_views.cpp.o.d"
+  "same_file_two_views"
+  "same_file_two_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/same_file_two_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

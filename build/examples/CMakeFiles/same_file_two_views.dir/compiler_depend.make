@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for same_file_two_views.
+# This may be replaced when dependencies are built.

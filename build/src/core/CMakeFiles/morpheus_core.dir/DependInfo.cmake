@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compiler.cc" "src/core/CMakeFiles/morpheus_core.dir/compiler.cc.o" "gcc" "src/core/CMakeFiles/morpheus_core.dir/compiler.cc.o.d"
+  "/root/repo/src/core/device_runtime.cc" "src/core/CMakeFiles/morpheus_core.dir/device_runtime.cc.o" "gcc" "src/core/CMakeFiles/morpheus_core.dir/device_runtime.cc.o.d"
+  "/root/repo/src/core/host_runtime.cc" "src/core/CMakeFiles/morpheus_core.dir/host_runtime.cc.o" "gcc" "src/core/CMakeFiles/morpheus_core.dir/host_runtime.cc.o.d"
+  "/root/repo/src/core/kv_store.cc" "src/core/CMakeFiles/morpheus_core.dir/kv_store.cc.o" "gcc" "src/core/CMakeFiles/morpheus_core.dir/kv_store.cc.o.d"
+  "/root/repo/src/core/nvme_p2p.cc" "src/core/CMakeFiles/morpheus_core.dir/nvme_p2p.cc.o" "gcc" "src/core/CMakeFiles/morpheus_core.dir/nvme_p2p.cc.o.d"
+  "/root/repo/src/core/standard_apps.cc" "src/core/CMakeFiles/morpheus_core.dir/standard_apps.cc.o" "gcc" "src/core/CMakeFiles/morpheus_core.dir/standard_apps.cc.o.d"
+  "/root/repo/src/core/storage_app.cc" "src/core/CMakeFiles/morpheus_core.dir/storage_app.cc.o" "gcc" "src/core/CMakeFiles/morpheus_core.dir/storage_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/morpheus_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/morpheus_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/morpheus_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/morpheus_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/morpheus_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/morpheus_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/morpheus_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/morpheus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morpheus_core.dir/compiler.cc.o"
+  "CMakeFiles/morpheus_core.dir/compiler.cc.o.d"
+  "CMakeFiles/morpheus_core.dir/device_runtime.cc.o"
+  "CMakeFiles/morpheus_core.dir/device_runtime.cc.o.d"
+  "CMakeFiles/morpheus_core.dir/host_runtime.cc.o"
+  "CMakeFiles/morpheus_core.dir/host_runtime.cc.o.d"
+  "CMakeFiles/morpheus_core.dir/kv_store.cc.o"
+  "CMakeFiles/morpheus_core.dir/kv_store.cc.o.d"
+  "CMakeFiles/morpheus_core.dir/nvme_p2p.cc.o"
+  "CMakeFiles/morpheus_core.dir/nvme_p2p.cc.o.d"
+  "CMakeFiles/morpheus_core.dir/standard_apps.cc.o"
+  "CMakeFiles/morpheus_core.dir/standard_apps.cc.o.d"
+  "CMakeFiles/morpheus_core.dir/storage_app.cc.o"
+  "CMakeFiles/morpheus_core.dir/storage_app.cc.o.d"
+  "libmorpheus_core.a"
+  "libmorpheus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morpheus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmorpheus_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morpheus_flash.dir/flash_array.cc.o"
+  "CMakeFiles/morpheus_flash.dir/flash_array.cc.o.d"
+  "libmorpheus_flash.a"
+  "libmorpheus_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morpheus_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

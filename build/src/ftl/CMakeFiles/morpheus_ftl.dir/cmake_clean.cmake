@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morpheus_ftl.dir/ftl.cc.o"
+  "CMakeFiles/morpheus_ftl.dir/ftl.cc.o.d"
+  "libmorpheus_ftl.a"
+  "libmorpheus_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morpheus_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morpheus_host.dir/host_system.cc.o"
+  "CMakeFiles/morpheus_host.dir/host_system.cc.o.d"
+  "CMakeFiles/morpheus_host.dir/sparse_memory.cc.o"
+  "CMakeFiles/morpheus_host.dir/sparse_memory.cc.o.d"
+  "CMakeFiles/morpheus_host.dir/storage_backend.cc.o"
+  "CMakeFiles/morpheus_host.dir/storage_backend.cc.o.d"
+  "libmorpheus_host.a"
+  "libmorpheus_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morpheus_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

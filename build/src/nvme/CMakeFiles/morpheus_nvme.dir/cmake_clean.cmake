@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morpheus_nvme.dir/command.cc.o"
+  "CMakeFiles/morpheus_nvme.dir/command.cc.o.d"
+  "CMakeFiles/morpheus_nvme.dir/controller.cc.o"
+  "CMakeFiles/morpheus_nvme.dir/controller.cc.o.d"
+  "CMakeFiles/morpheus_nvme.dir/driver.cc.o"
+  "CMakeFiles/morpheus_nvme.dir/driver.cc.o.d"
+  "CMakeFiles/morpheus_nvme.dir/queue.cc.o"
+  "CMakeFiles/morpheus_nvme.dir/queue.cc.o.d"
+  "libmorpheus_nvme.a"
+  "libmorpheus_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morpheus_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morpheus_pcie.dir/pcie.cc.o"
+  "CMakeFiles/morpheus_pcie.dir/pcie.cc.o.d"
+  "libmorpheus_pcie.a"
+  "libmorpheus_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morpheus_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

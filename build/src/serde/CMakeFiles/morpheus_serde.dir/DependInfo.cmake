@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serde/csv.cc" "src/serde/CMakeFiles/morpheus_serde.dir/csv.cc.o" "gcc" "src/serde/CMakeFiles/morpheus_serde.dir/csv.cc.o.d"
+  "/root/repo/src/serde/formats.cc" "src/serde/CMakeFiles/morpheus_serde.dir/formats.cc.o" "gcc" "src/serde/CMakeFiles/morpheus_serde.dir/formats.cc.o.d"
+  "/root/repo/src/serde/json.cc" "src/serde/CMakeFiles/morpheus_serde.dir/json.cc.o" "gcc" "src/serde/CMakeFiles/morpheus_serde.dir/json.cc.o.d"
+  "/root/repo/src/serde/parse.cc" "src/serde/CMakeFiles/morpheus_serde.dir/parse.cc.o" "gcc" "src/serde/CMakeFiles/morpheus_serde.dir/parse.cc.o.d"
+  "/root/repo/src/serde/scanner.cc" "src/serde/CMakeFiles/morpheus_serde.dir/scanner.cc.o" "gcc" "src/serde/CMakeFiles/morpheus_serde.dir/scanner.cc.o.d"
+  "/root/repo/src/serde/writer.cc" "src/serde/CMakeFiles/morpheus_serde.dir/writer.cc.o" "gcc" "src/serde/CMakeFiles/morpheus_serde.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/morpheus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morpheus_serde.dir/csv.cc.o"
+  "CMakeFiles/morpheus_serde.dir/csv.cc.o.d"
+  "CMakeFiles/morpheus_serde.dir/formats.cc.o"
+  "CMakeFiles/morpheus_serde.dir/formats.cc.o.d"
+  "CMakeFiles/morpheus_serde.dir/json.cc.o"
+  "CMakeFiles/morpheus_serde.dir/json.cc.o.d"
+  "CMakeFiles/morpheus_serde.dir/parse.cc.o"
+  "CMakeFiles/morpheus_serde.dir/parse.cc.o.d"
+  "CMakeFiles/morpheus_serde.dir/scanner.cc.o"
+  "CMakeFiles/morpheus_serde.dir/scanner.cc.o.d"
+  "CMakeFiles/morpheus_serde.dir/writer.cc.o"
+  "CMakeFiles/morpheus_serde.dir/writer.cc.o.d"
+  "libmorpheus_serde.a"
+  "libmorpheus_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morpheus_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for morpheus_serde.
+# This may be replaced when dependencies are built.

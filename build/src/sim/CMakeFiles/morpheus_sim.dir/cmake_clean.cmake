@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morpheus_sim.dir/event_queue.cc.o"
+  "CMakeFiles/morpheus_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/morpheus_sim.dir/logging.cc.o"
+  "CMakeFiles/morpheus_sim.dir/logging.cc.o.d"
+  "CMakeFiles/morpheus_sim.dir/rng.cc.o"
+  "CMakeFiles/morpheus_sim.dir/rng.cc.o.d"
+  "CMakeFiles/morpheus_sim.dir/stats.cc.o"
+  "CMakeFiles/morpheus_sim.dir/stats.cc.o.d"
+  "CMakeFiles/morpheus_sim.dir/timeline.cc.o"
+  "CMakeFiles/morpheus_sim.dir/timeline.cc.o.d"
+  "libmorpheus_sim.a"
+  "libmorpheus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morpheus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morpheus_ssd.dir/embedded_core.cc.o"
+  "CMakeFiles/morpheus_ssd.dir/embedded_core.cc.o.d"
+  "CMakeFiles/morpheus_ssd.dir/ssd_controller.cc.o"
+  "CMakeFiles/morpheus_ssd.dir/ssd_controller.cc.o.d"
+  "libmorpheus_ssd.a"
+  "libmorpheus_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morpheus_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

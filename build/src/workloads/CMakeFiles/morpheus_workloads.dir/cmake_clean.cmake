@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morpheus_workloads.dir/app_spec.cc.o"
+  "CMakeFiles/morpheus_workloads.dir/app_spec.cc.o.d"
+  "CMakeFiles/morpheus_workloads.dir/generators.cc.o"
+  "CMakeFiles/morpheus_workloads.dir/generators.cc.o.d"
+  "CMakeFiles/morpheus_workloads.dir/kernels.cc.o"
+  "CMakeFiles/morpheus_workloads.dir/kernels.cc.o.d"
+  "CMakeFiles/morpheus_workloads.dir/objects.cc.o"
+  "CMakeFiles/morpheus_workloads.dir/objects.cc.o.d"
+  "CMakeFiles/morpheus_workloads.dir/partition.cc.o"
+  "CMakeFiles/morpheus_workloads.dir/partition.cc.o.d"
+  "CMakeFiles/morpheus_workloads.dir/runner.cc.o"
+  "CMakeFiles/morpheus_workloads.dir/runner.cc.o.d"
+  "libmorpheus_workloads.a"
+  "libmorpheus_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morpheus_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_runtime.dir/test_device_runtime.cc.o"
+  "CMakeFiles/test_device_runtime.dir/test_device_runtime.cc.o.d"
+  "test_device_runtime"
+  "test_device_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

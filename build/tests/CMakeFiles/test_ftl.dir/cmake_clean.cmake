@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftl.dir/test_ftl.cc.o"
+  "CMakeFiles/test_ftl.dir/test_ftl.cc.o.d"
+  "test_ftl"
+  "test_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvme.dir/test_nvme.cc.o"
+  "CMakeFiles/test_nvme.dir/test_nvme.cc.o.d"
+  "test_nvme"
+  "test_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

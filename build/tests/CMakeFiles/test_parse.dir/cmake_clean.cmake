@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parse.dir/test_parse.cc.o"
+  "CMakeFiles/test_parse.dir/test_parse.cc.o.d"
+  "test_parse"
+  "test_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

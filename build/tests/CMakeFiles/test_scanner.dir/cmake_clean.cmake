@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scanner.dir/test_scanner.cc.o"
+  "CMakeFiles/test_scanner.dir/test_scanner.cc.o.d"
+  "test_scanner"
+  "test_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_app.dir/test_storage_app.cc.o"
+  "CMakeFiles/test_storage_app.dir/test_storage_app.cc.o.d"
+  "test_storage_app"
+  "test_storage_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

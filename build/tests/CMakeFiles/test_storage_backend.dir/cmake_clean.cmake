@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_backend.dir/test_storage_backend.cc.o"
+  "CMakeFiles/test_storage_backend.dir/test_storage_backend.cc.o.d"
+  "test_storage_backend"
+  "test_storage_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

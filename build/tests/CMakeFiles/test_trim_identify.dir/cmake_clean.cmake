@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trim_identify.dir/test_trim_identify.cc.o"
+  "CMakeFiles/test_trim_identify.dir/test_trim_identify.cc.o.d"
+  "test_trim_identify"
+  "test_trim_identify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trim_identify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

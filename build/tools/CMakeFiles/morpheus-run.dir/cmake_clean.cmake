@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morpheus-run.dir/run_app.cc.o"
+  "CMakeFiles/morpheus-run.dir/run_app.cc.o.d"
+  "morpheus-run"
+  "morpheus-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morpheus-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
