@@ -22,6 +22,23 @@ MorpheusDeviceRuntime::stageInstance(std::uint32_t instance_id,
     _staged[instance_id] = setup;
 }
 
+void
+MorpheusDeviceRuntime::unstageInstance(std::uint32_t instance_id)
+{
+    _staged.erase(instance_id);
+}
+
+std::uint64_t
+MorpheusDeviceRuntime::takeDeliveredBytes(std::uint32_t instance_id)
+{
+    const auto it = _delivered.find(instance_id);
+    if (it == _delivered.end())
+        return 0;
+    const std::uint64_t bytes = it->second;
+    _delivered.erase(it);
+    return bytes;
+}
+
 nvme::CommandResult
 MorpheusDeviceRuntime::execute(const nvme::Command &cmd, sim::Tick start)
 {
@@ -52,7 +69,7 @@ MorpheusDeviceRuntime::doMInit(const nvme::Command &cmd, sim::Tick start)
     const InstanceSetup setup = staged->second;
     _staged.erase(staged);
 
-    ssd::EmbeddedCore &core = _ssd.coreFor(cmd.instanceId);
+    ssd::EmbeddedCore &core = _ssd.coreFor(cmd.instanceId, start);
     const std::uint32_t code_bytes =
         cmd.cdw13 ? cmd.cdw13 : setup.image->textBytes;
     if (!core.loadImage(code_bytes))
@@ -67,6 +84,7 @@ MorpheusDeviceRuntime::doMInit(const nvme::Command &cmd, sim::Tick start)
                      fetched);
 
     Instance inst;
+    inst.id = cmd.instanceId;
     inst.setup = setup;
     inst.app = setup.image->factory(cmd.cdw14);
     const std::uint32_t dsram = core.config().dsramBytes;
@@ -99,9 +117,34 @@ MorpheusDeviceRuntime::drainFlushes(
             buffered);
         inst.dmaCursor += seg.size();
         _objectBytes += seg.size();
+        _delivered[inst.id] += seg.size();
         done = std::max(done, dma);
     }
     return done;
+}
+
+void
+MorpheusDeviceRuntime::maybeMigrate(Instance &inst, sim::Tick now)
+{
+    auto &dispatcher = _ssd.scheduler().dispatcher();
+    const auto plan = dispatcher.coreForChunk(inst.id, now);
+    if (!plan.migrated)
+        return;
+    ssd::EmbeddedCore &to = _ssd.core(plan.core);
+    if (!to.loadImage(inst.codeBytes)) {
+        // No I-SRAM room next to the apps already resident there.
+        dispatcher.cancelMigration(inst.id, plan.previous);
+        return;
+    }
+    _ssd.core(plan.previous).unloadImage(inst.codeBytes);
+    // Reinstall the code image and move the staging state between the
+    // two D-SRAMs through controller DRAM.
+    const sim::Tick state_moved = _ssd.dramTransfer(
+        to.config().dsramBytes, now);
+    to.execute(static_cast<double>(inst.codeBytes) * 0.5 +
+                   _ssd.config().sched.migrationCycles,
+               state_moved);
+    inst.coreId = to.id();
 }
 
 nvme::CommandResult
@@ -112,6 +155,7 @@ MorpheusDeviceRuntime::doMRead(const nvme::Command &cmd, sim::Tick start)
     if (it == _instances.end())
         return {start, nvme::Status::kNoSuchInstance, 0};
     Instance &inst = it->second;
+    maybeMigrate(inst, start);
 
     const std::uint64_t byte_off = cmd.slba * nvme::kBlockBytes;
     const std::uint64_t valid =
@@ -188,6 +232,7 @@ MorpheusDeviceRuntime::doMWrite(const nvme::Command &cmd, sim::Tick start)
         done = _ssd.storeFromDram(dst, seg, done);
         inst.dmaCursor += seg.size();
         _objectBytes += seg.size();
+        _delivered[inst.id] += seg.size();
     }
     return {done, nvme::Status::kSuccess, 0};
 }

@@ -48,12 +48,25 @@ class MorpheusDeviceRuntime : public ssd::MorpheusEngine
     void stageInstance(std::uint32_t instance_id,
                        const InstanceSetup &setup);
 
+    /** Drop a staged setup whose MINIT was refused by the scheduler
+     *  front end (the engine never saw the command). */
+    void unstageInstance(std::uint32_t instance_id);
+
     // ssd::MorpheusEngine
     nvme::CommandResult execute(const nvme::Command &cmd,
                                 sim::Tick start) override;
 
     /** Bytes of application objects DMAed out so far. */
     std::uint64_t objectBytesOut() const { return _objectBytes.value(); }
+
+    /**
+     * Object bytes delivered on behalf of @p instance_id, consumed:
+     * the counter resets to zero. Survives the instance's MDEINIT so
+     * the host runtime can collect it after teardown; correct under
+     * interleaved multi-tenant streams where the global counter's
+     * delta is not.
+     */
+    std::uint64_t takeDeliveredBytes(std::uint32_t instance_id);
 
     /** Number of live instances (for tests). */
     std::size_t liveInstances() const { return _instances.size(); }
@@ -64,6 +77,7 @@ class MorpheusDeviceRuntime : public ssd::MorpheusEngine
   private:
     struct Instance
     {
+        std::uint32_t id = 0;
         InstanceSetup setup;
         std::unique_ptr<StorageApp> app;
         std::unique_ptr<MsChunkContext> ctx;
@@ -87,9 +101,15 @@ class MorpheusDeviceRuntime : public ssd::MorpheusEngine
                            std::vector<std::vector<std::uint8_t>> segments,
                            sim::Tick earliest);
 
+    /** Ask the dispatcher whether the instance should move to a less
+     *  loaded core before its next chunk, and commit the move. */
+    void maybeMigrate(Instance &inst, sim::Tick now);
+
     ssd::SsdController &_ssd;
     std::unordered_map<std::uint32_t, InstanceSetup> _staged;
     std::unordered_map<std::uint32_t, Instance> _instances;
+    /** Per-instance delivered bytes (outlives the instance entry). */
+    std::unordered_map<std::uint32_t, std::uint64_t> _delivered;
 
     sim::stats::Counter _minits;
     sim::stats::Counter _mreads;

@@ -40,30 +40,34 @@ MorpheusRuntime::gpuTarget(std::uint64_t bytes, std::uint64_t *dev_addr)
     return DmaTarget{_p2p.busAddrFor(dev), true};
 }
 
-InvokeResult
-MorpheusRuntime::invoke(const StorageAppImage &image,
-                        const MsStream &stream, const DmaTarget &target,
-                        sim::Tick now, const InvokeOptions &opts)
+InvokeSession
+MorpheusRuntime::beginInvoke(const StorageAppImage &image,
+                             const MsStream &stream,
+                             const DmaTarget &target, sim::Tick now,
+                             const InvokeOptions &opts)
 {
     nvme::NvmeDriver &driver = _sys.nvmeDriver();
     const unsigned core = opts.hostCore;
+
+    InvokeSession s;
+    s.image = &image;
+    s.stream = stream;
+    s.target = target;
+    s.opts = opts;
     // NVMe convention: each host core drives its own queue pair, so
     // concurrent StorageApp instances never serialize on one SQ.
-    const std::uint16_t qid = _sys.ioQueue(core);
-
-    InvokeResult result;
-    result.start = std::max(now, stream.readyAt);
-    const std::uint64_t object_bytes_before = _device.objectBytesOut();
-    sim::Tick t = result.start;
+    s.qid = _sys.ioQueue(core);
+    s.result.start = std::max(now, stream.readyAt);
+    s.now = s.result.start;
 
     // --- MINIT -------------------------------------------------------
-    const std::uint32_t instance = _nextInstance++;
+    s.instance = _nextInstance++;
     InstanceSetup setup;
     setup.image = &image;
     setup.target = target;
     setup.arg = opts.arg;
     setup.flushThreshold = opts.flushThreshold;
-    _device.stageInstance(instance, setup);
+    _device.stageInstance(s.instance, setup);
 
     // Stage the code image bytes in host memory for the device to
     // fetch (content is a placeholder; the size is what matters).
@@ -71,83 +75,121 @@ MorpheusRuntime::invoke(const StorageAppImage &image,
     const std::vector<std::uint8_t> image_bytes(image.textBytes, 0x90);
     _sys.mem().store().writeVec(image_addr, image_bytes);
 
-    t = _sys.os().syscall(core, t);  // ioctl into the Morpheus driver
+    s.now = _sys.os().syscall(core, s.now);  // ioctl into the driver
     nvme::Command minit;
     minit.opcode = nvme::Opcode::kMInit;
-    minit.instanceId = instance;
+    minit.instanceId = s.instance;
     minit.prp1 = image_addr;
+    // Declare the stream length so the device front end sees the
+    // tenant's queued work (SLBA is unused by MINIT proper).
+    minit.slba = stream.extent.sizeBytes;
     minit.cdw13 = image.textBytes;
     minit.cdw14 = opts.arg;
-    const nvme::Completion minit_cqe = driver.io(qid, minit, t);
+    minit.cdw15 = opts.tenantId;
+    const nvme::Completion minit_cqe = driver.io(s.qid, minit, s.now);
+    s.minitStatus = minit_cqe.status;
+    if (s.minitStatus == nvme::Status::kAdmissionDenied ||
+        s.minitStatus == nvme::Status::kInstanceBusy) {
+        // Scheduler front-end refusal: the engine never saw the MINIT,
+        // so discard the staged setup and report back to the caller.
+        _device.unstageInstance(s.instance);
+        s.retry = s.minitStatus == nvme::Status::kInstanceBusy;
+        s.result.accepted = false;
+        s.result.done = std::max(s.now, minit_cqe.postedAt);
+        return s;
+    }
     MORPHEUS_ASSERT(minit_cqe.ok(), "MINIT failed: status=",
                     static_cast<unsigned>(minit_cqe.status));
-    t = std::max(t, minit_cqe.postedAt);
+    s.accepted = true;
+    s.now = std::max(s.now, minit_cqe.postedAt);
 
-    // --- MREAD stream -------------------------------------------------
+    // --- MREAD stream setup ------------------------------------------
     const std::uint32_t mdts = driver.maxTransferBlocks();
-    std::uint32_t chunk_blocks =
+    const std::uint32_t chunk_blocks =
         opts.chunkBlocks == 0 ? mdts : std::min(opts.chunkBlocks, mdts);
-    const std::uint64_t chunk_bytes =
-        std::uint64_t(chunk_blocks) * nvme::kBlockBytes;
-    const std::uint64_t file_start_block =
-        stream.extent.startByte / nvme::kBlockBytes;
-
+    s.chunkBytes = std::uint64_t(chunk_blocks) * nvme::kBlockBytes;
+    s.fileStartBlock = stream.extent.startByte / nvme::kBlockBytes;
     // Batch submissions up to the queue depth, ring once per batch,
     // and sleep until the whole batch completes.
-    const std::uint16_t depth =
+    s.depth =
         _sys.config().queueEntries > 1
             ? static_cast<std::uint16_t>(_sys.config().queueEntries - 1)
             : 1;
-    std::uint64_t offset = 0;
-    while (offset < stream.extent.sizeBytes) {
-        std::vector<nvme::Submitted> batch;
-        while (offset < stream.extent.sizeBytes &&
-               batch.size() < depth) {
-            const std::uint64_t valid = std::min<std::uint64_t>(
-                chunk_bytes, stream.extent.sizeBytes - offset);
-            const std::uint64_t blocks =
-                (valid + nvme::kBlockBytes - 1) / nvme::kBlockBytes;
-            nvme::Command mread;
-            mread.opcode = nvme::Opcode::kMRead;
-            mread.instanceId = instance;
-            mread.slba = file_start_block + offset / nvme::kBlockBytes;
-            mread.nlb = static_cast<std::uint16_t>(blocks - 1);
-            mread.cdw13 = static_cast<std::uint32_t>(valid);
-            mread.prp1 = target.addr;  // informational; cursor advances
-            batch.push_back(driver.submit(qid, mread));
-            offset += valid;
-            ++result.mreadCommands;
-        }
-        driver.ring(qid, t);
-        // The host thread blocks once per batch (Fig 10: the Morpheus
-        // path context-switches per *stream*, not per chunk).
-        sim::Tick batch_done = t;
-        for (const auto &token : batch) {
-            const nvme::Completion cqe = driver.wait(token);
-            MORPHEUS_ASSERT(cqe.ok(), "MREAD failed");
-            batch_done = std::max(batch_done, cqe.postedAt);
-        }
-        t = _sys.os().blockingWait(core, batch_done);
-        ++result.hostWakeups;
-    }
+    return s;
+}
 
-    // --- MDEINIT ------------------------------------------------------
+sim::Tick
+MorpheusRuntime::stepInvoke(InvokeSession &s)
+{
+    MORPHEUS_ASSERT(s.accepted, "stepInvoke on a refused session");
+    MORPHEUS_ASSERT(!s.streamDone(), "stepInvoke past the stream end");
+    nvme::NvmeDriver &driver = _sys.nvmeDriver();
+
+    std::vector<nvme::Submitted> batch;
+    while (!s.streamDone() && batch.size() < s.depth) {
+        const std::uint64_t valid = std::min<std::uint64_t>(
+            s.chunkBytes, s.stream.extent.sizeBytes - s.offset);
+        const std::uint64_t blocks =
+            (valid + nvme::kBlockBytes - 1) / nvme::kBlockBytes;
+        nvme::Command mread;
+        mread.opcode = nvme::Opcode::kMRead;
+        mread.instanceId = s.instance;
+        mread.slba = s.fileStartBlock + s.offset / nvme::kBlockBytes;
+        mread.nlb = static_cast<std::uint16_t>(blocks - 1);
+        mread.cdw13 = static_cast<std::uint32_t>(valid);
+        mread.prp1 = s.target.addr;  // informational; cursor advances
+        batch.push_back(driver.submit(s.qid, mread));
+        s.offset += valid;
+        ++s.result.mreadCommands;
+    }
+    driver.ring(s.qid, s.now);
+    // The host thread blocks once per batch (Fig 10: the Morpheus
+    // path context-switches per *stream*, not per chunk).
+    sim::Tick batch_done = s.now;
+    for (const auto &token : batch) {
+        const nvme::Completion cqe = driver.wait(token);
+        MORPHEUS_ASSERT(cqe.ok(), "MREAD failed");
+        batch_done = std::max(batch_done, cqe.postedAt);
+    }
+    s.now = _sys.os().blockingWait(s.opts.hostCore, batch_done);
+    ++s.result.hostWakeups;
+    return s.now;
+}
+
+InvokeResult
+MorpheusRuntime::finishInvoke(InvokeSession &s)
+{
+    MORPHEUS_ASSERT(s.accepted, "finishInvoke on a refused session");
+    nvme::NvmeDriver &driver = _sys.nvmeDriver();
+
     nvme::Command mdeinit;
     mdeinit.opcode = nvme::Opcode::kMDeinit;
-    mdeinit.instanceId = instance;
-    const nvme::Completion fin = driver.io(qid, mdeinit, t);
+    mdeinit.instanceId = s.instance;
+    const nvme::Completion fin = driver.io(s.qid, mdeinit, s.now);
     MORPHEUS_ASSERT(fin.ok(), "MDEINIT failed");
-    result.returnValue = fin.dw0;
-    t = std::max(t, fin.postedAt);
+    s.result.returnValue = fin.dw0;
+    s.now = std::max(s.now, fin.postedAt);
 
     // Make the DMA buffer visible to the application (driver unmap +
     // cache maintenance): one syscall, no per-page copying.
-    t = _sys.os().syscall(core, t);
+    s.now = _sys.os().syscall(s.opts.hostCore, s.now);
 
-    result.done = t;
-    result.objectBytes =
-        _device.objectBytesOut() - object_bytes_before;
-    return result;
+    s.result.done = s.now;
+    s.result.objectBytes = _device.takeDeliveredBytes(s.instance);
+    return s.result;
+}
+
+InvokeResult
+MorpheusRuntime::invoke(const StorageAppImage &image,
+                        const MsStream &stream, const DmaTarget &target,
+                        sim::Tick now, const InvokeOptions &opts)
+{
+    InvokeSession s = beginInvoke(image, stream, target, now, opts);
+    if (!s.accepted)
+        return s.result;
+    while (!s.streamDone())
+        stepInvoke(s);
+    return finishInvoke(s);
 }
 
 }  // namespace morpheus::core

@@ -49,6 +49,8 @@ struct InvokeOptions
     std::uint32_t arg = 0;
     /** Staging flush threshold override (0 = D-SRAM / 4). */
     std::uint32_t flushThreshold = 0;
+    /** Tenant the invocation bills to (MINIT cdw15). */
+    std::uint32_t tenantId = 0;
 };
 
 /** Measured outcome of one StorageApp invocation. */
@@ -60,8 +62,49 @@ struct InvokeResult
     std::uint64_t objectBytes = 0;   ///< DMAed to the target.
     std::uint64_t mreadCommands = 0;
     std::uint64_t hostWakeups = 0;   ///< Blocking waits by the host.
+    /** False when the scheduler front end refused the MINIT. */
+    bool accepted = true;
 
     sim::Tick elapsed() const { return done - start; }
+};
+
+/**
+ * One in-flight invocation, advanced by the caller (the building block
+ * invoke() and the open-loop serving driver both use). A session walks
+ * MINIT -> MREAD batches -> MDEINIT; between steps the host thread is
+ * free, which is what lets a serving driver interleave many tenants'
+ * streams over one device.
+ */
+struct InvokeSession
+{
+    const StorageAppImage *image = nullptr;
+    MsStream stream;
+    DmaTarget target;
+    InvokeOptions opts;
+
+    std::uint32_t instance = 0;
+    std::uint16_t qid = 0;
+    /** MINIT completion status (admission refusals land here). */
+    nvme::Status minitStatus = nvme::Status::kSuccess;
+    /** MINIT succeeded; the stream may proceed. */
+    bool accepted = false;
+    /** Refused with a retry indication (slot held by open instances):
+     *  begin again later. */
+    bool retry = false;
+
+    std::uint64_t offset = 0;      ///< Next stream byte to issue.
+    std::uint64_t chunkBytes = 0;
+    std::uint64_t fileStartBlock = 0;
+    std::uint16_t depth = 1;       ///< MREADs rung per batch.
+    sim::Tick now = 0;             ///< The host thread's clock.
+    InvokeResult result;
+
+    /** All MREADs issued (finishInvoke may run). */
+    bool
+    streamDone() const
+    {
+        return offset >= stream.extent.sizeBytes;
+    }
 };
 
 /** The runtime the compiled host binary links against. */
@@ -87,6 +130,27 @@ class MorpheusRuntime
     InvokeResult invoke(const StorageAppImage &image,
                         const MsStream &stream, const DmaTarget &target,
                         sim::Tick now, const InvokeOptions &opts = {});
+
+    /**
+     * Start an invocation: stage the instance and issue MINIT. Check
+     * session.accepted — a scheduler refusal (admission quota) comes
+     * back with accepted=false and retry saying whether trying again
+     * later can succeed. A failed image load still asserts, as with
+     * invoke().
+     */
+    InvokeSession beginInvoke(const StorageAppImage &image,
+                              const MsStream &stream,
+                              const DmaTarget &target, sim::Tick now,
+                              const InvokeOptions &opts = {});
+
+    /**
+     * Issue the next MREAD batch and sleep until it completes.
+     * @return the host thread's wakeup tick.
+     */
+    sim::Tick stepInvoke(InvokeSession &session);
+
+    /** MDEINIT + buffer handoff; @return the filled result. */
+    InvokeResult finishInvoke(InvokeSession &session);
 
     /** Allocate a host DMA buffer and return a host-memory target. */
     DmaTarget hostTarget(std::uint64_t bytes);

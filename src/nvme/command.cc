@@ -26,7 +26,8 @@ get(const std::array<std::uint8_t, kCommandBytes> &raw, std::size_t off)
 
 // Layout (little-endian, byte offsets):
 //   0  opcode        1  flags (0)     2  cid          4  nsid
-//   8  reserved     16  metadata (0) 24  prp1         32  prp2
+//   8  cdw15 (tenant; spare spec-reserved bytes)
+//  16  metadata (0) 24  prp1         32  prp2
 //  40  slba (cdw10/11)               48  nlb (cdw12 low 16)
 //  50  instanceId (cdw12 high 16 + cdw12b; we use 4 bytes at 50)
 //  54  reserved
@@ -41,6 +42,7 @@ Command::encode() const
     put(raw, 0, static_cast<std::uint8_t>(opcode));
     put(raw, 2, cid);
     put(raw, 4, nsid);
+    put(raw, 8, cdw15);
     put(raw, 24, prp1);
     put(raw, 32, prp2);
     put(raw, 40, slba);
@@ -58,6 +60,7 @@ Command::decode(const std::array<std::uint8_t, kCommandBytes> &raw)
     c.opcode = static_cast<Opcode>(get<std::uint8_t>(raw, 0));
     c.cid = get<std::uint16_t>(raw, 2);
     c.nsid = get<std::uint32_t>(raw, 4);
+    c.cdw15 = get<std::uint32_t>(raw, 8);
     c.prp1 = get<std::uint64_t>(raw, 24);
     c.prp2 = get<std::uint64_t>(raw, 32);
     c.slba = get<std::uint64_t>(raw, 40);

@@ -64,7 +64,8 @@ enum class Status : std::uint16_t {
     kLbaOutOfRange = 0x80,
     kNoSuchInstance = 0x1C0,   // Morpheus: unknown instance ID
     kAppLoadFailed = 0x1C1,    // Morpheus: image too big for I-SRAM
-    kInstanceBusy = 0x1C2,     // Morpheus: instance table full
+    kInstanceBusy = 0x1C2,     // Morpheus: instance table full / retry
+    kAdmissionDenied = 0x1C3,  // Morpheus: tenant over instance quota
 };
 
 /**
@@ -83,6 +84,7 @@ struct Command
     std::uint32_t instanceId = 0; ///< Morpheus instance (CDW12 high bits).
     std::uint32_t cdw13 = 0;      ///< MINIT: code length in bytes.
     std::uint32_t cdw14 = 0;      ///< MINIT: argument word.
+    std::uint32_t cdw15 = 0;      ///< MINIT: submitting tenant ID.
 
     /** Number of logical blocks (NVMe encodes nlb as 0-based). */
     std::uint32_t numBlocks() const { return std::uint32_t(nlb) + 1; }

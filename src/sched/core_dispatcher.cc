@@ -1,0 +1,132 @@
+#include "sched/core_dispatcher.hh"
+
+#include <limits>
+#include <tuple>
+
+#include "sim/logging.hh"
+
+namespace morpheus::sched {
+
+CoreDispatcher::CoreDispatcher(const SchedConfig &config,
+                               unsigned num_cores, LoadProbe probe)
+    : _config(config), _numCores(num_cores), _probe(std::move(probe)),
+      _residents(num_cores, 0)
+{
+    MORPHEUS_ASSERT(num_cores > 0, "dispatcher needs at least one core");
+}
+
+sim::Tick
+CoreDispatcher::backlog(unsigned core, sim::Tick now) const
+{
+    const sim::Tick free_at = _probe(core);
+    return free_at > now ? free_at - now : 0;
+}
+
+unsigned
+CoreDispatcher::leastLoadedCore(sim::Tick now) const
+{
+    // Resident-instance count first: a host session only keeps about
+    // one MREAD batch reserved on its core's timeline at a time, so
+    // between batches a core hosting a huge in-flight stream reports
+    // a near-zero backlog. Residency is the durable load signal; the
+    // instantaneous timeline backlog only breaks ties.
+    unsigned best = 0;
+    auto best_key = std::make_tuple(
+        std::numeric_limits<unsigned>::max(),
+        std::numeric_limits<sim::Tick>::max(), 0u);
+    for (unsigned c = 0; c < _numCores; ++c) {
+        const auto key = std::make_tuple(_residents[c], backlog(c, now), c);
+        if (key < best_key) {
+            best_key = key;
+            best = c;
+        }
+    }
+    return best;
+}
+
+unsigned
+CoreDispatcher::placeInstance(std::uint32_t instance, sim::Tick now)
+{
+    // A live instance keeps its placement (all packets with one
+    // instance ID go to one core until it migrates or deinits).
+    const auto it = _coreOf.find(instance);
+    if (it != _coreOf.end())
+        return it->second;
+    const unsigned core = _config.placement == PlacementPolicy::kStatic
+                              ? instance % _numCores
+                              : leastLoadedCore(now);
+    _coreOf[instance] = core;
+    ++_residents[core];
+    ++_placements;
+    return core;
+}
+
+CoreDispatcher::ChunkPlacement
+CoreDispatcher::coreForChunk(std::uint32_t instance, sim::Tick now)
+{
+    const unsigned current = coreOf(instance);
+    ChunkPlacement placement{current, false, current};
+    if (_config.placement != PlacementPolicy::kLoadAware ||
+        !_config.migration) {
+        return placement;
+    }
+
+    const unsigned best = leastLoadedCore(now);
+    if (best == current)
+        return placement;
+    const sim::Tick here = backlog(current, now);
+    const sim::Tick there = backlog(best, now);
+    if (here <= there || here - there < _config.migrationMinGain)
+        return placement;
+
+    --_residents[current];
+    ++_residents[best];
+    _coreOf[instance] = best;
+    ++_migrations;
+    return ChunkPlacement{best, true, current};
+}
+
+void
+CoreDispatcher::cancelMigration(std::uint32_t instance, unsigned previous)
+{
+    const unsigned current = coreOf(instance);
+    MORPHEUS_ASSERT(current != previous,
+                    "cancelMigration without a pending migration");
+    --_residents[current];
+    ++_residents[previous];
+    _coreOf[instance] = previous;
+    ++_migrationsCancelled;
+}
+
+void
+CoreDispatcher::releaseInstance(std::uint32_t instance)
+{
+    const auto it = _coreOf.find(instance);
+    if (it == _coreOf.end())
+        return;
+    MORPHEUS_ASSERT(_residents[it->second] > 0,
+                    "resident count underflow");
+    --_residents[it->second];
+    _coreOf.erase(it);
+}
+
+unsigned
+CoreDispatcher::coreOf(std::uint32_t instance) const
+{
+    const auto it = _coreOf.find(instance);
+    MORPHEUS_ASSERT(it != _coreOf.end(),
+                    "coreOf() on an unplaced instance");
+    return it->second;
+}
+
+void
+CoreDispatcher::registerStats(sim::stats::StatSet &set,
+                              const std::string &prefix) const
+{
+    set.registerCounter(prefix + ".placements", &_placements);
+    set.registerCounter(prefix + ".migrations", &_migrations);
+    set.registerCounter(prefix + ".migrationsCancelled",
+                        &_migrationsCancelled);
+}
+
+}  // namespace morpheus::sched

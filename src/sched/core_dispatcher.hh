@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Load-aware embedded-core dispatch for StorageApp instances.
+ *
+ * Replaces the paper's static `instance_id % numCores` mapping with
+ * shortest-queue placement: MINIT assigns the instance to the core
+ * hosting the fewest live instances (ties broken by the tick the
+ * core's occupancy timeline frees, then core index). Resident count
+ * leads because a host session keeps only about one MREAD batch
+ * reserved at a time, so timeline backlog alone under-reports the
+ * remaining work of long streams. With migration enabled, the
+ * dispatcher may move an instance to a less-loaded core between MREAD
+ * chunks when the backlog gap exceeds SchedConfig::migrationMinGain;
+ * the device runtime charges the I-SRAM reload and D-SRAM state move.
+ *
+ * The dispatcher reads core load through a probe callback (the SSD
+ * controller passes each core's Timeline::freeAt), so this library
+ * needs no dependency on the ssd layer.
+ */
+
+#ifndef MORPHEUS_SCHED_CORE_DISPATCHER_HH
+#define MORPHEUS_SCHED_CORE_DISPATCHER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/sched_config.hh"
+#include "sim/stats.hh"
+
+namespace morpheus::sched {
+
+/** Chooses and tracks the embedded core serving each instance. */
+class CoreDispatcher
+{
+  public:
+    /** Returns the tick core @p idx becomes free. */
+    using LoadProbe = std::function<sim::Tick(unsigned)>;
+
+    CoreDispatcher(const SchedConfig &config, unsigned num_cores,
+                   LoadProbe probe);
+
+    /** Pick the core for a new instance (MINIT). */
+    unsigned placeInstance(std::uint32_t instance, sim::Tick now);
+
+    /** Core serving the next chunk; may carry a migration decision. */
+    struct ChunkPlacement
+    {
+        unsigned core = 0;
+        bool migrated = false;
+        unsigned previous = 0;  ///< Valid when migrated.
+    };
+
+    /**
+     * Core for the instance's next MREAD chunk at @p now. With
+     * migration enabled this may move the instance; the caller either
+     * commits (reloading the image on the new core) or calls
+     * cancelMigration() if the new core cannot take it.
+     */
+    ChunkPlacement coreForChunk(std::uint32_t instance, sim::Tick now);
+
+    /** Undo a migration the caller could not commit. */
+    void cancelMigration(std::uint32_t instance, unsigned previous);
+
+    /** The instance finished (MDEINIT or failed MINIT). */
+    void releaseInstance(std::uint32_t instance);
+
+    /** Current core of a live instance. */
+    unsigned coreOf(std::uint32_t instance) const;
+
+    /** Live instances currently assigned to @p core. */
+    unsigned residents(unsigned core) const { return _residents.at(core); }
+
+    std::uint64_t placements() const { return _placements.value(); }
+    std::uint64_t migrations() const { return _migrations.value(); }
+
+    void registerStats(sim::stats::StatSet &set,
+                       const std::string &prefix) const;
+
+  private:
+    /** Backlog of @p core at @p now (0 when idle). */
+    sim::Tick backlog(unsigned core, sim::Tick now) const;
+    unsigned leastLoadedCore(sim::Tick now) const;
+
+    const SchedConfig _config;
+    const unsigned _numCores;
+    LoadProbe _probe;
+
+    std::unordered_map<std::uint32_t, unsigned> _coreOf;
+    std::vector<unsigned> _residents;
+
+    sim::stats::Counter _placements;
+    sim::stats::Counter _migrations;
+    sim::stats::Counter _migrationsCancelled;
+};
+
+}  // namespace morpheus::sched
+
+#endif  // MORPHEUS_SCHED_CORE_DISPATCHER_HH

@@ -1,0 +1,80 @@
+#include "sched/ssd_scheduler.hh"
+
+namespace morpheus::sched {
+
+SsdScheduler::SsdScheduler(const SchedConfig &config, unsigned num_cores,
+                           CoreDispatcher::LoadProbe probe)
+    : _config(config), _arbiter(config),
+      _dispatcher(config, num_cores, std::move(probe))
+{
+}
+
+FrontEndDecision
+SsdScheduler::admitCommand(const nvme::Command &cmd, sim::Tick arrival)
+{
+    switch (cmd.opcode) {
+      case nvme::Opcode::kMInit: {
+        // MINIT repurposes its unused SLBA field to declare the byte
+        // length of the upcoming stream (the host knows the extent).
+        const AdmitDecision d = _arbiter.admitInstance(
+            cmd.cdw15, cmd.instanceId, arrival, cmd.slba);
+        if (d.rejected)
+            return {arrival, nvme::Status::kAdmissionDenied};
+        if (d.retry)
+            return {arrival, nvme::Status::kInstanceBusy};
+        return {d.start, nvme::Status::kSuccess};
+      }
+      case nvme::Opcode::kMRead:
+      case nvme::Opcode::kMWrite: {
+        const std::uint64_t bytes =
+            cmd.cdw13 ? cmd.cdw13 : cmd.dataBytes();
+        const sim::Tick start =
+            _arbiter.admitData(cmd.instanceId, bytes, arrival);
+        return {start, nvme::Status::kSuccess};
+      }
+      default:
+        return {arrival, nvme::Status::kSuccess};
+    }
+}
+
+void
+SsdScheduler::onCommandDone(const nvme::Command &cmd, sim::Tick start,
+                            const nvme::CommandResult &result)
+{
+    switch (cmd.opcode) {
+      case nvme::Opcode::kMInit:
+        if (result.status != nvme::Status::kSuccess) {
+            // The runtime refused the instance after admission (bad
+            // image, duplicate ID): free its slot and placement.
+            _arbiter.dropInstance(cmd.instanceId);
+            _dispatcher.releaseInstance(cmd.instanceId);
+        }
+        break;
+      case nvme::Opcode::kMRead:
+      case nvme::Opcode::kMWrite:
+        if (result.status == nvme::Status::kSuccess) {
+            const std::uint64_t bytes =
+                cmd.cdw13 ? cmd.cdw13 : cmd.dataBytes();
+            _arbiter.onDataDone(bytes, start, result.done);
+        }
+        break;
+      case nvme::Opcode::kMDeinit:
+        if (result.status == nvme::Status::kSuccess) {
+            _arbiter.onInstanceDone(cmd.instanceId, result.done);
+            _dispatcher.releaseInstance(cmd.instanceId);
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+void
+SsdScheduler::registerStats(sim::stats::StatSet &set,
+                            const std::string &prefix) const
+{
+    _arbiter.registerStats(set, prefix + ".arbiter");
+    _dispatcher.registerStats(set, prefix + ".dispatcher");
+}
+
+}  // namespace morpheus::sched

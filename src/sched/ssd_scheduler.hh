@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The scheduler front end the SSD firmware consults before executing a
+ * Morpheus command.
+ *
+ * SsdScheduler composes the two mechanisms of the subsystem: the
+ * TenantArbiter (admission of MINIT instances, weighted pacing of the
+ * data path) and the CoreDispatcher (instance placement on embedded
+ * cores). The SSD controller calls admitCommand() before handing an M*
+ * command to the device runtime and onCommandDone() with the result,
+ * so the runtime itself only needs the dispatcher for placement.
+ */
+
+#ifndef MORPHEUS_SCHED_SSD_SCHEDULER_HH
+#define MORPHEUS_SCHED_SSD_SCHEDULER_HH
+
+#include <string>
+
+#include "nvme/controller.hh"
+#include "sched/core_dispatcher.hh"
+#include "sched/sched_config.hh"
+#include "sched/tenant_arbiter.hh"
+
+namespace morpheus::sched {
+
+/** Front-end verdict on one Morpheus command. */
+struct FrontEndDecision
+{
+    /** Tick the command may start executing (>= its arrival). */
+    sim::Tick start = 0;
+    /** kSuccess to proceed; any other status completes the command
+     *  immediately (kAdmissionDenied, or kInstanceBusy for retry). */
+    nvme::Status status = nvme::Status::kSuccess;
+};
+
+/** Admission + arbitration + placement for the Morpheus command path. */
+class SsdScheduler
+{
+  public:
+    SsdScheduler(const SchedConfig &config, unsigned num_cores,
+                 CoreDispatcher::LoadProbe probe);
+
+    const SchedConfig &config() const { return _config; }
+    TenantArbiter &arbiter() { return _arbiter; }
+    CoreDispatcher &dispatcher() { return _dispatcher; }
+
+    /**
+     * Gate one M* command arriving at @p arrival. MINIT goes through
+     * admission (the tenant ID rides in cdw15); MREAD/MWRITE through
+     * the weighted-deficit pacer; MDEINIT always passes.
+     */
+    FrontEndDecision admitCommand(const nvme::Command &cmd,
+                                  sim::Tick arrival);
+
+    /**
+     * Report the execution result of a command previously admitted at
+     * @p start. Feeds completion ticks back into admission and the
+     * pacer's service-rate estimate, and releases placement and
+     * admission state for finished or failed instances.
+     */
+    void onCommandDone(const nvme::Command &cmd, sim::Tick start,
+                       const nvme::CommandResult &result);
+
+    void registerStats(sim::stats::StatSet &set,
+                       const std::string &prefix) const;
+
+  private:
+    const SchedConfig _config;
+    TenantArbiter _arbiter;
+    CoreDispatcher _dispatcher;
+};
+
+}  // namespace morpheus::sched
+
+#endif  // MORPHEUS_SCHED_SSD_SCHEDULER_HH

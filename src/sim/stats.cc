@@ -36,17 +36,25 @@ Histogram::quantile(double q) const
     const std::uint64_t total = samples();
     if (total == 0)
         return 0.0;
-    const auto target =
-        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+    if (q == 0.0)
+        return _acc.min();
+    const auto target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(total))));
     std::uint64_t seen = _underflow;
-    if (seen >= target)
-        return _lo;
+    if (seen >= target) {
+        // The quantile falls among the samples below _lo; the exact
+        // smallest sample bounds them all.
+        return _acc.min();
+    }
     for (std::size_t i = 0; i < _counts.size(); ++i) {
         seen += _counts[i];
         if (seen >= target)
             return _lo + (static_cast<double>(i) + 0.5) * _width;
     }
-    return _lo + _width * static_cast<double>(_counts.size());
+    // The quantile falls among the overflow samples above the last
+    // bucket; the exact largest sample bounds them all.
+    return _acc.max();
 }
 
 void

@@ -18,16 +18,22 @@ SsdController::SsdController(sim::EventQueue &eq,
     MORPHEUS_ASSERT(config.numCores > 0, "SSD with no embedded cores");
     for (unsigned i = 0; i < config.numCores; ++i)
         _cores.push_back(std::make_unique<EmbeddedCore>(i, config.core));
+    _sched = std::make_unique<sched::SsdScheduler>(
+        config.sched, config.numCores, [this](unsigned c) {
+            return _cores[c]->timeline().freeAt();
+        });
     _nvme.setHandler([this](const nvme::Command &cmd, sim::Tick start) {
         return handleCommand(cmd, start);
     });
 }
 
 EmbeddedCore &
-SsdController::coreFor(std::uint32_t instance_id)
+SsdController::coreFor(std::uint32_t instance_id, sim::Tick now)
 {
-    // Paper §IV-B: all packets with one instance ID go to one core.
-    return *_cores[instance_id % _cores.size()];
+    // Paper §IV-B statically sends all packets with one instance ID to
+    // core `id % numCores`; the dispatcher generalizes that to the
+    // configured placement policy.
+    return *_cores[_sched->dispatcher().placeInstance(instance_id, now)];
 }
 
 std::uint64_t
@@ -128,13 +134,22 @@ SsdController::handleCommand(const nvme::Command &cmd, sim::Tick start)
       case Opcode::kMInit:
       case Opcode::kMRead:
       case Opcode::kMWrite:
-      case Opcode::kMDeinit:
+      case Opcode::kMDeinit: {
         ++_morpheusCommands;
         if (!_engine) {
             return nvme::CommandResult{start,
                                        nvme::Status::kInvalidOpcode, 0};
         }
-        return _engine->execute(cmd, start);
+        // Scheduler front end: admission, pacing, placement release.
+        const sched::FrontEndDecision fe =
+            _sched->admitCommand(cmd, start);
+        if (fe.status != nvme::Status::kSuccess)
+            return nvme::CommandResult{start, fe.status, 0};
+        const nvme::CommandResult result =
+            _engine->execute(cmd, fe.start);
+        _sched->onCommandDone(cmd, fe.start, result);
+        return result;
+      }
     }
     return nvme::CommandResult{start, nvme::Status::kInvalidOpcode, 0};
 }
@@ -223,6 +238,7 @@ SsdController::registerStats(sim::stats::StatSet &set,
     _flash->registerStats(set, prefix + ".flash");
     _ftl->registerStats(set, prefix + ".ftl");
     _nvme.registerStats(set, prefix + ".nvme");
+    _sched->registerStats(set, prefix + ".sched");
 }
 
 }  // namespace morpheus::ssd

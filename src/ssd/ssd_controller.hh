@@ -21,6 +21,7 @@
 #include "ftl/ftl.hh"
 #include "nvme/controller.hh"
 #include "pcie/pcie.hh"
+#include "sched/ssd_scheduler.hh"
 #include "ssd/embedded_core.hh"
 
 namespace morpheus::ssd {
@@ -33,6 +34,7 @@ struct SsdConfig
     nvme::ControllerConfig nvme;
     EmbeddedCoreConfig core;
     unsigned numCores = 4;
+    sched::SchedConfig sched;
 
     /** Controller DRAM (buffers + FTL tables). */
     std::uint64_t dramBytes = 2ULL * sim::kGiB;
@@ -64,9 +66,15 @@ class SsdController
     flash::FlashArray &flash() { return *_flash; }
     pcie::PcieSwitch &fabric() { return _fabric; }
 
-    /** Embedded core serving @p instance_id (static mapping). */
-    EmbeddedCore &coreFor(std::uint32_t instance_id);
+    /**
+     * Embedded core serving a new @p instance_id: the configured
+     * placement policy applied at @p now (static modulo by default).
+     */
+    EmbeddedCore &coreFor(std::uint32_t instance_id, sim::Tick now = 0);
     EmbeddedCore &core(unsigned idx) { return *_cores.at(idx); }
+
+    /** The multi-tenant command scheduler (admission + placement). */
+    sched::SsdScheduler &scheduler() { return *_sched; }
     unsigned numCores() const
     {
         return static_cast<unsigned>(_cores.size());
@@ -131,6 +139,7 @@ class SsdController
     nvme::NvmeController _nvme;
     std::vector<std::unique_ptr<EmbeddedCore>> _cores;
     sim::Timeline _dram{"ssd.dram"};
+    std::unique_ptr<sched::SsdScheduler> _sched;
     MorpheusEngine *_engine = nullptr;
 
     sim::stats::Counter _readCommands;

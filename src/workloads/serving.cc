@@ -1,0 +1,363 @@
+#include "workloads/serving.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/host_runtime.hh"
+#include "core/nvme_p2p.hh"
+#include "core/standard_apps.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "workloads/generators.hh"
+#include "workloads/objects.hh"
+
+namespace morpheus::workloads {
+
+namespace {
+
+/** Latency histograms: 10 us buckets up to 100 ms; the tail beyond
+ *  that is resolved by the exact max tracked by the accumulator. */
+constexpr double kLatHiUs = 100000.0;
+constexpr unsigned kLatBuckets = 10000;
+
+/** One generated request of the open-loop trace. */
+struct Request
+{
+    sim::Tick arrival = 0;
+    unsigned tenantIdx = 0;
+    unsigned classIdx = 0;  ///< Into the tenant's size classes.
+};
+
+/** A request's pre-ingested input file and object geometry. */
+struct SizeClass
+{
+    host::FileExtent extent;
+    std::uint64_t objectBytes = 0;
+};
+
+struct ActiveSession
+{
+    core::InvokeSession session;
+    unsigned requestIdx = 0;
+};
+
+/** Event-loop entry: what happens next and when. */
+struct Event
+{
+    sim::Tick time = 0;
+    std::uint64_t seq = 0;  ///< Deterministic FIFO tie-break.
+    enum Kind { kArrival, kStep } kind = kArrival;
+    unsigned idx = 0;  ///< Request index / active-session index.
+
+    bool
+    operator>(const Event &o) const
+    {
+        return time != o.time ? time > o.time : seq > o.seq;
+    }
+};
+
+/** Draw a size-class index from the tenant's (normalized) mix. */
+unsigned
+drawClass(const TenantSpec &tenant, sim::Rng &rng)
+{
+    double total = 0.0;
+    for (double p : tenant.sizeClassProb)
+        total += p;
+    double u = rng.nextDouble() * total;
+    for (unsigned k = 0; k < tenant.sizeClassProb.size(); ++k) {
+        u -= tenant.sizeClassProb[k];
+        if (u <= 0.0)
+            return k;
+    }
+    return static_cast<unsigned>(tenant.sizeClassProb.size() - 1);
+}
+
+/** Poisson (or on/off-modulated) arrival trace for one tenant. */
+std::vector<Request>
+genArrivals(const ServingOptions &opts, unsigned tenant_idx,
+            sim::Rng &rng)
+{
+    const TenantSpec &tenant = opts.tenants[tenant_idx];
+    const sim::Tick horizon = static_cast<sim::Tick>(
+        opts.durationSec * static_cast<double>(sim::kPsPerSec));
+    const sim::Tick period = static_cast<sim::Tick>(
+        opts.burstPeriodSec * static_cast<double>(sim::kPsPerSec));
+    const sim::Tick on_window = static_cast<sim::Tick>(
+        static_cast<double>(period) * opts.burstOnFraction);
+
+    // The off-phase rate that keeps the long-run mean at
+    // arrivalsPerSec given the boosted on-phase rate.
+    const double on_rate = tenant.arrivalsPerSec * opts.burstFactor;
+    const double off_rate = std::max(
+        0.0, (tenant.arrivalsPerSec -
+              on_rate * opts.burstOnFraction) /
+                 (1.0 - opts.burstOnFraction));
+
+    std::vector<Request> out;
+    double t_ps = 0.0;
+    while (true) {
+        double rate = tenant.arrivalsPerSec;
+        if (opts.bursty) {
+            const auto phase = static_cast<sim::Tick>(t_ps) %
+                               std::max<sim::Tick>(period, 1);
+            rate = phase < on_window ? on_rate : off_rate;
+            if (rate <= 0.0) {
+                // Skip to the next burst window.
+                t_ps += static_cast<double>(period - phase);
+                continue;
+            }
+        }
+        const double gap_sec =
+            -std::log(1.0 - rng.nextDouble()) / rate;
+        t_ps += gap_sec * static_cast<double>(sim::kPsPerSec);
+        if (t_ps >= static_cast<double>(horizon))
+            break;
+        Request r;
+        r.arrival = static_cast<sim::Tick>(t_ps);
+        r.tenantIdx = tenant_idx;
+        r.classIdx = drawClass(tenant, rng);
+        out.push_back(r);
+    }
+    return out;
+}
+
+double
+ticksToUs(sim::Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(sim::kPsPerUs);
+}
+
+}  // namespace
+
+ServingReport
+runServing(const ServingOptions &opts)
+{
+    MORPHEUS_ASSERT(!opts.tenants.empty(), "serving without tenants");
+    host::HostSystem sys(opts.sys);
+    core::StandardImages images = core::StandardImages::make();
+    core::MorpheusDeviceRuntime device(sys.ssd());
+    core::NvmeP2p p2p(sys);
+    core::MorpheusRuntime runtime(sys, device, p2p);
+
+    auto &arbiter = sys.ssd().scheduler().arbiter();
+    for (const TenantSpec &t : opts.tenants)
+        arbiter.setTenantWeight(t.id, t.weight);
+
+    // ---- ingest one file per (tenant, size class) --------------------
+    std::vector<std::vector<SizeClass>> classes(opts.tenants.size());
+    sim::Tick ingest_done = 0;
+    for (unsigned ti = 0; ti < opts.tenants.size(); ++ti) {
+        const TenantSpec &tenant = opts.tenants[ti];
+        MORPHEUS_ASSERT(tenant.sizeClassValues.size() ==
+                            tenant.sizeClassProb.size(),
+                        "size class values/probabilities mismatch");
+        classes[ti].resize(tenant.sizeClassValues.size());
+        for (unsigned k = 0; k < tenant.sizeClassValues.size(); ++k) {
+            const AnyObject obj = genIntArray(
+                opts.seed + ti * 131 + k, tenant.sizeClassValues[k]);
+            const auto text = serializeObject(obj);
+            classes[ti][k].objectBytes = objectBytes(obj);
+            classes[ti][k].extent = sys.createFile(
+                "serve.t" + std::to_string(tenant.id) + ".c" +
+                    std::to_string(k),
+                text);
+            ingest_done = std::max(ingest_done,
+                                   classes[ti][k].extent.readyAt);
+        }
+    }
+
+    // ---- generate the open-loop trace --------------------------------
+    std::vector<Request> requests;
+    for (unsigned ti = 0; ti < opts.tenants.size(); ++ti) {
+        sim::Rng rng(opts.seed * 1000003u + opts.tenants[ti].id);
+        auto trace = genArrivals(opts, ti, rng);
+        requests.insert(requests.end(), trace.begin(), trace.end());
+    }
+    // Arrivals start after ingest so admission sees a settled device.
+    for (Request &r : requests)
+        r.arrival += ingest_done;
+    std::stable_sort(requests.begin(), requests.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrival < b.arrival;
+                     });
+
+    const core::StorageAppImage &image =
+        imageFor(ObjectKind::kIntArray, images);
+
+    // ---- event loop ---------------------------------------------------
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events;
+    std::uint64_t seq = 0;
+    for (unsigned i = 0; i < requests.size(); ++i)
+        events.push(Event{requests[i].arrival, seq++, Event::kArrival, i});
+
+    std::vector<ActiveSession> active;
+    std::vector<unsigned> free_slots;
+    std::vector<unsigned> parked;  // FIFO of request indices
+
+    struct Outcome
+    {
+        bool completed = false;
+        bool rejected = false;
+        std::uint64_t retries = 0;
+        sim::Tick latency = 0;
+        std::uint64_t servedBytes = 0;
+    };
+    std::vector<Outcome> outcomes(requests.size());
+    sim::Tick last_done = ingest_done;
+
+    auto start_request = [&](unsigned req_idx, sim::Tick when) {
+        const Request &req = requests[req_idx];
+        const TenantSpec &tenant = opts.tenants[req.tenantIdx];
+        const SizeClass &cls = classes[req.tenantIdx][req.classIdx];
+
+        core::InvokeOptions iopts;
+        iopts.hostCore = req.tenantIdx % sys.cpu().config().cores;
+        iopts.chunkBlocks = opts.chunkBlocks;
+        iopts.tenantId = tenant.id;
+        const core::DmaTarget target =
+            runtime.hostTarget(cls.objectBytes);
+        const core::MsStream stream =
+            runtime.streamCreate(cls.extent, when, iopts.hostCore);
+
+        core::InvokeSession s = runtime.beginInvoke(
+            image, stream, target, when, iopts);
+        if (!s.accepted) {
+            if (s.retry) {
+                ++outcomes[req_idx].retries;
+                parked.push_back(req_idx);
+            } else {
+                outcomes[req_idx].rejected = true;
+                last_done = std::max(last_done, s.result.done);
+            }
+            return;
+        }
+        unsigned slot;
+        if (!free_slots.empty()) {
+            slot = free_slots.back();
+            free_slots.pop_back();
+            active[slot] = ActiveSession{std::move(s), req_idx};
+        } else {
+            slot = static_cast<unsigned>(active.size());
+            active.push_back(ActiveSession{std::move(s), req_idx});
+        }
+        events.push(Event{active[slot].session.now, seq++, Event::kStep,
+                          slot});
+    };
+
+    while (!events.empty()) {
+        const Event ev = events.top();
+        events.pop();
+        if (ev.kind == Event::kArrival) {
+            start_request(ev.idx, ev.time);
+            continue;
+        }
+        ActiveSession &as = active[ev.idx];
+        if (!as.session.streamDone()) {
+            const sim::Tick next = runtime.stepInvoke(as.session);
+            if (!as.session.streamDone()) {
+                events.push(Event{next, seq++, Event::kStep, ev.idx});
+                continue;
+            }
+        }
+        const core::InvokeResult result =
+            runtime.finishInvoke(as.session);
+        Outcome &out = outcomes[as.requestIdx];
+        out.completed = true;
+        out.latency = result.done - requests[as.requestIdx].arrival;
+        out.servedBytes = result.objectBytes;
+        last_done = std::max(last_done, result.done);
+        free_slots.push_back(ev.idx);
+
+        // A completion is the retry signal the device's busy status
+        // asks the host to wait for: re-enqueue everything parked as
+        // fresh arrivals at the completion time (through the heap, so
+        // MINIT issue order stays chronological).
+        std::vector<unsigned> waiting;
+        waiting.swap(parked);
+        for (unsigned req_idx : waiting)
+            events.push(Event{result.done, seq++, Event::kArrival,
+                              req_idx});
+    }
+    MORPHEUS_ASSERT(parked.empty(),
+                    "parked requests with no active session left");
+
+    // ---- aggregate ----------------------------------------------------
+    ServingReport report;
+    sim::stats::Histogram all_lat(0.0, kLatHiUs, kLatBuckets);
+    std::vector<double> fairness_x;
+    sim::Tick first_arrival =
+        requests.empty() ? ingest_done : requests.front().arrival;
+
+    for (unsigned ti = 0; ti < opts.tenants.size(); ++ti) {
+        const TenantSpec &tenant = opts.tenants[ti];
+        TenantReport tr;
+        tr.id = tenant.id;
+        tr.weight = tenant.weight;
+        sim::stats::Histogram lat(0.0, kLatHiUs, kLatBuckets);
+        for (unsigned i = 0; i < requests.size(); ++i) {
+            if (requests[i].tenantIdx != ti)
+                continue;
+            ++tr.submitted;
+            tr.retries += outcomes[i].retries;
+            if (outcomes[i].rejected) {
+                ++tr.rejected;
+                continue;
+            }
+            if (!outcomes[i].completed)
+                continue;
+            ++tr.completed;
+            tr.servedBytes += outcomes[i].servedBytes;
+            const double us = ticksToUs(outcomes[i].latency);
+            lat.sample(us);
+            all_lat.sample(us);
+        }
+        tr.meanUs = lat.mean();
+        tr.maxUs = lat.max();
+        tr.p50Us = lat.samples() ? lat.quantile(0.50) : 0.0;
+        tr.p95Us = lat.samples() ? lat.quantile(0.95) : 0.0;
+        tr.p99Us = lat.samples() ? lat.quantile(0.99) : 0.0;
+        report.submitted += tr.submitted;
+        report.completed += tr.completed;
+        report.rejected += tr.rejected;
+        fairness_x.push_back(static_cast<double>(tr.servedBytes) /
+                             tenant.weight);
+        report.tenants.push_back(tr);
+    }
+
+    report.meanUs = all_lat.mean();
+    report.maxUs = all_lat.max();
+    report.p50Us = all_lat.samples() ? all_lat.quantile(0.50) : 0.0;
+    report.p95Us = all_lat.samples() ? all_lat.quantile(0.95) : 0.0;
+    report.p99Us = all_lat.samples() ? all_lat.quantile(0.99) : 0.0;
+
+    double sum = 0.0, sum_sq = 0.0;
+    for (double x : fairness_x) {
+        sum += x;
+        sum_sq += x * x;
+    }
+    report.jainFairness =
+        sum_sq > 0.0 ? (sum * sum) /
+                           (static_cast<double>(fairness_x.size()) *
+                            sum_sq)
+                     : 1.0;
+
+    report.makespan = last_done - first_arrival;
+    report.throughputPerSec =
+        report.makespan
+            ? static_cast<double>(report.completed) /
+                  (static_cast<double>(report.makespan) /
+                   static_cast<double>(sim::kPsPerSec))
+            : 0.0;
+    report.migrations = sys.ssd().scheduler().dispatcher().migrations();
+    report.drrDelays = arbiter.dataDelays();
+    return report;
+}
+
+}  // namespace morpheus::workloads

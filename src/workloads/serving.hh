@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Open-loop multi-tenant serving driver.
+ *
+ * Where runner.hh measures one invocation end-to-end, this driver
+ * subjects the device to *traffic*: several tenants submit StorageApp
+ * requests at Poisson (or bursty on/off) arrival times, independent of
+ * completions — the open-loop discipline of serving benchmarks, so
+ * queueing delay shows up in the measured latency instead of being
+ * absorbed by a closed loop's self-throttling.
+ *
+ * Each request is one invocation of the int-array deserializer over a
+ * pre-ingested file drawn from a heavy-tailed size mix. Requests are
+ * interleaved at MREAD-batch granularity through the InvokeSession
+ * API; the device-side scheduler (ssd.sched in the SystemConfig)
+ * decides placement, admission, and pacing. The report carries
+ * per-tenant latency percentiles (sim::stats::Histogram) and the Jain
+ * fairness index over weight-normalized served bytes.
+ */
+
+#ifndef MORPHEUS_WORKLOADS_SERVING_HH
+#define MORPHEUS_WORKLOADS_SERVING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "host/system_config.hh"
+
+namespace morpheus::workloads {
+
+/** One traffic source. */
+struct TenantSpec
+{
+    std::uint32_t id = 0;
+    /** Relative service weight (DRR share). */
+    double weight = 1.0;
+    /** Mean request arrival rate (open loop). */
+    double arrivalsPerSec = 2000.0;
+    /** Request size classes, in int-array values per request... */
+    std::vector<std::uint32_t> sizeClassValues{2000, 8000, 32000};
+    /** ...and their draw probabilities (normalized internally). */
+    std::vector<double> sizeClassProb{0.70, 0.25, 0.05};
+};
+
+/** Serving-experiment knobs. */
+struct ServingOptions
+{
+    std::vector<TenantSpec> tenants;
+    /** Arrivals are generated in [0, durationSec). */
+    double durationSec = 0.02;
+    std::uint64_t seed = 1;
+
+    /** On/off burst modulation instead of plain Poisson. */
+    bool bursty = false;
+    double burstFactor = 4.0;      ///< Rate multiplier inside a burst.
+    double burstOnFraction = 0.25; ///< Fraction of time bursting.
+    double burstPeriodSec = 2e-3;  ///< One on+off cycle.
+
+    /** MREAD chunk in 512 B blocks (0 = MDTS). */
+    std::uint32_t chunkBlocks = 0;
+    /** Platform, including ssd.sched (the policies under test). */
+    host::SystemConfig sys{};
+};
+
+/** Per-tenant outcome. */
+struct TenantReport
+{
+    std::uint32_t id = 0;
+    double weight = 1.0;
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;   ///< Terminal admission refusals.
+    std::uint64_t retries = 0;    ///< Bounced-and-reparked attempts.
+    std::uint64_t servedBytes = 0;
+    double meanUs = 0.0;
+    double p50Us = 0.0;
+    double p95Us = 0.0;
+    double p99Us = 0.0;
+    double maxUs = 0.0;
+};
+
+/** Whole-experiment outcome. */
+struct ServingReport
+{
+    std::vector<TenantReport> tenants;
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    double meanUs = 0.0;
+    double p50Us = 0.0;
+    double p95Us = 0.0;
+    double p99Us = 0.0;
+    double maxUs = 0.0;
+    /** Jain index over servedBytes/weight (1.0 = perfectly fair). */
+    double jainFairness = 0.0;
+    double throughputPerSec = 0.0;
+    sim::Tick makespan = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t drrDelays = 0;
+};
+
+/** Run one open-loop serving experiment. Deterministic in the seed. */
+ServingReport runServing(const ServingOptions &opts);
+
+}  // namespace morpheus::workloads
+
+#endif  // MORPHEUS_WORKLOADS_SERVING_HH

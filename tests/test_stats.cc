@@ -64,6 +64,62 @@ TEST(Histogram, QuantileInterpolatesBucketMidpoints)
     EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
 }
 
+TEST(Histogram, QuantileAllSamplesInUnderflow)
+{
+    st::Histogram h(100.0, 200.0, 10);
+    h.sample(3.0);
+    h.sample(7.0);
+    h.sample(12.0);
+    // Every quantile lives below the range; the exact sample min/max
+    // bound the answers, not the bucket edges.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(Histogram, QuantileAllSamplesInOverflow)
+{
+    st::Histogram h(0.0, 10.0, 10);
+    h.sample(50.0);
+    h.sample(90.0);
+    h.sample(70.0);
+    // The old accumulation never counted the overflow bucket and fell
+    // through to the top edge (10.0); the tail must report the exact
+    // max instead.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 90.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 90.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 90.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 50.0);
+}
+
+TEST(Histogram, QuantileTailReachesOverflowRegion)
+{
+    st::Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 99; ++i)
+        h.sample(50.0);  // bucket 5
+    h.sample(1000.0);    // one overflow outlier
+    // p50 stays in-range; p100 is the outlier, not the top edge.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 55.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, QuantileExtremesOnInRangeData)
+{
+    st::Histogram h(0.0, 100.0, 10);
+    h.sample(12.0);
+    h.sample(88.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 12.0);   // exact min
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 85.0);   // bucket-8 midpoint
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);   // bucket-1 midpoint
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsZero)
+{
+    st::Histogram h(0.0, 100.0, 10);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
 TEST(Histogram, ResetClearsEverything)
 {
     st::Histogram h(0.0, 10.0, 5);
