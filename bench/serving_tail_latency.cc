@@ -52,6 +52,14 @@ makeOptions(const Point &p, sched::PlacementPolicy placement)
     // image inside I-SRAM, with the overflow absorbed by the admission
     // queue (kQueue) instead of failing MINITs device-side.
     opts.sys.ssd.sched.maxInflightTotal = 12;
+    // Per-instance D-SRAM grants in force: co-residents split each
+    // core's scratchpad (256 KiB / 4 = a 64 KiB grant each) instead of
+    // silently overcommitting it. Keep the unpartitioned 64 KiB flush
+    // cadence as closely as the grant allows: staging must stay
+    // strictly inside the grant (grant-full is not a legal threshold),
+    // so flush 4 KiB shy of it rather than at the default grant/4.
+    opts.sys.ssd.sched.dsramPartitioning = true;
+    opts.flushThreshold = 60 * sim::kKiB;
     return opts;
 }
 

@@ -42,6 +42,10 @@ objectName(wk::ObjectKind k)
         return "point set";
       case wk::ObjectKind::kCooMatrix:
         return "sparse COO matrix";
+      case wk::ObjectKind::kCsvTable:
+        return "CSV table";
+      case wk::ObjectKind::kJsonRecords:
+        return "JSON records";
     }
     return "?";
 }

@@ -69,11 +69,35 @@ MorpheusDeviceRuntime::doMInit(const nvme::Command &cmd, sim::Tick start)
     const InstanceSetup setup = staged->second;
     _staged.erase(staged);
 
-    ssd::EmbeddedCore &core = _ssd.coreFor(cmd.instanceId, start);
+    // With partitioning, the MINIT's requested budget (in-band in
+    // PRP2's low dword, staged setup as fallback) becomes a grant the
+    // core must be able to reserve; the default is an equal share of
+    // the scratchpad across maxInstancesPerCore co-residents. The
+    // grant is also a placement signal: the dispatcher prefers cores
+    // with room for it.
+    const sched::SchedConfig &sc = _ssd.config().sched;
+    std::uint32_t granted = 0;
+    if (sc.dsramPartitioning) {
+        const auto requested = static_cast<std::uint32_t>(
+            cmd.prp2 ? cmd.prp2 : setup.dsramBytes);
+        granted = requested
+                      ? requested
+                      : _ssd.config().core.dsramBytes /
+                            std::max(1u, sc.maxInstancesPerCore);
+    }
+
+    ssd::EmbeddedCore &core = _ssd.coreFor(cmd.instanceId, start, granted);
     const std::uint32_t code_bytes =
         cmd.cdw13 ? cmd.cdw13 : setup.image->textBytes;
     if (!core.loadImage(code_bytes))
         return {start, nvme::Status::kAppLoadFailed, 0};
+    if (granted && !core.reserveDsram(granted)) {
+        // No data budget next to the co-resident grants: release the
+        // I-SRAM image too (the scheduler front end frees the arbiter
+        // slot and the placement when it sees the failure status).
+        core.unloadImage(code_bytes);
+        return {start, nvme::Status::kDsramExhausted, 0};
+    }
 
     // Fetch the code image from host memory (prp1), then spend a few
     // core cycles installing it into I-SRAM.
@@ -87,14 +111,17 @@ MorpheusDeviceRuntime::doMInit(const nvme::Command &cmd, sim::Tick start)
     inst.id = cmd.instanceId;
     inst.setup = setup;
     inst.app = setup.image->factory(cmd.cdw14);
-    const std::uint32_t dsram = core.config().dsramBytes;
-    const std::uint32_t threshold = setup.flushThreshold
-                                        ? setup.flushThreshold
-                                        : dsram / 4;
+    const std::uint32_t dsram =
+        granted ? granted : core.config().dsramBytes;
+    const std::uint32_t threshold = std::max<std::uint32_t>(
+        1, setup.flushThreshold
+               ? std::min(setup.flushThreshold, dsram)
+               : dsram / 4);
     inst.ctx = std::make_unique<MsChunkContext>(dsram, threshold,
                                                 cmd.cdw14);
     inst.coreId = core.id();
     inst.codeBytes = code_bytes;
+    inst.dsramGranted = granted;
     inst.dmaCursor = setup.target.addr;
     _instances.emplace(cmd.instanceId, std::move(inst));
 
@@ -136,11 +163,22 @@ MorpheusDeviceRuntime::maybeMigrate(Instance &inst, sim::Tick now)
         dispatcher.cancelMigration(inst.id, plan.previous);
         return;
     }
-    _ssd.core(plan.previous).unloadImage(inst.codeBytes);
-    // Reinstall the code image and move the staging state between the
-    // two D-SRAMs through controller DRAM.
+    if (inst.dsramGranted && !to.reserveDsram(inst.dsramGranted)) {
+        // The target can't honor the instance's D-SRAM grant next to
+        // its co-residents; undo the image load and stay put.
+        to.unloadImage(inst.codeBytes);
+        dispatcher.cancelMigration(inst.id, plan.previous);
+        return;
+    }
+    ssd::EmbeddedCore &from = _ssd.core(plan.previous);
+    from.unloadImage(inst.codeBytes);
+    if (inst.dsramGranted)
+        from.releaseDsram(inst.dsramGranted);
+    // Reinstall the code image and move the live staging state — the
+    // bytes actually parked in D-SRAM, not the whole scratchpad —
+    // between the two cores through controller DRAM.
     const sim::Tick state_moved = _ssd.dramTransfer(
-        to.config().dsramBytes, now);
+        inst.ctx->dsramUse(), now);
     to.execute(static_cast<double>(inst.codeBytes) * 0.5 +
                    _ssd.config().sched.migrationCycles,
                state_moved);
@@ -208,29 +246,51 @@ MorpheusDeviceRuntime::doMWrite(const nvme::Command &cmd, sim::Tick start)
     const sim::Tick fetched = _ssd.fabric().dmaReadData(
         _ssd.port(), cmd.prp1, data.data(), valid, start);
 
-    inst.ctx->feedChunk(std::move(data));
-    if (!inst.app->processWriteChunk(*inst.ctx))
-        return {fetched, nvme::Status::kInvalidField, 0};
-
     ssd::EmbeddedCore &core = _ssd.core(inst.coreId);
+    const std::uint64_t emitted_before = inst.ctx->bytesEmitted();
+    inst.ctx->feedChunk(std::move(data));
+    if (!inst.app->processWriteChunk(*inst.ctx)) {
+        // The app refused the payload. Drop the partial output and
+        // charge the aborted parse work to THIS command, so neither
+        // the stale staging nor the cost bleeds into the next one.
+        const serde::ParseCost aborted = inst.ctx->abortCommand();
+        const sim::Tick done = core.execute(
+            core.config().parseCycles(aborted) +
+                core.config().cyclesPerCommand,
+            fetched);
+        return {done, nvme::Status::kInvalidField, 0};
+    }
+
     const serde::ParseCost delta = inst.ctx->takeCostDelta();
     // Serialization cost: symmetric model — emitting text costs what
-    // scanning it would, plus per-value conversion.
+    // scanning it would, plus per-value conversion. Charge only the
+    // bytes this command emitted, not the cumulative stream total.
+    const std::uint64_t emitted =
+        inst.ctx->bytesEmitted() - emitted_before;
     const double cycles =
         core.config().parseCycles(delta) +
-        static_cast<double>(inst.ctx->bytesEmitted()) *
+        static_cast<double>(emitted) *
             core.config().cyclesPerByteScan * 0.5 +
         core.config().cyclesPerCommand;
     const sim::Tick serialized = core.execute(cycles, fetched);
 
+    // Serialized text lands on flash at the command's SLBA; successive
+    // MWRITEs to the same region append behind it. The cursor is keyed
+    // to the region's base SLBA (a new SLBA starts a new region) —
+    // never to the MREAD DMA cursor, which tracks host-memory deliveries
+    // and would skew the flash destination after any mixed stream.
+    if (!inst.writeRegionOpen || inst.writeSlba != cmd.slba) {
+        inst.writeRegionOpen = true;
+        inst.writeSlba = cmd.slba;
+        inst.writeCursor = 0;
+    }
     inst.ctx->flushResidual();
     sim::Tick done = serialized;
     for (auto &seg : inst.ctx->takeFlushes()) {
         const std::uint64_t dst =
-            cmd.slba * nvme::kBlockBytes +
-            (inst.dmaCursor - inst.setup.target.addr);
+            inst.writeSlba * nvme::kBlockBytes + inst.writeCursor;
         done = _ssd.storeFromDram(dst, seg, done);
-        inst.dmaCursor += seg.size();
+        inst.writeCursor += seg.size();
         _objectBytes += seg.size();
         _delivered[inst.id] += seg.size();
     }
@@ -268,6 +328,8 @@ MorpheusDeviceRuntime::doMDeinit(const nvme::Command &cmd,
 
     const std::uint32_t rv = inst.app->returnValue();
     core.unloadImage(inst.codeBytes);
+    if (inst.dsramGranted)
+        core.releaseDsram(inst.dsramGranted);
     _instances.erase(it);
     return {done, nvme::Status::kSuccess, rv};
 }

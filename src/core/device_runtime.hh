@@ -30,8 +30,15 @@ struct InstanceSetup
     const StorageAppImage *image = nullptr;
     DmaTarget target;
     std::uint32_t arg = 0;
-    /** Staging flush threshold (0 = default: D-SRAM / 4). */
+    /** Staging flush threshold (0 = default: granted D-SRAM / 4). */
     std::uint32_t flushThreshold = 0;
+    /**
+     * Requested per-instance D-SRAM budget in bytes; also carried
+     * in-band by MINIT (PRP2 low dword). Meaningful only with
+     * SchedConfig::dsramPartitioning; 0 = the core's default share
+     * (dsramBytes / maxInstancesPerCore).
+     */
+    std::uint32_t dsramBytes = 0;
 };
 
 /** The Morpheus command engine inside the SSD. */
@@ -83,7 +90,15 @@ class MorpheusDeviceRuntime : public ssd::MorpheusEngine
         std::unique_ptr<MsChunkContext> ctx;
         unsigned coreId = 0;
         std::uint32_t codeBytes = 0;  ///< I-SRAM bytes actually loaded.
+        /** D-SRAM bytes reserved on coreId (0 = unpartitioned). */
+        std::uint32_t dsramGranted = 0;
         pcie::Addr dmaCursor = 0;
+        /** MWRITE region cursor: base SLBA of the region being
+         *  serialized and the bytes landed there so far. Independent
+         *  of dmaCursor, which tracks the MREAD DMA target. */
+        std::uint64_t writeSlba = 0;
+        std::uint64_t writeCursor = 0;
+        bool writeRegionOpen = false;
         std::uint64_t chunksProcessed = 0;
     };
 

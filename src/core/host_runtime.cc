@@ -67,6 +67,7 @@ MorpheusRuntime::beginInvoke(const StorageAppImage &image,
     setup.target = target;
     setup.arg = opts.arg;
     setup.flushThreshold = opts.flushThreshold;
+    setup.dsramBytes = opts.dsramBytes;
     _device.stageInstance(s.instance, setup);
 
     // Stage the code image bytes in host memory for the device to
@@ -86,14 +87,21 @@ MorpheusRuntime::beginInvoke(const StorageAppImage &image,
     minit.cdw13 = image.textBytes;
     minit.cdw14 = opts.arg;
     minit.cdw15 = opts.tenantId;
+    // Requested per-instance D-SRAM budget rides in PRP2's low dword
+    // (MINIT has no second data pointer).
+    minit.prp2 = opts.dsramBytes;
     const nvme::Completion minit_cqe = driver.io(s.qid, minit, s.now);
     s.minitStatus = minit_cqe.status;
     if (s.minitStatus == nvme::Status::kAdmissionDenied ||
-        s.minitStatus == nvme::Status::kInstanceBusy) {
-        // Scheduler front-end refusal: the engine never saw the MINIT,
-        // so discard the staged setup and report back to the caller.
+        s.minitStatus == nvme::Status::kInstanceBusy ||
+        s.minitStatus == nvme::Status::kDsramExhausted) {
+        // Refused before the instance came up: admission quota (front
+        // end) or no D-SRAM budget on the core (engine). Either way
+        // discard the staged setup and report back to the caller.
+        // D-SRAM exhaustion, like a busy slot, clears when a resident
+        // instance finishes, so it is retryable.
         _device.unstageInstance(s.instance);
-        s.retry = s.minitStatus == nvme::Status::kInstanceBusy;
+        s.retry = s.minitStatus != nvme::Status::kAdmissionDenied;
         s.result.accepted = false;
         s.result.done = std::max(s.now, minit_cqe.postedAt);
         return s;

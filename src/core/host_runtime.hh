@@ -51,6 +51,12 @@ struct InvokeOptions
     std::uint32_t flushThreshold = 0;
     /** Tenant the invocation bills to (MINIT cdw15). */
     std::uint32_t tenantId = 0;
+    /**
+     * Requested per-instance D-SRAM budget (MINIT PRP2 low dword).
+     * Only meaningful with SchedConfig::dsramPartitioning; 0 = the
+     * core's default equal share.
+     */
+    std::uint32_t dsramBytes = 0;
 };
 
 /** Measured outcome of one StorageApp invocation. */

@@ -120,6 +120,17 @@ MsChunkContext::flushResidual()
         _flushes.push_back(std::exchange(_staging, {}));
 }
 
+serde::ParseCost
+MsChunkContext::abortCommand()
+{
+    const serde::ParseCost delta = takeCostDelta();
+    _chunk.clear();
+    _chunkPos = 0;
+    _staging.clear();
+    _flushes.clear();
+    return delta;
+}
+
 void
 MsChunkContext::noteDsram()
 {

@@ -131,6 +131,24 @@ class MsChunkContext
     /** Force any residual staging into a flush segment. */
     void flushResidual();
 
+    /**
+     * Engine failure path (a command the app refused): drop the
+     * unconsumed chunk bytes, the partially staged output, and any
+     * pending flush segments, and @return the accrued parse-cost
+     * delta so the engine can charge the aborted work to the failing
+     * command — never to its successor. (The text scanner's carry is
+     * untouched; write-path apps read raw bytes, not tokens.)
+     */
+    serde::ParseCost abortCommand();
+
+    /** Bytes currently staged in D-SRAM awaiting a flush — the live
+     *  state a migration actually has to move. */
+    std::uint32_t
+    dsramUse() const
+    {
+        return static_cast<std::uint32_t>(_staging.size());
+    }
+
     /** Total bytes emitted so far (before flushing). */
     std::uint64_t bytesEmitted() const { return _bytesEmitted; }
 

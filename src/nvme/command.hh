@@ -5,8 +5,12 @@
  *
  * The Morpheus commands reuse the one-byte opcode space left free by
  * the NVMe standard (vendor-specific range):
- *  - MINIT:   install a StorageApp (PRP points at the code image;
- *             CDW13 carries the code length, CDW14 the argument word).
+ *  - MINIT:   install a StorageApp (PRP1 points at the code image;
+ *             CDW13 carries the code length, CDW14 the argument word,
+ *             CDW15 the submitting tenant, SLBA the declared stream
+ *             length, and PRP2's low dword — MINIT carries no second
+ *             data pointer — the requested per-instance D-SRAM budget
+ *             in bytes, 0 for the device default share).
  *  - MREAD:   like Read, but the data is routed through the StorageApp
  *             selected by the instance ID before being DMAed out.
  *  - MWRITE:  like Write, with StorageApp processing on the inbound
@@ -66,6 +70,7 @@ enum class Status : std::uint16_t {
     kAppLoadFailed = 0x1C1,    // Morpheus: image too big for I-SRAM
     kInstanceBusy = 0x1C2,     // Morpheus: instance table full / retry
     kAdmissionDenied = 0x1C3,  // Morpheus: tenant over instance quota
+    kDsramExhausted = 0x1C4,   // Morpheus: no D-SRAM budget on the core
 };
 
 /**

@@ -8,9 +8,10 @@
 namespace morpheus::sched {
 
 CoreDispatcher::CoreDispatcher(const SchedConfig &config,
-                               unsigned num_cores, LoadProbe probe)
+                               unsigned num_cores, LoadProbe probe,
+                               DsramProbe dsram_probe)
     : _config(config), _numCores(num_cores), _probe(std::move(probe)),
-      _residents(num_cores, 0)
+      _dsramProbe(std::move(dsram_probe)), _residents(num_cores, 0)
 {
     MORPHEUS_ASSERT(num_cores > 0, "dispatcher needs at least one core");
 }
@@ -22,20 +23,32 @@ CoreDispatcher::backlog(unsigned core, sim::Tick now) const
     return free_at > now ? free_at - now : 0;
 }
 
-unsigned
-CoreDispatcher::leastLoadedCore(sim::Tick now) const
+bool
+CoreDispatcher::fitsDsram(unsigned core, std::uint32_t dsram_needed) const
 {
-    // Resident-instance count first: a host session only keeps about
-    // one MREAD batch reserved on its core's timeline at a time, so
-    // between batches a core hosting a huge in-flight stream reports
-    // a near-zero backlog. Residency is the durable load signal; the
-    // instantaneous timeline backlog only breaks ties.
+    return dsram_needed == 0 || !_dsramProbe ||
+           _dsramProbe(core) >= dsram_needed;
+}
+
+unsigned
+CoreDispatcher::leastLoadedCore(sim::Tick now,
+                                std::uint32_t dsram_needed) const
+{
+    // A core without room for the instance's D-SRAM grant would bounce
+    // the MINIT, so fit leads. Resident-instance count next: a host
+    // session only keeps about one MREAD batch reserved on its core's
+    // timeline at a time, so between batches a core hosting a huge
+    // in-flight stream reports a near-zero backlog. Residency is the
+    // durable load signal; the instantaneous timeline backlog only
+    // breaks ties.
     unsigned best = 0;
     auto best_key = std::make_tuple(
-        std::numeric_limits<unsigned>::max(),
+        true, std::numeric_limits<unsigned>::max(),
         std::numeric_limits<sim::Tick>::max(), 0u);
     for (unsigned c = 0; c < _numCores; ++c) {
-        const auto key = std::make_tuple(_residents[c], backlog(c, now), c);
+        const auto key = std::make_tuple(!fitsDsram(c, dsram_needed),
+                                         _residents[c], backlog(c, now),
+                                         c);
         if (key < best_key) {
             best_key = key;
             best = c;
@@ -45,7 +58,8 @@ CoreDispatcher::leastLoadedCore(sim::Tick now) const
 }
 
 unsigned
-CoreDispatcher::placeInstance(std::uint32_t instance, sim::Tick now)
+CoreDispatcher::placeInstance(std::uint32_t instance, sim::Tick now,
+                              std::uint32_t dsram_needed)
 {
     // A live instance keeps its placement (all packets with one
     // instance ID go to one core until it migrates or deinits).
@@ -54,8 +68,9 @@ CoreDispatcher::placeInstance(std::uint32_t instance, sim::Tick now)
         return it->second;
     const unsigned core = _config.placement == PlacementPolicy::kStatic
                               ? instance % _numCores
-                              : leastLoadedCore(now);
+                              : leastLoadedCore(now, dsram_needed);
     _coreOf[instance] = core;
+    _dsramOf[instance] = dsram_needed;
     ++_residents[core];
     ++_placements;
     return core;
@@ -71,8 +86,16 @@ CoreDispatcher::coreForChunk(std::uint32_t instance, sim::Tick now)
         return placement;
     }
 
-    const unsigned best = leastLoadedCore(now);
+    const auto need_it = _dsramOf.find(instance);
+    const std::uint32_t need =
+        need_it != _dsramOf.end() ? need_it->second : 0;
+    const unsigned best = leastLoadedCore(now, need);
     if (best == current)
+        return placement;
+    // A target without room for the instance's grant would only waste
+    // a cancelled migration (its own reservation stays on `current`,
+    // so the free-bytes probe is accurate for every other core).
+    if (!fitsDsram(best, need))
         return placement;
     const sim::Tick here = backlog(current, now);
     const sim::Tick there = backlog(best, now);
@@ -108,6 +131,7 @@ CoreDispatcher::releaseInstance(std::uint32_t instance)
                     "resident count underflow");
     --_residents[it->second];
     _coreOf.erase(it);
+    _dsramOf.erase(instance);
 }
 
 unsigned

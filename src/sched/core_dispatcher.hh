@@ -13,9 +13,14 @@
  * chunks when the backlog gap exceeds SchedConfig::migrationMinGain;
  * the device runtime charges the I-SRAM reload and D-SRAM state move.
  *
- * The dispatcher reads core load through a probe callback (the SSD
- * controller passes each core's Timeline::freeAt), so this library
- * needs no dependency on the ssd layer.
+ * With D-SRAM partitioning, each instance carries a scratchpad grant:
+ * placement prefers cores with room for it (a packing signal alongside
+ * resident count and backlog), and migration never proposes a target
+ * that cannot hold the instance's grant.
+ *
+ * The dispatcher reads core load through probe callbacks (the SSD
+ * controller passes each core's Timeline::freeAt and free D-SRAM
+ * bytes), so this library needs no dependency on the ssd layer.
  */
 
 #ifndef MORPHEUS_SCHED_CORE_DISPATCHER_HH
@@ -38,12 +43,19 @@ class CoreDispatcher
   public:
     /** Returns the tick core @p idx becomes free. */
     using LoadProbe = std::function<sim::Tick(unsigned)>;
+    /** Returns core @p idx's unreserved D-SRAM bytes. */
+    using DsramProbe = std::function<std::uint32_t(unsigned)>;
 
     CoreDispatcher(const SchedConfig &config, unsigned num_cores,
-                   LoadProbe probe);
+                   LoadProbe probe, DsramProbe dsram_probe = {});
 
-    /** Pick the core for a new instance (MINIT). */
-    unsigned placeInstance(std::uint32_t instance, sim::Tick now);
+    /**
+     * Pick the core for a new instance (MINIT). @p dsram_needed is the
+     * instance's scratchpad grant (0 = unpartitioned): cores that can
+     * hold it are preferred over cores that would bounce the MINIT.
+     */
+    unsigned placeInstance(std::uint32_t instance, sim::Tick now,
+                           std::uint32_t dsram_needed = 0);
 
     /** Core serving the next chunk; may carry a migration decision. */
     struct ChunkPlacement
@@ -82,13 +94,20 @@ class CoreDispatcher
   private:
     /** Backlog of @p core at @p now (0 when idle). */
     sim::Tick backlog(unsigned core, sim::Tick now) const;
-    unsigned leastLoadedCore(sim::Tick now) const;
+    /** True when @p core can hold a @p dsram_needed -byte grant. */
+    bool fitsDsram(unsigned core, std::uint32_t dsram_needed) const;
+    unsigned leastLoadedCore(sim::Tick now,
+                             std::uint32_t dsram_needed) const;
 
     const SchedConfig _config;
     const unsigned _numCores;
     LoadProbe _probe;
+    DsramProbe _dsramProbe;
 
     std::unordered_map<std::uint32_t, unsigned> _coreOf;
+    /** Scratchpad grant each instance was placed with (packing + the
+     *  migration fit check). */
+    std::unordered_map<std::uint32_t, std::uint32_t> _dsramOf;
     std::vector<unsigned> _residents;
 
     sim::stats::Counter _placements;

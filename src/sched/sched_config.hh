@@ -56,6 +56,23 @@ struct SchedConfig
      *  justifies a migration. */
     sim::Tick migrationMinGain = 50 * sim::kPsPerUs;
 
+    /**
+     * Partition each core's D-SRAM between co-resident instances: a
+     * MINIT's requested budget (PRP2 low dword, default
+     * dsramBytes / maxInstancesPerCore) is reserved on its core, its
+     * staging context is built over the granted budget (flush
+     * threshold clamped to it), and a MINIT whose grant does not fit
+     * next to the budgets already reserved completes with
+     * kDsramExhausted. Off = the paper's behaviour: every instance
+     * sizes its context to the full scratchpad, so co-resident
+     * instances silently overcommit it.
+     */
+    bool dsramPartitioning = false;
+    /** Co-resident instances a core's D-SRAM is provisioned for: the
+     *  default grant of a MINIT that requests no explicit budget is
+     *  dsramBytes / maxInstancesPerCore. */
+    unsigned maxInstancesPerCore = 4;
+
     AdmissionPolicy admission = AdmissionPolicy::kQueue;
     /** In-flight MINIT instances allowed per tenant (0 = unlimited). */
     unsigned maxInflightPerTenant = 0;

@@ -3,9 +3,11 @@
 namespace morpheus::sched {
 
 SsdScheduler::SsdScheduler(const SchedConfig &config, unsigned num_cores,
-                           CoreDispatcher::LoadProbe probe)
+                           CoreDispatcher::LoadProbe probe,
+                           CoreDispatcher::DsramProbe dsram_probe)
     : _config(config), _arbiter(config),
-      _dispatcher(config, num_cores, std::move(probe))
+      _dispatcher(config, num_cores, std::move(probe),
+                  std::move(dsram_probe))
 {
 }
 

@@ -38,7 +38,8 @@ class SsdScheduler
 {
   public:
     SsdScheduler(const SchedConfig &config, unsigned num_cores,
-                 CoreDispatcher::LoadProbe probe);
+                 CoreDispatcher::LoadProbe probe,
+                 CoreDispatcher::DsramProbe dsram_probe = {});
 
     const SchedConfig &config() const { return _config; }
     TenantArbiter &arbiter() { return _arbiter; }

@@ -11,8 +11,9 @@ template <typename T>
 void
 putLe(std::vector<std::uint8_t> &out, T v)
 {
-    const auto *p = reinterpret_cast<const std::uint8_t *>(&v);
-    out.insert(out.end(), p, p + sizeof(T));
+    const std::size_t at = out.size();
+    out.resize(at + sizeof(T));
+    std::memcpy(out.data() + at, &v, sizeof(T));
 }
 
 /** Read a little-endian value at @p off, advancing it. */

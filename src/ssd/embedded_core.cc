@@ -21,4 +21,23 @@ EmbeddedCore::unloadImage(std::uint32_t image_bytes)
     _isramUsed -= image_bytes;
 }
 
+bool
+EmbeddedCore::reserveDsram(std::uint32_t bytes)
+{
+    if (bytes > _config.dsramBytes - _dsramUsed)
+        return false;
+    _dsramUsed += bytes;
+    MORPHEUS_ASSERT(_dsramUsed <= _config.dsramBytes,
+                    "co-resident D-SRAM grants overcommit the core");
+    return true;
+}
+
+void
+EmbeddedCore::releaseDsram(std::uint32_t bytes)
+{
+    MORPHEUS_ASSERT(bytes <= _dsramUsed,
+                    "releasing more D-SRAM than reserved");
+    _dsramUsed -= bytes;
+}
+
 }  // namespace morpheus::ssd

@@ -83,7 +83,11 @@ struct EmbeddedCoreConfig
     }
 };
 
-/** One embedded core: occupancy timeline + loaded-image bookkeeping. */
+/**
+ * One embedded core: occupancy timeline + loaded-image bookkeeping +
+ * per-instance D-SRAM budget accounting (the data-side mirror of the
+ * I-SRAM image bookkeeping).
+ */
 class EmbeddedCore
 {
   public:
@@ -116,7 +120,23 @@ class EmbeddedCore
     /** Release a previously loaded image. */
     void unloadImage(std::uint32_t image_bytes);
 
+    /**
+     * Reserve a per-instance D-SRAM budget. @return false when the
+     * grant does not fit next to the budgets already reserved — the
+     * co-resident grants may never overcommit the scratchpad.
+     */
+    bool reserveDsram(std::uint32_t bytes);
+
+    /** Release a previously reserved D-SRAM budget. */
+    void releaseDsram(std::uint32_t bytes);
+
     std::uint32_t isramUsed() const { return _isramUsed; }
+    std::uint32_t dsramUsed() const { return _dsramUsed; }
+    std::uint32_t
+    dsramFree() const
+    {
+        return _config.dsramBytes - _dsramUsed;
+    }
     std::uint64_t cyclesExecuted() const { return _cyclesExecuted; }
     const sim::Timeline &timeline() const { return _timeline; }
 
@@ -125,6 +145,7 @@ class EmbeddedCore
     EmbeddedCoreConfig _config;
     sim::Timeline _timeline;
     std::uint32_t _isramUsed = 0;
+    std::uint32_t _dsramUsed = 0;
     std::uint64_t _cyclesExecuted = 0;
 };
 

@@ -19,21 +19,23 @@ SsdController::SsdController(sim::EventQueue &eq,
     for (unsigned i = 0; i < config.numCores; ++i)
         _cores.push_back(std::make_unique<EmbeddedCore>(i, config.core));
     _sched = std::make_unique<sched::SsdScheduler>(
-        config.sched, config.numCores, [this](unsigned c) {
-            return _cores[c]->timeline().freeAt();
-        });
+        config.sched, config.numCores,
+        [this](unsigned c) { return _cores[c]->timeline().freeAt(); },
+        [this](unsigned c) { return _cores[c]->dsramFree(); });
     _nvme.setHandler([this](const nvme::Command &cmd, sim::Tick start) {
         return handleCommand(cmd, start);
     });
 }
 
 EmbeddedCore &
-SsdController::coreFor(std::uint32_t instance_id, sim::Tick now)
+SsdController::coreFor(std::uint32_t instance_id, sim::Tick now,
+                       std::uint32_t dsram_needed)
 {
     // Paper §IV-B statically sends all packets with one instance ID to
     // core `id % numCores`; the dispatcher generalizes that to the
     // configured placement policy.
-    return *_cores[_sched->dispatcher().placeInstance(instance_id, now)];
+    return *_cores[_sched->dispatcher().placeInstance(instance_id, now,
+                                                      dsram_needed)];
 }
 
 std::uint64_t

@@ -69,8 +69,11 @@ class SsdController
     /**
      * Embedded core serving a new @p instance_id: the configured
      * placement policy applied at @p now (static modulo by default).
+     * @p dsram_needed is the instance's scratchpad grant (0 when
+     * partitioning is off), a packing signal for load-aware placement.
      */
-    EmbeddedCore &coreFor(std::uint32_t instance_id, sim::Tick now = 0);
+    EmbeddedCore &coreFor(std::uint32_t instance_id, sim::Tick now = 0,
+                          std::uint32_t dsram_needed = 0);
     EmbeddedCore &core(unsigned idx) { return *_cores.at(idx); }
 
     /** The multi-tenant command scheduler (admission + placement). */

@@ -220,6 +220,7 @@ runServing(const ServingOptions &opts)
         core::InvokeOptions iopts;
         iopts.hostCore = req.tenantIdx % sys.cpu().config().cores;
         iopts.chunkBlocks = opts.chunkBlocks;
+        iopts.flushThreshold = opts.flushThreshold;
         iopts.tenantId = tenant.id;
         const core::DmaTarget target =
             runtime.hostTarget(cls.objectBytes);

@@ -58,6 +58,11 @@ struct ServingOptions
 
     /** MREAD chunk in 512 B blocks (0 = MDTS). */
     std::uint32_t chunkBlocks = 0;
+    /** Staging flush threshold forwarded to each invocation (0 = the
+     *  device default: granted D-SRAM / 4). With dsramPartitioning a
+     *  threshold equal to the grant flushes at grant-full, keeping the
+     *  unpartitioned flush cadence while the budget is enforced. */
+    std::uint32_t flushThreshold = 0;
     /** Platform, including ssd.sched (the policies under test). */
     host::SystemConfig sys{};
 };

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "core/device_runtime.hh"
 #include "core/standard_apps.hh"
 #include "host/host_system.hh"
@@ -27,6 +29,10 @@ struct Rig
     co::StandardImages images = co::StandardImages::make();
 
     Rig() : device(sys.ssd()) {}
+    explicit Rig(const ho::SystemConfig &cfg)
+        : sys(cfg), device(sys.ssd())
+    {
+    }
 
     nv::Completion
     io(nv::Command cmd, morpheus::sim::Tick now = 0)
@@ -37,20 +43,33 @@ struct Rig
     /** Stage + MINIT an instance. @return completion. */
     nv::Completion
     minit(std::uint32_t instance, const co::StorageAppImage &image,
-          co::DmaTarget target, std::uint32_t arg = 0)
+          co::DmaTarget target, std::uint32_t arg = 0,
+          std::uint32_t flush_threshold = 0, std::uint32_t dsram = 0)
     {
         co::InstanceSetup setup;
         setup.image = &image;
         setup.target = target;
         setup.arg = arg;
+        setup.flushThreshold = flush_threshold;
+        setup.dsramBytes = dsram;
         device.stageInstance(instance, setup);
         nv::Command c;
         c.opcode = nv::Opcode::kMInit;
         c.instanceId = instance;
         c.prp1 = sys.allocHost(image.textBytes);
+        c.prp2 = dsram;
         c.cdw13 = image.textBytes;
         c.cdw14 = arg;
         return io(c);
+    }
+
+    nv::Completion
+    mdeinit(std::uint32_t instance, morpheus::sim::Tick now = 0)
+    {
+        nv::Command fin;
+        fin.opcode = nv::Opcode::kMDeinit;
+        fin.instanceId = instance;
+        return io(fin, now);
     }
 };
 
@@ -281,6 +300,266 @@ TEST(DeviceRuntime, MWriteCursorContinuesAcrossCommands)
     while (back.size() < a.values.size() && s.nextInt64(&v))
         back.push_back(v);
     EXPECT_EQ(back, a.values);
+}
+
+namespace {
+
+/**
+ * Test app exercising both command paths: MREAD chunks are echoed
+ * byte-for-byte to the DMA target (so the read cursor really moves),
+ * and MWRITE chunks serialize int64 values to text. A value of -1 in
+ * the write stream makes the app refuse the command after partially
+ * staging output (the engine's abort path).
+ */
+struct EchoApp : co::StorageApp
+{
+    void
+    processChunk(co::MsChunkContext &ctx) override
+    {
+        std::uint8_t b = 0;
+        while (ctx.msReadValue(&b))
+            ctx.msEmitValue(b);
+    }
+
+    bool
+    processWriteChunk(co::MsChunkContext &ctx) override
+    {
+        std::int64_t v = 0;
+        while (ctx.msReadValue(&v)) {
+            if (v == -1)
+                return false;
+            char buf[32];
+            const int n =
+                std::snprintf(buf, sizeof(buf), "%lld ",
+                              static_cast<long long>(v));
+            ctx.msEmit(buf, static_cast<std::size_t>(n));
+        }
+        return true;
+    }
+};
+
+co::StorageAppImage
+echoImage()
+{
+    return co::MorpheusCompiler::compile(
+        "echo",
+        [](std::uint32_t) { return std::make_unique<EchoApp>(); });
+}
+
+}  // namespace
+
+TEST(DeviceRuntime, DsramGrantsPartitionCoreScratchpad)
+{
+    ho::SystemConfig cfg;
+    cfg.ssd.sched.dsramPartitioning = true;
+    cfg.ssd.sched.maxInstancesPerCore = 2;
+    Rig rig(cfg);
+    const auto target = co::DmaTarget{rig.sys.allocHost(4096), false};
+    const std::uint32_t dsram = cfg.ssd.core.dsramBytes;
+
+    // Static placement: instance IDs 1, 5, 9 all map to core 1. The
+    // first two take the default half-scratchpad grant each.
+    ASSERT_TRUE(rig.minit(1, rig.images.intArray, target).ok());
+    ASSERT_TRUE(rig.minit(5, rig.images.intArray, target).ok());
+    auto &core1 = rig.sys.ssd().core(1);
+    EXPECT_EQ(core1.dsramUsed(), dsram);
+    EXPECT_LE(core1.dsramUsed(), dsram);
+
+    // A third co-resident has no budget left and bounces.
+    EXPECT_EQ(rig.minit(9, rig.images.intArray, target).status,
+              nv::Status::kDsramExhausted);
+    EXPECT_EQ(rig.device.liveInstances(), 2u);
+
+    // MDEINIT releases the grant; the bounced instance now fits.
+    ASSERT_TRUE(rig.mdeinit(1).ok());
+    EXPECT_EQ(core1.dsramUsed(), dsram / 2);
+    ASSERT_TRUE(rig.minit(9, rig.images.intArray, target).ok());
+    EXPECT_EQ(core1.dsramUsed(), dsram);
+}
+
+TEST(DeviceRuntime, ExplicitDsramRequestIsHonored)
+{
+    ho::SystemConfig cfg;
+    cfg.ssd.sched.dsramPartitioning = true;
+    Rig rig(cfg);
+    const auto target = co::DmaTarget{rig.sys.allocHost(4096), false};
+    const std::uint32_t dsram = cfg.ssd.core.dsramBytes;
+
+    // One instance asks for three quarters of the scratchpad; a peer
+    // asking for the remaining quarter fits, a third does not.
+    ASSERT_TRUE(rig.minit(1, rig.images.intArray, target, 0, 0,
+                          dsram / 4 * 3)
+                    .ok());
+    ASSERT_TRUE(
+        rig.minit(5, rig.images.intArray, target, 0, 0, dsram / 4)
+            .ok());
+    auto &core1 = rig.sys.ssd().core(1);
+    EXPECT_EQ(core1.dsramUsed(), dsram);
+    EXPECT_EQ(rig.minit(9, rig.images.intArray, target, 0, 0, 512)
+                  .status,
+              nv::Status::kDsramExhausted);
+}
+
+TEST(DeviceRuntime, RefusedMInitReleasesSchedulerState)
+{
+    ho::SystemConfig cfg;
+    cfg.ssd.sched.dsramPartitioning = true;
+    cfg.ssd.sched.maxInstancesPerCore = 1;
+    Rig rig(cfg);
+    auto &sched = rig.sys.ssd().scheduler();
+    const auto target = co::DmaTarget{rig.sys.allocHost(4096), false};
+
+    // kAppLoadFailed: oversized image. Arbiter slot and dispatcher
+    // placement must both be released, or the failure leaks capacity.
+    const auto huge = co::MorpheusCompiler::compile(
+        "huge",
+        [](std::uint32_t) {
+            return std::make_unique<co::IntArrayApp>(0);
+        },
+        10 * 1024 * 1024);
+    EXPECT_EQ(rig.minit(2, huge, target).status,
+              nv::Status::kAppLoadFailed);
+    EXPECT_EQ(sched.arbiter().openInstances(), 0u);
+    EXPECT_EQ(sched.dispatcher().residents(2), 0u);
+
+    // kDsramExhausted: a second instance on an occupied core (static
+    // placement maps IDs 1 and 5 both to core 1).
+    ASSERT_TRUE(rig.minit(1, rig.images.intArray, target).ok());
+    EXPECT_EQ(rig.minit(5, rig.images.intArray, target).status,
+              nv::Status::kDsramExhausted);
+    EXPECT_EQ(sched.arbiter().openInstances(), 1u);
+    EXPECT_EQ(sched.dispatcher().residents(1), 1u);
+
+    // Both refused IDs stay usable once capacity frees.
+    ASSERT_TRUE(rig.mdeinit(1).ok());
+    EXPECT_EQ(sched.arbiter().openInstances(), 0u);
+    ASSERT_TRUE(rig.minit(5, rig.images.intArray, target).ok());
+    EXPECT_EQ(sched.dispatcher().residents(1), 1u);
+    ASSERT_TRUE(rig.mdeinit(5).ok());
+    ASSERT_TRUE(rig.minit(2, rig.images.intArray, target).ok());
+    EXPECT_EQ(sched.dispatcher().residents(2), 1u);
+}
+
+TEST(DeviceRuntime, MixedReadWriteStreamLandsWritesAtSlba)
+{
+    Rig rig;
+    // Put some raw bytes on flash for the MREAD leg.
+    std::vector<std::uint8_t> raw(4096);
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        raw[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    const auto extent = rig.sys.createFile("raw", raw);
+
+    const auto image = echoImage();
+    const auto target_addr = rig.sys.allocHost(64 * 1024);
+    // Small flush threshold so the MREAD leg really ships flushes and
+    // advances the instance's DMA cursor before any MWRITE arrives.
+    ASSERT_TRUE(rig.minit(7, image,
+                          co::DmaTarget{target_addr, false}, 0, 512)
+                    .ok());
+
+    nv::Command rd;
+    rd.opcode = nv::Opcode::kMRead;
+    rd.instanceId = 7;
+    rd.slba = extent.startByte / nv::kBlockBytes;
+    rd.nlb = static_cast<std::uint16_t>(raw.size() / nv::kBlockBytes - 1);
+    rd.cdw13 = static_cast<std::uint32_t>(raw.size());
+    const auto rd_cqe = rig.io(rd);
+    ASSERT_TRUE(rd_cqe.ok());
+    EXPECT_EQ(rig.device.takeDeliveredBytes(7), raw.size());
+
+    // Now serialize binary ints; the text must land exactly at the
+    // command's SLBA, not skewed by the MREAD deliveries above.
+    const std::vector<std::int64_t> vals{41, 542, 6643, 77444, 885};
+    std::vector<std::uint8_t> bin;
+    for (const auto v : vals) {
+        const auto *p = reinterpret_cast<const std::uint8_t *>(&v);
+        bin.insert(bin.end(), p, p + 8);
+    }
+    const morpheus::pcie::Addr src = rig.sys.allocHost(bin.size());
+    rig.sys.mem().store().writeVec(src, bin);
+
+    auto mwrite = [&](std::uint64_t dst_byte,
+                      morpheus::sim::Tick t) {
+        nv::Command wr;
+        wr.opcode = nv::Opcode::kMWrite;
+        wr.instanceId = 7;
+        wr.prp1 = src;
+        wr.slba = dst_byte / nv::kBlockBytes;
+        wr.nlb = 0;
+        wr.cdw13 = static_cast<std::uint32_t>(bin.size());
+        return rig.io(wr, t);
+    };
+    auto text_at = [&](std::uint64_t dst_byte) {
+        const auto text = rig.sys.ssd().peekBytes(dst_byte, 128);
+        sd::TextScanner s(text.data(), text.size());
+        std::vector<std::int64_t> back;
+        std::int64_t v = 0;
+        while (back.size() < vals.size() && s.nextInt64(&v))
+            back.push_back(v);
+        return back;
+    };
+
+    const std::uint64_t dst_a = 128ULL << 20;
+    const auto wr_a = mwrite(dst_a, rd_cqe.postedAt);
+    ASSERT_TRUE(wr_a.ok());
+    EXPECT_EQ(text_at(dst_a), vals);
+
+    // A second region: the write cursor must restart at the new SLBA.
+    const std::uint64_t dst_b = 160ULL << 20;
+    ASSERT_TRUE(mwrite(dst_b, wr_a.postedAt).ok());
+    EXPECT_EQ(text_at(dst_b), vals);
+}
+
+TEST(DeviceRuntime, FailedMWriteDoesNotBleedIntoNext)
+{
+    Rig rig;
+    const auto image = echoImage();
+    const auto target = co::DmaTarget{rig.sys.allocHost(4096), false};
+    ASSERT_TRUE(rig.minit(3, image, target).ok());
+
+    // First command: stages "1 2 " then hits the poison value.
+    const std::vector<std::int64_t> bad{1, 2, -1};
+    std::vector<std::uint8_t> bad_bin;
+    for (const auto v : bad) {
+        const auto *p = reinterpret_cast<const std::uint8_t *>(&v);
+        bad_bin.insert(bad_bin.end(), p, p + 8);
+    }
+    const morpheus::pcie::Addr bad_src =
+        rig.sys.allocHost(bad_bin.size());
+    rig.sys.mem().store().writeVec(bad_src, bad_bin);
+    const std::uint64_t dst_byte = 192ULL << 20;
+    nv::Command wr;
+    wr.opcode = nv::Opcode::kMWrite;
+    wr.instanceId = 3;
+    wr.prp1 = bad_src;
+    wr.slba = dst_byte / nv::kBlockBytes;
+    wr.nlb = 0;
+    wr.cdw13 = static_cast<std::uint32_t>(bad_bin.size());
+    EXPECT_EQ(rig.io(wr).status, nv::Status::kInvalidField);
+    EXPECT_EQ(rig.device.takeDeliveredBytes(3), 0u);
+
+    // Second command must serialize only its own values: the aborted
+    // command's staged "1 2 " must not prefix the region.
+    const std::vector<std::int64_t> good{33, 44};
+    std::vector<std::uint8_t> good_bin;
+    for (const auto v : good) {
+        const auto *p = reinterpret_cast<const std::uint8_t *>(&v);
+        good_bin.insert(good_bin.end(), p, p + 8);
+    }
+    const morpheus::pcie::Addr good_src =
+        rig.sys.allocHost(good_bin.size());
+    rig.sys.mem().store().writeVec(good_src, good_bin);
+    wr.prp1 = good_src;
+    wr.cdw13 = static_cast<std::uint32_t>(good_bin.size());
+    ASSERT_TRUE(rig.io(wr).ok());
+
+    const auto text = rig.sys.ssd().peekBytes(dst_byte, 64);
+    sd::TextScanner s(text.data(), text.size());
+    std::vector<std::int64_t> back;
+    std::int64_t v = 0;
+    while (back.size() < good.size() && s.nextInt64(&v))
+        back.push_back(v);
+    EXPECT_EQ(back, good);
 }
 
 TEST(DeviceRuntime, StatsCountMorpheusCommands)

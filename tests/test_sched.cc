@@ -128,6 +128,48 @@ TEST(CoreDispatcher, NoMigrationBelowThreshold)
     EXPECT_EQ(plan.core, 0u);
 }
 
+TEST(CoreDispatcher, DsramPackingPrefersCoresWithRoom)
+{
+    // Core 0 is nearly out of D-SRAM: an instance carrying a grant
+    // must land on core 1 even though index order favors core 0.
+    sched::CoreDispatcher d(
+        loadAwareConfig(), 2, [](unsigned) { return sim::Tick{0}; },
+        [](unsigned c) { return c == 0 ? 1024u : 256u * 1024u; });
+    EXPECT_EQ(d.placeInstance(0, 0, 64 * 1024), 1u);
+    // Without a grant the fit signal is neutral; the emptier core
+    // (fewer residents) wins as before.
+    EXPECT_EQ(d.placeInstance(1, 0, 0), 0u);
+}
+
+TEST(CoreDispatcher, MigrationSkipsTargetsWithoutDsramRoom)
+{
+    sched::SchedConfig cfg = loadAwareConfig();
+    cfg.migration = true;
+    cfg.migrationMinGain = 50 * kUs;
+    sim::Tick busy = 0;
+    std::uint32_t free1 = 256 * 1024;
+    sched::CoreDispatcher d(
+        cfg, 2,
+        [&](unsigned c) { return c == 0 ? busy : sim::Tick{0}; },
+        [&](unsigned c) { return c == 0 ? 256u * 1024u : free1; });
+    ASSERT_EQ(d.placeInstance(0, 0, 64 * 1024), 0u);
+
+    // Core 0 backs up past the gain threshold, but core 1 cannot hold
+    // the instance's grant: the dispatcher must not propose the move.
+    busy = 200 * kUs;
+    free1 = 1024;
+    const auto stay = d.coreForChunk(0, 0);
+    EXPECT_FALSE(stay.migrated);
+    EXPECT_EQ(stay.core, 0u);
+    EXPECT_EQ(d.migrations(), 0u);
+
+    // Once room frees on the target the same gap migrates.
+    free1 = 256 * 1024;
+    const auto move = d.coreForChunk(0, 0);
+    EXPECT_TRUE(move.migrated);
+    EXPECT_EQ(move.core, 1u);
+}
+
 // ------------------------------------------------------------- arbiter
 
 TEST(TenantArbiter, UnlimitedAdmissionByDefault)
@@ -287,6 +329,9 @@ skewedServing(sched::PlacementPolicy placement, bool arbitration)
     opts.sys.ssd.sched.placement = placement;
     opts.sys.ssd.sched.maxInflightTotal = 12;
     opts.sys.ssd.sched.arbitration = arbitration;
+    // Partition each core's scratchpad between co-residents so the
+    // end-to-end runs also exercise grants, bounces, and retries.
+    opts.sys.ssd.sched.dsramPartitioning = true;
     return opts;
 }
 
