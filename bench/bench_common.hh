@@ -15,9 +15,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "workloads/runner.hh"
 
 namespace morpheus::bench {
@@ -30,6 +33,48 @@ benchScale()
         return std::atof(env);
     return 0.25;
 }
+
+/**
+ * Environment-driven tracing for bench binaries: when MORPHEUS_TRACE
+ * names a file, a ChromeTraceSink is attached for the object's
+ * lifetime and the trace-event JSON written at destruction. With the
+ * variable unset this is inert — the bench measures the untraced path.
+ */
+class EnvTrace
+{
+  public:
+    EnvTrace()
+    {
+        if (const char *path = std::getenv("MORPHEUS_TRACE")) {
+            _path = path;
+            _sink = std::make_unique<obs::ChromeTraceSink>();
+            obs::setTraceSink(_sink.get());
+        }
+    }
+
+    ~EnvTrace()
+    {
+        if (!_sink)
+            return;
+        obs::setTraceSink(nullptr);
+        std::ofstream os(_path);
+        if (os) {
+            _sink->write(os);
+            std::fprintf(stderr, "trace: %zu events -> %s\n",
+                         _sink->size(), _path.c_str());
+        } else {
+            std::fprintf(stderr, "trace: cannot open %s\n",
+                         _path.c_str());
+        }
+    }
+
+    EnvTrace(const EnvTrace &) = delete;
+    EnvTrace &operator=(const EnvTrace &) = delete;
+
+  private:
+    std::string _path;
+    std::unique_ptr<obs::ChromeTraceSink> _sink;
+};
 
 /** One app's metrics under one mode. */
 struct SuiteRow

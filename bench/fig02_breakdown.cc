@@ -18,6 +18,11 @@ main()
     bench::banner("Figure 2: baseline execution-time breakdown",
                   "deserialization is ~64% of execution on average");
 
+    // MORPHEUS_TRACE=<file.json> records the whole sweep as a Chrome
+    // trace (the per-command spans are the simulated counterpart of the
+    // paper's Fig. 2 time-attribution methodology).
+    bench::EnvTrace trace;
+
     wk::RunOptions base;
     base.mode = wk::ExecutionMode::kBaseline;
     const auto rows = bench::runSuite(base);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "obs/metrics.hh"
 #include "workloads/serving.hh"
 
 using namespace morpheus;
@@ -67,17 +68,24 @@ void
 printTenantJson(const wk::TenantReport &t, bool last)
 {
     std::printf("          {\"id\": %u, \"submitted\": %llu, "
-                "\"completed\": %llu, \"p50_us\": %.2f, "
+                "\"completed\": %llu, \"rejected\": %llu, "
+                "\"retries\": %llu, \"dsram_bounces\": %llu, "
+                "\"served_bytes\": %llu, \"p50_us\": %.2f, "
                 "\"p95_us\": %.2f, \"p99_us\": %.2f}%s\n",
                 t.id,
                 static_cast<unsigned long long>(t.submitted),
                 static_cast<unsigned long long>(t.completed),
+                static_cast<unsigned long long>(t.rejected),
+                static_cast<unsigned long long>(t.retries),
+                static_cast<unsigned long long>(t.dsramBounces),
+                static_cast<unsigned long long>(t.servedBytes),
                 t.p50Us, t.p95Us, t.p99Us,
                 last ? "" : ",");
 }
 
 void
-printPolicyJson(const char *name, const wk::ServingReport &r, bool last)
+printPolicyJson(const char *name, const wk::ServingReport &r,
+                const obs::MetricsRegistry &reg, bool last)
 {
     std::printf("      \"%s\": {\n", name);
     std::printf("        \"completed\": %llu,\n",
@@ -90,6 +98,17 @@ printPolicyJson(const char *name, const wk::ServingReport &r, bool last)
     std::printf("        \"jain_fairness\": %.4f,\n", r.jainFairness);
     std::printf("        \"throughput_per_sec\": %.0f,\n",
                 r.throughputPerSec);
+    // Device-side scheduler counters, federated out of the simulated
+    // machine through the metrics registry.
+    std::printf("        \"migrations\": %llu,\n",
+                static_cast<unsigned long long>(
+                    reg.counter("sys.ssd.sched.dispatcher.migrations")));
+    std::printf("        \"drr_delays\": %llu,\n",
+                static_cast<unsigned long long>(
+                    reg.counter("sys.ssd.sched.arbiter.drrDelays")));
+    std::printf("        \"dsram_bounces\": %llu,\n",
+                static_cast<unsigned long long>(
+                    reg.counter("sys.ssd.sched.dsramBounces")));
     std::printf("        \"tenants\": [\n");
     for (std::size_t i = 0; i < r.tenants.size(); ++i)
         printTenantJson(r.tenants[i], i + 1 == r.tenants.size());
@@ -106,6 +125,9 @@ main()
                  "== serving_tail_latency: static vs load-aware "
                  "placement ==\n");
 
+    // MORPHEUS_TRACE=<file.json> records every sweep run as one trace.
+    bench::EnvTrace trace;
+
     const std::vector<Point> points = {
         {1.0, 12000.0},  // balanced, moderate load
         {4.0, 12000.0},  // skewed, moderate load
@@ -115,13 +137,23 @@ main()
     };
 
     bool ok = true;
+    double headline_static_p99 = 0.0;
+    double headline_load_p99 = 0.0;
+    std::uint64_t completed_total = 0;
     std::printf("{\n  \"points\": [\n");
     for (std::size_t i = 0; i < points.size(); ++i) {
         const Point &p = points[i];
-        const wk::ServingReport stat = wk::runServing(
-            makeOptions(p, sched::PlacementPolicy::kStatic));
-        const wk::ServingReport load = wk::runServing(
-            makeOptions(p, sched::PlacementPolicy::kLoadAware));
+        obs::MetricsRegistry stat_reg;
+        wk::ServingOptions stat_opts =
+            makeOptions(p, sched::PlacementPolicy::kStatic);
+        stat_opts.metrics = &stat_reg;
+        const wk::ServingReport stat = wk::runServing(stat_opts);
+
+        obs::MetricsRegistry load_reg;
+        wk::ServingOptions load_opts =
+            makeOptions(p, sched::PlacementPolicy::kLoadAware);
+        load_opts.metrics = &load_reg;
+        const wk::ServingReport load = wk::runServing(load_opts);
 
         std::fprintf(stderr,
                      "skew %4.1f rate %6.0f/s | p99 static %8.1f us  "
@@ -138,15 +170,35 @@ main()
         if (i + 1 == points.size() && !(load.p99Us < stat.p99Us))
             ok = false;
 
+        if (i + 1 == points.size()) {
+            headline_static_p99 = stat.p99Us;
+            headline_load_p99 = load.p99Us;
+        }
+        completed_total += stat.completed + load.completed;
+
         std::printf("    {\n");
         std::printf("      \"skew\": %.1f,\n", p.skew);
         std::printf("      \"total_arrivals_per_sec\": %.0f,\n",
                     p.totalPerSec);
-        printPolicyJson("static", stat, false);
-        printPolicyJson("load_aware", load, true);
+        printPolicyJson("static", stat, stat_reg, false);
+        printPolicyJson("load_aware", load, load_reg, true);
         std::printf("    }%s\n", i + 1 == points.size() ? "" : ",");
     }
     std::printf("  ]\n}\n");
+
+    // One-line machine-readable summary (stderr keeps stdout a pure
+    // JSON document): future runs build a perf trajectory from CI logs.
+    std::fprintf(stderr,
+                 "BENCH_RESULT {\"bench\": \"serving_tail_latency\", "
+                 "\"scale\": %g, \"points\": %zu, "
+                 "\"completed_total\": %llu, "
+                 "\"headline_static_p99_us\": %.2f, "
+                 "\"headline_load_aware_p99_us\": %.2f, "
+                 "\"self_check\": %s}\n",
+                 morpheus::bench::benchScale(), points.size(),
+                 static_cast<unsigned long long>(completed_total),
+                 headline_static_p99, headline_load_p99,
+                 ok ? "true" : "false");
 
     std::fprintf(stderr, "self-check: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;

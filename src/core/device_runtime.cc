@@ -105,10 +105,12 @@ MorpheusDeviceRuntime::doMInit(const nvme::Command &cmd, sim::Tick start)
         _ssd.port(), cmd.prp1, code_bytes, start);
     const sim::Tick installed =
         core.execute(static_cast<double>(code_bytes) * 0.5 + 5000.0,
-                     fetched);
+                     fetched, "install",
+                     {cmd.traceId, cmd.cdw15, cmd.instanceId, code_bytes});
 
     Instance inst;
     inst.id = cmd.instanceId;
+    inst.tenant = cmd.cdw15;
     inst.setup = setup;
     inst.app = setup.image->factory(cmd.cdw14);
     const std::uint32_t dsram =
@@ -131,7 +133,7 @@ MorpheusDeviceRuntime::doMInit(const nvme::Command &cmd, sim::Tick start)
 sim::Tick
 MorpheusDeviceRuntime::drainFlushes(
     Instance &inst, std::vector<std::vector<std::uint8_t>> segments,
-    sim::Tick earliest)
+    sim::Tick earliest, obs::TraceId trace)
 {
     sim::Tick done = earliest;
     for (auto &seg : segments) {
@@ -142,6 +144,20 @@ MorpheusDeviceRuntime::drainFlushes(
         const sim::Tick dma = _ssd.fabric().dmaWriteData(
             _ssd.port(), inst.dmaCursor, seg.data(), seg.size(),
             buffered);
+        if (auto *sink = obs::traceSink()) {
+            obs::Span s;
+            s.track = "ssd.dma";
+            s.name = "flush_dma";
+            s.category = "ssd";
+            s.begin = buffered;
+            s.end = dma;
+            s.trace = trace;
+            s.tenant = inst.tenant;
+            s.instance = inst.id;
+            s.core = inst.coreId;
+            s.bytes = seg.size();
+            sink->record(s);
+        }
         inst.dmaCursor += seg.size();
         _objectBytes += seg.size();
         _delivered[inst.id] += seg.size();
@@ -151,7 +167,8 @@ MorpheusDeviceRuntime::drainFlushes(
 }
 
 void
-MorpheusDeviceRuntime::maybeMigrate(Instance &inst, sim::Tick now)
+MorpheusDeviceRuntime::maybeMigrate(Instance &inst, sim::Tick now,
+                                    obs::TraceId trace)
 {
     auto &dispatcher = _ssd.scheduler().dispatcher();
     const auto plan = dispatcher.coreForChunk(inst.id, now);
@@ -160,14 +177,14 @@ MorpheusDeviceRuntime::maybeMigrate(Instance &inst, sim::Tick now)
     ssd::EmbeddedCore &to = _ssd.core(plan.core);
     if (!to.loadImage(inst.codeBytes)) {
         // No I-SRAM room next to the apps already resident there.
-        dispatcher.cancelMigration(inst.id, plan.previous);
+        dispatcher.cancelMigration(inst.id, plan.previous, now);
         return;
     }
     if (inst.dsramGranted && !to.reserveDsram(inst.dsramGranted)) {
         // The target can't honor the instance's D-SRAM grant next to
         // its co-residents; undo the image load and stay put.
         to.unloadImage(inst.codeBytes);
-        dispatcher.cancelMigration(inst.id, plan.previous);
+        dispatcher.cancelMigration(inst.id, plan.previous, now);
         return;
     }
     ssd::EmbeddedCore &from = _ssd.core(plan.previous);
@@ -177,11 +194,26 @@ MorpheusDeviceRuntime::maybeMigrate(Instance &inst, sim::Tick now)
     // Reinstall the code image and move the live staging state — the
     // bytes actually parked in D-SRAM, not the whole scratchpad —
     // between the two cores through controller DRAM.
-    const sim::Tick state_moved = _ssd.dramTransfer(
-        inst.ctx->dsramUse(), now);
+    const std::uint64_t state_bytes = inst.ctx->dsramUse();
+    const sim::Tick state_moved = _ssd.dramTransfer(state_bytes, now);
+    if (auto *sink = obs::traceSink()) {
+        obs::Span s;
+        s.track = "ssd.dram";
+        s.name = "dsram_move";
+        s.category = "ssd";
+        s.begin = now;
+        s.end = state_moved;
+        s.trace = trace;
+        s.tenant = inst.tenant;
+        s.instance = inst.id;
+        s.core = to.id();
+        s.bytes = state_bytes;
+        sink->record(s);
+    }
     to.execute(static_cast<double>(inst.codeBytes) * 0.5 +
                    _ssd.config().sched.migrationCycles,
-               state_moved);
+               state_moved, "isram_reload",
+               {trace, inst.tenant, inst.id, inst.codeBytes});
     inst.coreId = to.id();
 }
 
@@ -193,7 +225,7 @@ MorpheusDeviceRuntime::doMRead(const nvme::Command &cmd, sim::Tick start)
     if (it == _instances.end())
         return {start, nvme::Status::kNoSuchInstance, 0};
     Instance &inst = it->second;
-    maybeMigrate(inst, start);
+    maybeMigrate(inst, start, cmd.traceId);
 
     const std::uint64_t byte_off = cmd.slba * nvme::kBlockBytes;
     const std::uint64_t valid =
@@ -220,11 +252,13 @@ MorpheusDeviceRuntime::doMRead(const nvme::Command &cmd, sim::Tick start)
         core.config().cyclesPerCommand +
         core.config().cyclesPerFlush *
             static_cast<double>(flushes.size());
-    const sim::Tick parsed = core.execute(cycles, fetched);
+    const sim::Tick parsed =
+        core.execute(cycles, fetched, "parse",
+                     {cmd.traceId, inst.tenant, inst.id, valid});
 
     // Ship whatever ms_memcpy flushed during this chunk.
     const sim::Tick done =
-        drainFlushes(inst, std::move(flushes), parsed);
+        drainFlushes(inst, std::move(flushes), parsed, cmd.traceId);
     return {done, nvme::Status::kSuccess, 0};
 }
 
@@ -272,7 +306,9 @@ MorpheusDeviceRuntime::doMWrite(const nvme::Command &cmd, sim::Tick start)
         static_cast<double>(emitted) *
             core.config().cyclesPerByteScan * 0.5 +
         core.config().cyclesPerCommand;
-    const sim::Tick serialized = core.execute(cycles, fetched);
+    const sim::Tick serialized =
+        core.execute(cycles, fetched, "serialize",
+                     {cmd.traceId, inst.tenant, inst.id, valid});
 
     // Serialized text lands on flash at the command's SLBA; successive
     // MWRITEs to the same region append behind it. The cursor is keyed
@@ -322,9 +358,10 @@ MorpheusDeviceRuntime::doMDeinit(const nvme::Command &cmd,
             core.config().cyclesPerCommand +
             core.config().cyclesPerFlush *
                 static_cast<double>(flushes.size()),
-        start);
+        start, "final_parse",
+        {cmd.traceId, inst.tenant, inst.id, 0});
     const sim::Tick done =
-        drainFlushes(inst, std::move(flushes), parsed);
+        drainFlushes(inst, std::move(flushes), parsed, cmd.traceId);
 
     const std::uint32_t rv = inst.app->returnValue();
     core.unloadImage(inst.codeBytes);

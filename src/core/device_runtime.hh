@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/storage_app.hh"
+#include "obs/trace.hh"
 #include "sim/stats.hh"
 #include "ssd/ssd_controller.hh"
 
@@ -85,6 +86,7 @@ class MorpheusDeviceRuntime : public ssd::MorpheusEngine
     struct Instance
     {
         std::uint32_t id = 0;
+        std::uint32_t tenant = 0;  ///< Submitting tenant (MINIT cdw15).
         InstanceSetup setup;
         std::unique_ptr<StorageApp> app;
         std::unique_ptr<MsChunkContext> ctx;
@@ -111,14 +113,17 @@ class MorpheusDeviceRuntime : public ssd::MorpheusEngine
     nvme::CommandResult doMDeinit(const nvme::Command &cmd,
                                   sim::Tick start);
 
-    /** DMA the staged flush segments; @return last completion tick. */
+    /** DMA the staged flush segments; @return last completion tick.
+     *  @p trace attributes the transfer spans to the command that
+     *  triggered the flushes. */
     sim::Tick drainFlushes(Instance &inst,
                            std::vector<std::vector<std::uint8_t>> segments,
-                           sim::Tick earliest);
+                           sim::Tick earliest, obs::TraceId trace);
 
     /** Ask the dispatcher whether the instance should move to a less
-     *  loaded core before its next chunk, and commit the move. */
-    void maybeMigrate(Instance &inst, sim::Tick now);
+     *  loaded core before its next chunk, and commit the move. @p trace
+     *  is the chunk command paying for the move. */
+    void maybeMigrate(Instance &inst, sim::Tick now, obs::TraceId trace);
 
     ssd::SsdController &_ssd;
     std::unordered_map<std::uint32_t, InstanceSetup> _staged;

@@ -27,6 +27,7 @@ get(const std::array<std::uint8_t, kCommandBytes> &raw, std::size_t off)
 // Layout (little-endian, byte offsets):
 //   0  opcode        1  flags (0)     2  cid          4  nsid
 //   8  cdw15 (tenant; spare spec-reserved bytes)
+//  12  traceId (spare CDW2 bytes; observability attribution)
 //  16  metadata (0) 24  prp1         32  prp2
 //  40  slba (cdw10/11)               48  nlb (cdw12 low 16)
 //  50  instanceId (cdw12 high 16 + cdw12b; we use 4 bytes at 50)
@@ -43,6 +44,7 @@ Command::encode() const
     put(raw, 2, cid);
     put(raw, 4, nsid);
     put(raw, 8, cdw15);
+    put(raw, 12, traceId);
     put(raw, 24, prp1);
     put(raw, 32, prp2);
     put(raw, 40, slba);
@@ -61,6 +63,7 @@ Command::decode(const std::array<std::uint8_t, kCommandBytes> &raw)
     c.cid = get<std::uint16_t>(raw, 2);
     c.nsid = get<std::uint32_t>(raw, 4);
     c.cdw15 = get<std::uint32_t>(raw, 8);
+    c.traceId = get<std::uint32_t>(raw, 12);
     c.prp1 = get<std::uint64_t>(raw, 24);
     c.prp2 = get<std::uint64_t>(raw, 32);
     c.slba = get<std::uint64_t>(raw, 40);
@@ -69,6 +72,22 @@ Command::decode(const std::array<std::uint8_t, kCommandBytes> &raw)
     c.cdw13 = get<std::uint32_t>(raw, 56);
     c.cdw14 = get<std::uint32_t>(raw, 60);
     return c;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::kFlush: return "Flush";
+      case Opcode::kWrite: return "Write";
+      case Opcode::kRead: return "Read";
+      case Opcode::kDsm: return "Dsm";
+      case Opcode::kMInit: return "MINIT";
+      case Opcode::kMRead: return "MREAD";
+      case Opcode::kMWrite: return "MWRITE";
+      case Opcode::kMDeinit: return "MDEINIT";
+    }
+    return "Unknown";
 }
 
 }  // namespace morpheus::nvme

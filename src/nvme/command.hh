@@ -60,6 +60,9 @@ isMorpheusOpcode(Opcode op)
            op == Opcode::kMWrite || op == Opcode::kMDeinit;
 }
 
+/** Human-readable opcode mnemonic ("MREAD", "Write", ...). */
+const char *opcodeName(Opcode op);
+
 /** Completion status codes (subset). */
 enum class Status : std::uint16_t {
     kSuccess = 0x0,
@@ -90,6 +93,10 @@ struct Command
     std::uint32_t cdw13 = 0;      ///< MINIT: code length in bytes.
     std::uint32_t cdw14 = 0;      ///< MINIT: argument word.
     std::uint32_t cdw15 = 0;      ///< MINIT: submitting tenant ID.
+    /** Observability trace id, stamped by the driver at submission.
+     *  Rides in the SQE's spare CDW2 bytes so every layer that decodes
+     *  the command can attribute its work (0 = untraced). */
+    std::uint32_t traceId = 0;
 
     /** Number of logical blocks (NVMe encodes nlb as 0-based). */
     std::uint32_t numBlocks() const { return std::uint32_t(nlb) + 1; }

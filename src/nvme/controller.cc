@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace morpheus::nvme {
@@ -100,6 +101,33 @@ NvmeController::ringDoorbell(std::uint16_t qid, sim::Tick now)
             result = _handler(cmd, dispatched);
         }
         ++_commands;
+
+        if (auto *sink = obs::traceSink()) {
+            // Front-end decode/dispatch occupancy (acquireUntil returns
+            // start + commandOverhead, so the begin tick is exact).
+            obs::Span dispatch;
+            dispatch.track = "nvme.frontend";
+            dispatch.name = "dispatch";
+            dispatch.category = "nvme";
+            dispatch.begin = dispatched - _config.commandOverhead;
+            dispatch.end = dispatched;
+            dispatch.trace = cmd.traceId;
+            sink->record(dispatch);
+            if (result.done > dispatched) {
+                // Umbrella over the firmware's handling of the command;
+                // the device layers nest their own spans inside it.
+                obs::Span exec;
+                exec.track = "nvme.exec[" + std::to_string(qid) + "]";
+                exec.name = opcodeName(cmd.opcode);
+                exec.category = "nvme";
+                exec.begin = dispatched;
+                exec.end = result.done;
+                exec.trace = cmd.traceId;
+                exec.instance = cmd.instanceId;
+                exec.status = static_cast<std::uint32_t>(result.status);
+                sink->record(exec);
+            }
+        }
 
         // Post the 16-byte CQE to host memory, then raise MSI-X.
         const sim::Tick posted = _fabric.dmaWrite(

@@ -12,6 +12,23 @@ key(std::uint16_t qid, std::uint16_t cid)
     return (static_cast<std::uint32_t>(qid) << 16) | cid;
 }
 
+/** Payload bytes a command moves, as seen from the host. */
+std::uint64_t
+tracedBytes(const Command &cmd)
+{
+    switch (cmd.opcode) {
+      case Opcode::kMInit:
+        return cmd.cdw13;  // code image length
+      case Opcode::kMRead:
+      case Opcode::kMWrite:
+      case Opcode::kRead:
+      case Opcode::kWrite:
+        return cmd.dataBytes();
+      default:
+        return 0;
+    }
+}
+
 }  // namespace
 
 NvmeDriver::NvmeDriver(NvmeController &controller)
@@ -36,17 +53,58 @@ NvmeDriver::submit(std::uint16_t qid, Command cmd)
     MORPHEUS_ASSERT(it != _nextCid.end(), "submit to unopened queue ",
                     qid);
     cmd.cid = it->second++;
+    cmd.traceId = _nextTraceId++;
     SubmissionQueue &sq = _controller.sq(qid);
     MORPHEUS_ASSERT(!sq.full(), "SQ ", qid,
                     " full; increase entries or drain completions");
     sq.push(cmd);
+    if (obs::traceSink() != nullptr) {
+        _inflight[key(qid, cmd.cid)] = InflightTrace{
+            cmd.traceId, cmd.opcode, tracedBytes(cmd), 0};
+        _unrung[qid].push_back(key(qid, cmd.cid));
+    }
     return Submitted{qid, cmd.cid};
 }
 
 sim::Tick
 NvmeDriver::ring(std::uint16_t qid, sim::Tick now)
 {
+    if (!_inflight.empty()) {
+        // The host-visible span starts when the doorbell rings: that is
+        // when the command leaves the host's hands.
+        auto it = _unrung.find(qid);
+        if (it != _unrung.end()) {
+            for (const std::uint32_t k : it->second) {
+                const auto inflight = _inflight.find(k);
+                if (inflight != _inflight.end())
+                    inflight->second.rungAt = now;
+            }
+            it->second.clear();
+        }
+    }
     return _controller.ringDoorbell(qid, now);
+}
+
+void
+NvmeDriver::noteReaped(std::uint16_t qid, const Completion &cqe)
+{
+    const auto it = _inflight.find(key(qid, cqe.cid));
+    if (it == _inflight.end())
+        return;
+    if (auto *sink = obs::traceSink()) {
+        const InflightTrace &t = it->second;
+        obs::Span span;
+        span.track = "host.queue[" + std::to_string(qid) + "]";
+        span.name = opcodeName(t.opcode);
+        span.category = "nvme";
+        span.begin = t.rungAt;
+        span.end = cqe.postedAt;
+        span.trace = t.trace;
+        span.bytes = t.bytes;
+        span.status = static_cast<std::uint32_t>(cqe.status);
+        sink->record(span);
+    }
+    _inflight.erase(it);
 }
 
 Completion
@@ -62,6 +120,8 @@ NvmeDriver::wait(const Submitted &token)
     while (cq.hasNew()) {
         const Completion cqe = cq.take();
         ++_reaped;
+        if (!_inflight.empty())
+            noteReaped(token.qid, cqe);
         if (cqe.cid == token.cid)
             return cqe;
         _pending.emplace(key(token.qid, cqe.cid), cqe);

@@ -15,8 +15,10 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "nvme/controller.hh"
+#include "obs/trace.hh"
 
 namespace morpheus::nvme {
 
@@ -67,11 +69,30 @@ class NvmeDriver
     std::uint64_t completionsReaped() const { return _reaped.value(); }
 
   private:
+    /** Emit the host-side span for a just-reaped completion. */
+    void noteReaped(std::uint16_t qid, const Completion &cqe);
+
     NvmeController &_controller;
     std::unordered_map<std::uint16_t, std::uint16_t> _nextCid;
     /** (qid << 16 | cid) -> completion already reaped out of order. */
     std::unordered_map<std::uint32_t, Completion> _pending;
     sim::stats::Counter _reaped;
+
+    /** Next trace id to stamp (always assigned; 0 means untraced). */
+    obs::TraceId _nextTraceId = 1;
+    /** Host-side view of a traced command, kept only while a sink is
+     *  attached (the no-sink path never touches these containers). */
+    struct InflightTrace
+    {
+        obs::TraceId trace = 0;
+        Opcode opcode = Opcode::kFlush;
+        std::uint64_t bytes = 0;
+        sim::Tick rungAt = 0;
+    };
+    /** (qid << 16 | cid) -> host-side trace bookkeeping. */
+    std::unordered_map<std::uint32_t, InflightTrace> _inflight;
+    /** Per-qid keys submitted but not yet rung (rungAt unstamped). */
+    std::unordered_map<std::uint16_t, std::vector<std::uint32_t>> _unrung;
 };
 
 }  // namespace morpheus::nvme

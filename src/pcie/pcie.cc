@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace morpheus::pcie {
@@ -134,7 +135,21 @@ PcieSwitch::move(PortId src, PortId dst, std::uint64_t bytes,
     const sim::Tick up_done = _links[src]->sendToSwitch(bytes, earliest);
     const sim::Tick down_done =
         _links[dst]->sendToDevice(bytes, earliest);
-    return std::max(up_done, down_done);
+    const sim::Tick done = std::max(up_done, down_done);
+    if (auto *sink = obs::traceSink()) {
+        obs::Span s;
+        s.track = "pcie." + _links[src]->name() + "->" +
+                  _links[dst]->name();
+        // Port 0 is the root complex (host DRAM); everything else is
+        // device-to-device traffic that never crosses the host.
+        s.name = (src != 0 && dst != 0) ? "p2p_dma" : "dma";
+        s.category = "pcie";
+        s.begin = earliest;
+        s.end = done;
+        s.bytes = bytes;
+        sink->record(s);
+    }
+    return done;
 }
 
 sim::Tick

@@ -3,6 +3,7 @@
 #include <limits>
 #include <tuple>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace morpheus::sched {
@@ -15,6 +16,29 @@ CoreDispatcher::CoreDispatcher(const SchedConfig &config,
 {
     MORPHEUS_ASSERT(num_cores > 0, "dispatcher needs at least one core");
 }
+
+namespace {
+
+/** Dispatcher decisions are point events on one shared track. */
+void
+recordDispatch(const char *name, sim::Tick at, std::uint32_t instance,
+               unsigned core)
+{
+    if (auto *sink = obs::traceSink()) {
+        obs::Span s;
+        s.track = "sched.dispatcher";
+        s.name = name;
+        s.category = "sched";
+        s.begin = at;
+        s.end = at;
+        s.instant = true;
+        s.instance = instance;
+        s.core = core;
+        sink->record(s);
+    }
+}
+
+}  // namespace
 
 sim::Tick
 CoreDispatcher::backlog(unsigned core, sim::Tick now) const
@@ -73,6 +97,7 @@ CoreDispatcher::placeInstance(std::uint32_t instance, sim::Tick now,
     _dsramOf[instance] = dsram_needed;
     ++_residents[core];
     ++_placements;
+    recordDispatch("place", now, instance, core);
     return core;
 }
 
@@ -106,11 +131,13 @@ CoreDispatcher::coreForChunk(std::uint32_t instance, sim::Tick now)
     ++_residents[best];
     _coreOf[instance] = best;
     ++_migrations;
+    recordDispatch("migrate", now, instance, best);
     return ChunkPlacement{best, true, current};
 }
 
 void
-CoreDispatcher::cancelMigration(std::uint32_t instance, unsigned previous)
+CoreDispatcher::cancelMigration(std::uint32_t instance, unsigned previous,
+                                sim::Tick now)
 {
     const unsigned current = coreOf(instance);
     MORPHEUS_ASSERT(current != previous,
@@ -119,6 +146,7 @@ CoreDispatcher::cancelMigration(std::uint32_t instance, unsigned previous)
     ++_residents[previous];
     _coreOf[instance] = previous;
     ++_migrationsCancelled;
+    recordDispatch("migrate_cancel", now, instance, previous);
 }
 
 void

@@ -74,7 +74,8 @@ class CoreDispatcher
     ChunkPlacement coreForChunk(std::uint32_t instance, sim::Tick now);
 
     /** Undo a migration the caller could not commit. */
-    void cancelMigration(std::uint32_t instance, unsigned previous);
+    void cancelMigration(std::uint32_t instance, unsigned previous,
+                         sim::Tick now = 0);
 
     /** The instance finished (MDEINIT or failed MINIT). */
     void releaseInstance(std::uint32_t instance);

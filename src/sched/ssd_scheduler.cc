@@ -1,6 +1,53 @@
 #include "sched/ssd_scheduler.hh"
 
+#include "obs/trace.hh"
+
 namespace morpheus::sched {
+
+namespace {
+
+/** Per-tenant scheduling track ("sched.tenant[N]"). */
+std::string
+tenantTrack(std::uint32_t tenant)
+{
+    return "sched.tenant[" + std::to_string(tenant) + "]";
+}
+
+void
+recordSchedInstant(obs::TraceSink &sink, const nvme::Command &cmd,
+                   std::uint32_t tenant, const char *name, sim::Tick at)
+{
+    obs::Span s;
+    s.track = tenantTrack(tenant);
+    s.name = name;
+    s.category = "sched";
+    s.begin = at;
+    s.end = at;
+    s.instant = true;
+    s.trace = cmd.traceId;
+    s.tenant = tenant;
+    s.instance = cmd.instanceId;
+    sink.record(s);
+}
+
+void
+recordSchedWait(obs::TraceSink &sink, const nvme::Command &cmd,
+                std::uint32_t tenant, const char *name, sim::Tick arrival,
+                sim::Tick start)
+{
+    obs::Span s;
+    s.track = tenantTrack(tenant);
+    s.name = name;
+    s.category = "sched";
+    s.begin = arrival;
+    s.end = start;
+    s.trace = cmd.traceId;
+    s.tenant = tenant;
+    s.instance = cmd.instanceId;
+    sink.record(s);
+}
+
+}  // namespace
 
 SsdScheduler::SsdScheduler(const SchedConfig &config, unsigned num_cores,
                            CoreDispatcher::LoadProbe probe,
@@ -20,6 +67,18 @@ SsdScheduler::admitCommand(const nvme::Command &cmd, sim::Tick arrival)
         // length of the upcoming stream (the host knows the extent).
         const AdmitDecision d = _arbiter.admitInstance(
             cmd.cdw15, cmd.instanceId, arrival, cmd.slba);
+        if (auto *sink = obs::traceSink()) {
+            if (d.rejected) {
+                recordSchedInstant(*sink, cmd, cmd.cdw15,
+                                   "admission_reject", arrival);
+            } else if (d.retry) {
+                recordSchedInstant(*sink, cmd, cmd.cdw15,
+                                   "admission_bounce", arrival);
+            } else if (d.start > arrival) {
+                recordSchedWait(*sink, cmd, cmd.cdw15, "admission_wait",
+                                arrival, d.start);
+            }
+        }
         if (d.rejected)
             return {arrival, nvme::Status::kAdmissionDenied};
         if (d.retry)
@@ -32,6 +91,13 @@ SsdScheduler::admitCommand(const nvme::Command &cmd, sim::Tick arrival)
             cmd.cdw13 ? cmd.cdw13 : cmd.dataBytes();
         const sim::Tick start =
             _arbiter.admitData(cmd.instanceId, bytes, arrival);
+        if (auto *sink = obs::traceSink()) {
+            if (start > arrival) {
+                recordSchedWait(*sink, cmd,
+                                _arbiter.tenantOf(cmd.instanceId),
+                                "drr_wait", arrival, start);
+            }
+        }
         return {start, nvme::Status::kSuccess};
       }
       default:
@@ -46,6 +112,13 @@ SsdScheduler::onCommandDone(const nvme::Command &cmd, sim::Tick start,
     switch (cmd.opcode) {
       case nvme::Opcode::kMInit:
         if (result.status != nvme::Status::kSuccess) {
+            if (result.status == nvme::Status::kDsramExhausted) {
+                ++_dsramBounces;
+                if (auto *sink = obs::traceSink()) {
+                    recordSchedInstant(*sink, cmd, cmd.cdw15,
+                                       "dsram_bounce", result.done);
+                }
+            }
             // The runtime refused the instance after admission (bad
             // image, duplicate ID): free its slot and placement.
             _arbiter.dropInstance(cmd.instanceId);
@@ -77,6 +150,7 @@ SsdScheduler::registerStats(sim::stats::StatSet &set,
 {
     _arbiter.registerStats(set, prefix + ".arbiter");
     _dispatcher.registerStats(set, prefix + ".dispatcher");
+    set.registerCounter(prefix + ".dsramBounces", &_dsramBounces);
 }
 
 }  // namespace morpheus::sched

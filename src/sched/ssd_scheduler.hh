@@ -69,6 +69,8 @@ class SsdScheduler
     const SchedConfig _config;
     TenantArbiter _arbiter;
     CoreDispatcher _dispatcher;
+    /** MINITs the runtime bounced for lack of D-SRAM budget. */
+    sim::stats::Counter _dsramBounces;
 };
 
 }  // namespace morpheus::sched

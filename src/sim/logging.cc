@@ -1,11 +1,61 @@
 #include "sim/logging.hh"
 
 #include <cstdio>
+#include <cstring>
+#include <mutex>
 
 namespace morpheus::sim {
 
 namespace {
-LogLevel g_level = LogLevel::kNormal;
+
+/**
+ * Initial level comes from MORPHEUS_LOG_LEVEL ("quiet"/"0",
+ * "normal"/"1", "verbose"/"2"); unset or unrecognized means kNormal.
+ * Lets CI silence benches without plumbing a flag through every tool.
+ */
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("MORPHEUS_LOG_LEVEL");
+    if (env == nullptr)
+        return LogLevel::kNormal;
+    if (std::strcmp(env, "quiet") == 0 || std::strcmp(env, "0") == 0)
+        return LogLevel::kQuiet;
+    if (std::strcmp(env, "verbose") == 0 || std::strcmp(env, "2") == 0)
+        return LogLevel::kVerbose;
+    return LogLevel::kNormal;
+}
+
+LogLevel g_level = levelFromEnv();
+
+std::mutex g_mutex;
+
+/**
+ * The one formatting path: build the whole line first, then emit it
+ * with a single locked fwrite so messages from concurrent contexts
+ * (e.g. parallel bench drivers) never interleave mid-line.
+ */
+void
+emit(const char *tag, const std::string &msg, const char *file, int line)
+{
+    std::string out;
+    out.reserve(msg.size() + 64);
+    out += tag;
+    out += ": ";
+    out += msg;
+    if (file != nullptr) {
+        out += " (";
+        out += file;
+        out += ":";
+        out += std::to_string(line);
+        out += ")";
+    }
+    out += "\n";
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    std::fwrite(out.data(), 1, out.size(), stderr);
+    std::fflush(stderr);
+}
+
 }  // namespace
 
 LogLevel
@@ -25,28 +75,28 @@ namespace detail {
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    emit("panic", msg, file, line);
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    emit("fatal", msg, file, line);
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit("warn", msg, nullptr, 0);
 }
 
 void
 informImpl(const std::string &msg)
 {
     if (g_level != LogLevel::kQuiet)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+        emit("info", msg, nullptr, 0);
 }
 
 }  // namespace detail

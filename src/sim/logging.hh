@@ -21,7 +21,11 @@ namespace morpheus::sim {
 /** Verbosity threshold for inform(); warn() always prints. */
 enum class LogLevel { kQuiet, kNormal, kVerbose };
 
-/** Process-wide log level (defaults to kNormal). */
+/**
+ * Process-wide log level. Initialized from the MORPHEUS_LOG_LEVEL
+ * environment variable ("quiet"/"0", "normal"/"1", "verbose"/"2");
+ * defaults to kNormal.
+ */
 LogLevel logLevel();
 
 /** Set the process-wide log level. */

@@ -110,4 +110,20 @@ StatSet::report(std::ostream &os) const
         os << name << " " << *v << "\n";
 }
 
+void
+StatSet::visit(
+    const std::function<void(const std::string &, std::uint64_t)>
+        &counter_fn,
+    const std::function<void(const std::string &, double)> &scalar_fn) const
+{
+    for (const auto &[name, c] : _counters)
+        counter_fn(name, c->value());
+    for (const auto &[name, a] : _accumulators) {
+        scalar_fn(name + ".mean", a->mean());
+        counter_fn(name + ".count", a->count());
+    }
+    for (const auto &[name, v] : _scalars)
+        scalar_fn(name, *v);
+}
+
 }  // namespace morpheus::sim::stats

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <ostream>
@@ -121,6 +122,19 @@ class StatSet
 
     /** Deterministic (sorted by name) dump, one "name value" per line. */
     void report(std::ostream &os) const;
+
+    /**
+     * Walk every registered stat by value, in report() order: counters
+     * to @p counter_fn, accumulators as "<name>.mean" (scalar) plus
+     * "<name>.count" (counter), scalars to @p scalar_fn. Lets callers
+     * (e.g. obs::MetricsRegistry) snapshot the values before the
+     * registered components die.
+     */
+    void visit(
+        const std::function<void(const std::string &, std::uint64_t)>
+            &counter_fn,
+        const std::function<void(const std::string &, double)> &scalar_fn)
+        const;
 
   private:
     std::map<std::string, const Counter *> _counters;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "serde/parse.hh"
 #include "sim/stats.hh"
 #include "sim/timeline.hh"
@@ -109,6 +110,33 @@ class EmbeddedCore
         const sim::Tick dur = sim::cyclesToTicks(cycles, _config.clockHz);
         _cyclesExecuted += static_cast<std::uint64_t>(cycles);
         return _timeline.acquireUntil(earliest, dur);
+    }
+
+    /**
+     * execute(), plus a trace span named @p span_name on this core's
+     * track when a sink is attached (acquireUntil returns start + dur,
+     * so the occupancy interval is exact).
+     */
+    sim::Tick
+    execute(double cycles, sim::Tick earliest, const char *span_name,
+            const obs::SpanCtx &ctx)
+    {
+        const sim::Tick done = execute(cycles, earliest);
+        if (auto *sink = obs::traceSink()) {
+            obs::Span s;
+            s.track = _timeline.name();
+            s.name = span_name;
+            s.category = "ssd";
+            s.begin = done - sim::cyclesToTicks(cycles, _config.clockHz);
+            s.end = done;
+            s.trace = ctx.trace;
+            s.tenant = ctx.tenant;
+            s.instance = ctx.instance;
+            s.core = _id;
+            s.bytes = ctx.bytes;
+            sink->record(s);
+        }
+        return done;
     }
 
     /**

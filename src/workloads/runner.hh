@@ -24,6 +24,7 @@
 #include <string>
 
 #include "host/host_system.hh"
+#include "obs/metrics.hh"
 #include "workloads/app_spec.hh"
 
 namespace morpheus::workloads {
@@ -46,6 +47,9 @@ struct RunOptions
     std::uint32_t chunkBlocks = 0;
     /** Fill RunMetrics::statsReport with the component counters. */
     bool collectStats = false;
+    /** Optional federation target: runWorkload() snapshots the system
+     *  StatSet ("sys.") and the phase breakdown ("run.") into it. */
+    obs::MetricsRegistry *metrics = nullptr;
     /** System configuration overrides. */
     host::SystemConfig sys{};
 };

@@ -206,6 +206,7 @@ runServing(const ServingOptions &opts)
         bool completed = false;
         bool rejected = false;
         std::uint64_t retries = 0;
+        std::uint64_t dsramBounces = 0;
         sim::Tick latency = 0;
         std::uint64_t servedBytes = 0;
     };
@@ -232,6 +233,8 @@ runServing(const ServingOptions &opts)
         if (!s.accepted) {
             if (s.retry) {
                 ++outcomes[req_idx].retries;
+                if (s.minitStatus == nvme::Status::kDsramExhausted)
+                    ++outcomes[req_idx].dsramBounces;
                 parked.push_back(req_idx);
             } else {
                 outcomes[req_idx].rejected = true;
@@ -307,6 +310,7 @@ runServing(const ServingOptions &opts)
                 continue;
             ++tr.submitted;
             tr.retries += outcomes[i].retries;
+            tr.dsramBounces += outcomes[i].dsramBounces;
             if (outcomes[i].rejected) {
                 ++tr.rejected;
                 continue;
@@ -358,6 +362,42 @@ runServing(const ServingOptions &opts)
             : 0.0;
     report.migrations = sys.ssd().scheduler().dispatcher().migrations();
     report.drrDelays = arbiter.dataDelays();
+
+    // ---- federate metrics (values must be snapshotted before `sys`
+    //      and the device stats die with this scope) -------------------
+    if (opts.metrics != nullptr) {
+        obs::MetricsRegistry &reg = *opts.metrics;
+        sim::stats::StatSet set;
+        sys.registerStats(set);
+        reg.absorb(set, "sys.");
+        for (const TenantReport &tr : report.tenants) {
+            const std::string p =
+                "serving.tenant." + std::to_string(tr.id) + ".";
+            reg.setCounter(p + "submitted", tr.submitted);
+            reg.setCounter(p + "completed", tr.completed);
+            reg.setCounter(p + "rejected", tr.rejected);
+            reg.setCounter(p + "retries", tr.retries);
+            reg.setCounter(p + "dsramBounces", tr.dsramBounces);
+            reg.setCounter(p + "servedBytes", tr.servedBytes);
+            reg.setScalar(p + "mean_us", tr.meanUs);
+            reg.setScalar(p + "p50_us", tr.p50Us);
+            reg.setScalar(p + "p95_us", tr.p95Us);
+            reg.setScalar(p + "p99_us", tr.p99Us);
+        }
+        reg.setCounter("serving.submitted", report.submitted);
+        reg.setCounter("serving.completed", report.completed);
+        reg.setCounter("serving.rejected", report.rejected);
+        reg.setCounter("serving.migrations", report.migrations);
+        reg.setCounter("serving.drrDelays", report.drrDelays);
+        reg.setCounter("serving.makespan_ticks", report.makespan);
+        reg.setScalar("serving.mean_us", report.meanUs);
+        reg.setScalar("serving.p50_us", report.p50Us);
+        reg.setScalar("serving.p95_us", report.p95Us);
+        reg.setScalar("serving.p99_us", report.p99Us);
+        reg.setScalar("serving.jain_fairness", report.jainFairness);
+        reg.setScalar("serving.throughput_per_sec",
+                      report.throughputPerSec);
+    }
     return report;
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "host/system_config.hh"
+#include "obs/metrics.hh"
 
 namespace morpheus::workloads {
 
@@ -65,6 +66,14 @@ struct ServingOptions
     std::uint32_t flushThreshold = 0;
     /** Platform, including ssd.sched (the policies under test). */
     host::SystemConfig sys{};
+
+    /**
+     * Optional federation target. When set, runServing() snapshots the
+     * whole system StatSet (under "sys.") plus per-tenant serving
+     * outcomes (under "serving.") into it before the simulated machine
+     * is torn down.
+     */
+    obs::MetricsRegistry *metrics = nullptr;
 };
 
 /** Per-tenant outcome. */
@@ -76,6 +85,8 @@ struct TenantReport
     std::uint64_t completed = 0;
     std::uint64_t rejected = 0;   ///< Terminal admission refusals.
     std::uint64_t retries = 0;    ///< Bounced-and-reparked attempts.
+    /** Retries whose MINIT bounced for lack of D-SRAM budget. */
+    std::uint64_t dsramBounces = 0;
     std::uint64_t servedBytes = 0;
     double meanUs = 0.0;
     double p50Us = 0.0;

@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Observability tests: the in-memory trace sink against real device
+ * runs (span nesting and attribution for MREAD, a D-SRAM bounce, a
+ * live migration), the Chrome trace-event serialization, and the
+ * metrics registry federation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/device_runtime.hh"
+#include "core/standard_apps.hh"
+#include "host/host_system.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "serde/writer.hh"
+#include "workloads/generators.hh"
+
+namespace co = morpheus::core;
+namespace ho = morpheus::host;
+namespace nv = morpheus::nvme;
+namespace ob = morpheus::obs;
+namespace sd = morpheus::serde;
+namespace st = morpheus::sim::stats;
+namespace wk = morpheus::workloads;
+using morpheus::sim::Tick;
+
+namespace {
+
+/** Minimal host+device rig, mirroring test_device_runtime. */
+struct Rig
+{
+    ho::HostSystem sys;
+    co::MorpheusDeviceRuntime device;
+    co::StandardImages images = co::StandardImages::make();
+
+    Rig() : device(sys.ssd()) {}
+    explicit Rig(const ho::SystemConfig &cfg)
+        : sys(cfg), device(sys.ssd())
+    {
+    }
+
+    nv::Completion
+    io(nv::Command cmd, Tick now = 0)
+    {
+        return sys.nvmeDriver().io(sys.ioQueue(), cmd, now);
+    }
+
+    nv::Completion
+    minit(std::uint32_t instance, const co::StorageAppImage &image,
+          std::uint32_t dsram = 0)
+    {
+        co::InstanceSetup setup;
+        setup.image = &image;
+        setup.target = co::DmaTarget{sys.allocHost(1 << 20), false};
+        setup.dsramBytes = dsram;
+        device.stageInstance(instance, setup);
+        nv::Command c;
+        c.opcode = nv::Opcode::kMInit;
+        c.instanceId = instance;
+        c.prp1 = sys.allocHost(image.textBytes);
+        c.prp2 = dsram;
+        c.cdw13 = image.textBytes;
+        return io(c);
+    }
+
+    nv::Completion
+    mread(std::uint32_t instance, const ho::FileExtent &extent,
+          std::uint64_t off, std::uint64_t valid, Tick now)
+    {
+        nv::Command c;
+        c.opcode = nv::Opcode::kMRead;
+        c.instanceId = instance;
+        c.slba = (extent.startByte + off) / nv::kBlockBytes;
+        c.nlb = static_cast<std::uint16_t>(
+            (valid + nv::kBlockBytes - 1) / nv::kBlockBytes - 1);
+        c.cdw13 = static_cast<std::uint32_t>(valid);
+        return io(c, now);
+    }
+
+    ho::FileExtent
+    intFile(std::uint64_t seed, std::uint64_t count)
+    {
+        const auto a = wk::genIntArray(seed, count);
+        sd::TextWriter w;
+        a.serialize(w);
+        return sys.createFile("ints", w.bytes());
+    }
+};
+
+}  // namespace
+
+// ---------------------------------------------------- sink primitives
+
+TEST(InMemoryTraceSink, QueriesFilterByNameTrackAndTrace)
+{
+    ob::InMemoryTraceSink sink;
+    ob::Span a;
+    a.track = "t0";
+    a.name = "work";
+    a.begin = 10;
+    a.end = 20;
+    a.trace = 1;
+    sink.record(a);
+    ob::Span b = a;
+    b.track = "t1";
+    b.trace = 2;
+    sink.record(b);
+    ob::Span mark = a;
+    mark.name = "mark";
+    mark.instant = true;
+    sink.record(mark);
+
+    EXPECT_EQ(sink.size(), 3u);
+    EXPECT_EQ(sink.count("work"), 2u);
+    EXPECT_EQ(sink.named("mark").size(), 1u);
+    EXPECT_EQ(sink.onTrack("t0").size(), 2u);
+    EXPECT_EQ(sink.forTrace(2).size(), 1u);
+    sink.clear();
+    EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(InMemoryTraceSink, OverlapsOtherIgnoresSelfInstantsAndOtherTracks)
+{
+    ob::InMemoryTraceSink sink;
+    ob::Span s;
+    s.track = "core";
+    s.name = "busy";
+    s.begin = 100;
+    s.end = 200;
+    s.trace = 7;
+    sink.record(s);
+
+    // The span itself never counts as its own preemption.
+    EXPECT_FALSE(sink.overlapsOther("core", 100, 200, 7));
+    // A different trace id on the same track does.
+    EXPECT_TRUE(sink.overlapsOther("core", 150, 250, 8));
+    // Half-open intervals: touching at the edge is not an overlap.
+    EXPECT_FALSE(sink.overlapsOther("core", 200, 300, 8));
+    // Other tracks never conflict.
+    EXPECT_FALSE(sink.overlapsOther("dram", 100, 200, 8));
+
+    ob::Span i = s;
+    i.instant = true;
+    i.trace = 9;
+    sink.record(i);
+    // Instants are markers, not occupancy.
+    EXPECT_FALSE(sink.overlapsOther("core", 100, 200, 7));
+}
+
+// ------------------------------------------------- end-to-end tracing
+
+TEST(Tracing, MReadSpansNestUnderHostSpanWithAttribution)
+{
+    Rig rig;
+    const auto extent = rig.intFile(31, 5000);
+    ASSERT_TRUE(rig.minit(1, rig.images.intArray).ok());
+
+    ob::InMemoryTraceSink sink;
+    const std::uint64_t valid = 16 * 1024;
+    {
+        const ob::ScopedTraceSink attach(sink);
+        ASSERT_TRUE(rig.mread(1, extent, 0, valid, 0).ok());
+    }
+
+    // The host-side umbrella span: doorbell ring -> CQE posted. (The
+    // controller's firmware-exec span shares the opcode name but lives
+    // on the nvme.exec track.)
+    std::vector<ob::Span> hosts;
+    for (const ob::Span &s : sink.named("MREAD")) {
+        if (s.track.rfind("host.queue[", 0) == 0)
+            hosts.push_back(s);
+    }
+    ASSERT_EQ(hosts.size(), 1u);
+    const ob::Span &host = hosts.front();
+    EXPECT_GT(host.trace, 0u);
+    EXPECT_EQ(host.status, 0u);
+    EXPECT_EQ(host.bytes, valid);
+    EXPECT_LT(host.begin, host.end);
+
+    // The device-side parse span: same trace id, attributed to the
+    // instance and its core (static placement: 1 % 4 = core 1), fully
+    // nested inside the host span.
+    const auto parses = sink.named("parse");
+    ASSERT_EQ(parses.size(), 1u);
+    const ob::Span &parse = parses.front();
+    EXPECT_EQ(parse.trace, host.trace);
+    EXPECT_EQ(parse.instance, 1u);
+    EXPECT_EQ(parse.core, 1u);
+    EXPECT_EQ(parse.track, "ssd.core[1]");
+    EXPECT_EQ(parse.bytes, valid);
+    EXPECT_GE(parse.begin, host.begin);
+    EXPECT_LE(parse.end, host.end);
+
+    // Single tenant, single command: the chunk was never preempted on
+    // its core.
+    EXPECT_FALSE(sink.overlapsOther(parse.track, parse.begin, parse.end,
+                                    parse.trace));
+
+    // Every span of this command carries its trace id: host umbrella,
+    // controller dispatch, exec window, and the parse itself.
+    EXPECT_GE(sink.forTrace(host.trace).size(), 4u);
+    EXPECT_EQ(sink.count("dispatch"), 1u);
+}
+
+TEST(Tracing, DsramBounceEmitsInstantAndFailedHostSpan)
+{
+    ho::SystemConfig cfg;
+    cfg.ssd.sched.dsramPartitioning = true;
+    Rig rig(cfg);
+    const std::uint32_t dsram = cfg.ssd.core.dsramBytes;
+
+    ob::InMemoryTraceSink sink;
+    const ob::ScopedTraceSink attach(sink);
+
+    // Instance 1 takes the whole scratchpad of core 1; instance 5 maps
+    // to the same core (static placement) and must bounce.
+    ASSERT_TRUE(rig.minit(1, rig.images.intArray, dsram).ok());
+    EXPECT_EQ(rig.minit(5, rig.images.intArray, 1024).status,
+              nv::Status::kDsramExhausted);
+
+    const auto bounces = sink.named("dsram_bounce");
+    ASSERT_EQ(bounces.size(), 1u);
+    const ob::Span &bounce = bounces.front();
+    EXPECT_TRUE(bounce.instant);
+    EXPECT_EQ(bounce.instance, 5u);
+    EXPECT_EQ(bounce.track, "sched.tenant[0]");
+
+    // The host saw the same command fail with the same status, under
+    // the same trace id as the scheduler's bounce marker.
+    bool found = false;
+    for (const ob::Span &s : sink.named("MINIT")) {
+        if (s.trace != bounce.trace)
+            continue;
+        found = true;
+        EXPECT_EQ(s.status,
+                  static_cast<std::uint32_t>(
+                      nv::Status::kDsramExhausted));
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Tracing, MigrationEmitsMoveAndReloadSpans)
+{
+    ho::SystemConfig cfg;
+    cfg.ssd.sched.placement = morpheus::sched::PlacementPolicy::kLoadAware;
+    cfg.ssd.sched.migration = true;
+    // Default migrationMinGain (50 us): the MINIT install backlog is
+    // too small to justify a move, the 64 KiB parse backlog is not —
+    // so exactly the second chunk migrates.
+    Rig rig(cfg);
+    const auto extent = rig.intFile(33, 20000);
+    const auto init = rig.minit(1, rig.images.intArray);
+    ASSERT_TRUE(init.ok());
+
+    ob::InMemoryTraceSink sink;
+    const ob::ScopedTraceSink attach(sink);
+
+    // First chunk arrives on an idle core (no backlog, no migration)
+    // and leaves its timeline busy parsing 64 KiB; the second chunk,
+    // submitted at the same instant, sees that backlog and migrates to
+    // an idle core.
+    const Tick t0 = init.postedAt;
+    ASSERT_TRUE(rig.mread(1, extent, 0, 64 * 1024, t0).ok());
+    ASSERT_TRUE(rig.mread(1, extent, 64 * 1024, 16 * 1024, t0).ok());
+
+    EXPECT_EQ(sink.count("dsram_move"), 1u);
+    const auto reloads = sink.named("isram_reload");
+    ASSERT_EQ(reloads.size(), 1u);
+    EXPECT_EQ(reloads.front().instance, 1u);
+    EXPECT_GT(reloads.front().trace, 0u);
+
+    const auto migrates = sink.named("migrate");
+    ASSERT_EQ(migrates.size(), 1u);
+    EXPECT_EQ(migrates.front().core, reloads.front().core);
+
+    // The two parse spans ran on different cores, and the reload landed
+    // on the second chunk's core.
+    const auto parses = sink.named("parse");
+    ASSERT_EQ(parses.size(), 2u);
+    EXPECT_NE(parses[0].core, parses[1].core);
+    EXPECT_EQ(reloads.front().core, parses[1].core);
+}
+
+TEST(Tracing, NoSinkLeavesResultsIdentical)
+{
+    // The trace id is stamped either way (it is part of the wire
+    // format); everything else about the run must match.
+    auto run = [](ob::TraceSink *sink) {
+        Rig rig;
+        const auto extent = rig.intFile(44, 4000);
+        ob::ScopedTraceSink *attach =
+            sink ? new ob::ScopedTraceSink(*sink) : nullptr;
+        EXPECT_TRUE(rig.minit(1, rig.images.intArray).ok());
+        const auto cqe = rig.mread(
+            1, extent, 0, std::min<std::uint64_t>(extent.sizeBytes,
+                                                  16 * 1024),
+            0);
+        delete attach;
+        EXPECT_TRUE(cqe.ok());
+        return cqe.postedAt;
+    };
+    ob::InMemoryTraceSink sink;
+    EXPECT_EQ(run(nullptr), run(&sink));
+    EXPECT_GT(sink.size(), 0u);
+    EXPECT_EQ(ob::traceSink(), nullptr);
+}
+
+// ------------------------------------------------ Chrome serialization
+
+TEST(ChromeTraceSink, EmitsWellFormedTraceEvents)
+{
+    ob::ChromeTraceSink sink;
+    ob::Span s;
+    s.track = "ssd.core[0]";
+    s.name = "parse";
+    s.category = "ssd";
+    s.begin = 1;  // 1 ps: exercises the full %.6f resolution
+    s.end = 2'000'000;
+    s.trace = 7;
+    s.bytes = 4096;
+    sink.record(s);
+    ob::Span i;
+    i.track = "sched.tenant[1]";
+    i.name = "dsram_bounce";
+    i.category = "sched";
+    i.begin = i.end = 5'000'000;
+    i.instant = true;
+    i.tenant = 1;
+    sink.record(i);
+
+    std::ostringstream os;
+    sink.write(os);
+    const std::string out = os.str();
+
+    // Document shell and the process/track metadata.
+    EXPECT_EQ(out.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(out.find("\"name\":\"process_name\""), std::string::npos);
+    EXPECT_NE(out.find("{\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+                       "\"name\":\"thread_name\","
+                       "\"args\":{\"name\":\"ssd.core[0]\"}}"),
+              std::string::npos);
+
+    // The complete event: ts in microseconds at picosecond resolution.
+    EXPECT_NE(out.find("\"ts\":0.000001,\"dur\":1.999999"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"args\":{\"trace\":7,\"bytes\":4096}"),
+              std::string::npos);
+
+    // The instant event carries the mandatory scope field.
+    EXPECT_NE(out.find("{\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(out.find("\"s\":\"t\""), std::string::npos);
+    EXPECT_NE(out.find("\"args\":{\"tenant\":1}"), std::string::npos);
+
+    // Balanced document, closed list.
+    EXPECT_EQ(out.substr(out.size() - 4), "\n]}\n");
+}
+
+// ------------------------------------------------------------ metrics
+
+TEST(MetricsRegistry, AbsorbSnapshotsStatSetValues)
+{
+    st::Counter reads;
+    st::Accumulator lat;
+    double watts = 3.5;
+    reads += 42;
+    lat.sample(2.0);
+    lat.sample(4.0);
+
+    ob::MetricsRegistry reg;
+    {
+        st::StatSet set;
+        set.registerCounter("reads", &reads);
+        set.registerAccumulator("lat", &lat);
+        set.registerScalar("watts", &watts);
+        reg.absorb(set, "ssd.");
+    }
+    // The StatSet (and in real use the whole system) is gone; the
+    // snapshot survives.
+    EXPECT_EQ(reg.counter("ssd.reads"), 42u);
+    EXPECT_EQ(reg.counter("ssd.lat.count"), 2u);
+    EXPECT_DOUBLE_EQ(reg.scalar("ssd.lat.mean"), 3.0);
+    EXPECT_DOUBLE_EQ(reg.scalar("ssd.watts"), 3.5);
+    EXPECT_EQ(reg.counter("ssd.missing"), 0u);
+    EXPECT_DOUBLE_EQ(reg.scalar("ssd.missing"), 0.0);
+    EXPECT_EQ(reg.size(), 4u);
+
+    // Later values overwrite (a second collection refreshes, not
+    // duplicates).
+    reg.setCounter("ssd.reads", 50);
+    EXPECT_EQ(reg.counter("ssd.reads"), 50u);
+    reg.clear();
+    EXPECT_TRUE(reg.empty());
+}
+
+TEST(MetricsRegistry, ReportInterleavesKindsSorted)
+{
+    ob::MetricsRegistry reg;
+    reg.setScalar("b.mean", 1.5);
+    reg.setCounter("c", 3);
+    reg.setCounter("a", 1);
+    std::ostringstream os;
+    reg.report(os);
+    EXPECT_EQ(os.str(), "a 1\nb.mean 1.5\nc 3\n");
+}
+
+TEST(MetricsRegistry, WriteJsonNestsPathsWithSelfForInteriorLeaves)
+{
+    ob::MetricsRegistry reg;
+    reg.setCounter("a", 1);
+    reg.setCounter("a.b", 2);  // both a leaf and an interior node
+    reg.setCounter("a.b.c", 3);
+    reg.setScalar("d", 2.5);
+    std::ostringstream os;
+    reg.writeJson(os);
+    EXPECT_EQ(os.str(),
+              "{\n"
+              "  \"a\": {\n"
+              "    \"self\": 1,\n"
+              "    \"b\": {\n"
+              "      \"self\": 2,\n"
+              "      \"c\": 3\n"
+              "    }\n"
+              "  },\n"
+              "  \"d\": 2.5\n"
+              "}\n");
+}

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "sim/stats.hh"
 
@@ -129,6 +131,33 @@ TEST(Histogram, ResetClearsEverything)
     EXPECT_EQ(h.bucketCount(1), 0u);
 }
 
+TEST(Histogram, BucketEdgesAreHalfOpen)
+{
+    st::Histogram h(0.0, 100.0, 10);
+    // Each bucket is [lo + i*w, lo + (i+1)*w): a sample exactly on an
+    // interior edge belongs to the upper bucket, the bottom edge to
+    // bucket 0, and the top edge spills into overflow.
+    h.sample(0.0);
+    h.sample(10.0);
+    h.sample(9.9999);
+    h.sample(100.0);
+    EXPECT_EQ(h.bucketCount(0), 2u);  // 0.0 and 9.9999
+    EXPECT_EQ(h.bucketCount(1), 1u);  // 10.0
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 1u);      // 100.0
+}
+
+TEST(Histogram, NegativeRangeEdges)
+{
+    st::Histogram h(-50.0, 50.0, 10);
+    h.sample(-50.0);  // bottom edge: bucket 0
+    h.sample(0.0);    // interior edge: bucket 5
+    h.sample(-50.1);  // below the range
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(5), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+}
+
 TEST(StatSet, ReportIsSortedAndComplete)
 {
     st::StatSet set;
@@ -142,6 +171,73 @@ TEST(StatSet, ReportIsSortedAndComplete)
     EXPECT_EQ(os.str(), "alpha 1\nzeta 2\n");
     EXPECT_EQ(set.counterValue("zeta"), 2u);
     EXPECT_EQ(set.counterValue("missing"), 0u);
+}
+
+TEST(StatSet, ReportCoversAllKindsInDeterministicOrder)
+{
+    st::StatSet set;
+    st::Counter reads;
+    st::Accumulator lat;
+    double watts = 2.5;
+    reads += 7;
+    lat.sample(10.0);
+    lat.sample(20.0);
+    set.registerCounter("reads", &reads);
+    set.registerAccumulator("lat", &lat);
+    set.registerScalar("watts", &watts);
+
+    // Counters, then accumulators (.mean/.count), then scalars; each
+    // group alphabetical. Two dumps of the same set are identical.
+    std::ostringstream a, b;
+    set.report(a);
+    set.report(b);
+    EXPECT_EQ(a.str(),
+              "reads 7\nlat.mean 15\nlat.count 2\nwatts 2.5\n");
+    EXPECT_EQ(a.str(), b.str());
+
+    // The set holds live pointers: resets show up in the next report.
+    reads.reset();
+    lat.reset();
+    std::ostringstream c;
+    set.report(c);
+    EXPECT_EQ(c.str(), "reads 0\nlat.mean 0\nlat.count 0\nwatts 2.5\n");
+}
+
+TEST(StatSet, VisitMatchesReportValues)
+{
+    st::StatSet set;
+    st::Counter n;
+    st::Accumulator acc;
+    double s = 1.25;
+    n += 3;
+    acc.sample(4.0);
+    set.registerCounter("n", &n);
+    set.registerAccumulator("acc", &acc);
+    set.registerScalar("s", &s);
+
+    std::vector<std::string> names;
+    set.visit(
+        [&](const std::string &name, std::uint64_t v) {
+            names.push_back(name);
+            if (name == "n") {
+                EXPECT_EQ(v, 3u);
+            }
+            if (name == "acc.count") {
+                EXPECT_EQ(v, 1u);
+            }
+        },
+        [&](const std::string &name, double v) {
+            names.push_back(name);
+            if (name == "acc.mean") {
+                EXPECT_DOUBLE_EQ(v, 4.0);
+            }
+            if (name == "s") {
+                EXPECT_DOUBLE_EQ(v, 1.25);
+            }
+        });
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"n", "acc.mean", "acc.count",
+                                        "s"}));
 }
 
 TEST(StatSetDeath, DuplicateNamePanics)

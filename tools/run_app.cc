@@ -6,18 +6,25 @@
  *   morpheus-run <app> [--mode baseline|morpheus|p2p]
  *                [--backend nvme|hdd|ram] [--freq GHZ] [--scale S]
  *                [--chunk-blocks N] [--seed N] [--stats]
+ *                [--trace FILE.json] [--stats-json FILE]
  *
  * Runs one Table-I application once and prints the full metric record;
  * --stats additionally dumps every component counter of the simulated
- * machine. `morpheus-run list` enumerates the apps.
+ * machine, --trace records a Chrome trace-event JSON of the run
+ * (loadable in Perfetto / chrome://tracing), and --stats-json writes
+ * the federated metrics registry as nested JSON.
+ * `morpheus-run list` enumerates the apps.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "workloads/runner.hh"
 
 using namespace morpheus;
@@ -33,7 +40,8 @@ usage()
         "usage: morpheus-run <app>|list [--mode baseline|morpheus|p2p]\n"
         "                    [--backend nvme|hdd|ram] [--freq GHZ]\n"
         "                    [--scale S] [--chunk-blocks N] [--seed N]\n"
-        "                    [--stats]\n");
+        "                    [--stats] [--trace FILE.json]\n"
+        "                    [--stats-json FILE]\n");
 }
 
 int
@@ -70,6 +78,8 @@ main(int argc, char **argv)
     opts.mode = wk::ExecutionMode::kBaseline;
     opts.scale = 0.25;
     bool dump_stats = false;
+    std::string trace_path;
+    std::string stats_json_path;
     // (collectStats set below once flags are parsed)
 
     for (int i = 2; i < argc; ++i) {
@@ -118,6 +128,10 @@ main(int argc, char **argv)
                 std::atoll(next("--seed")));
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--trace") {
+            trace_path = next("--trace");
+        } else if (arg == "--stats-json") {
+            stats_json_path = next("--stats-json");
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage();
@@ -126,8 +140,39 @@ main(int argc, char **argv)
     }
 
     opts.collectStats = dump_stats;
+    obs::MetricsRegistry registry;
+    if (!stats_json_path.empty())
+        opts.metrics = &registry;
     const wk::AppSpec &app = wk::findApp(app_name);
-    const wk::RunMetrics m = wk::runWorkload(app, opts);
+
+    wk::RunMetrics m;
+    if (!trace_path.empty()) {
+        obs::ChromeTraceSink trace;
+        {
+            const obs::ScopedTraceSink attach(trace);
+            m = wk::runWorkload(app, opts);
+        }
+        std::ofstream os(trace_path);
+        if (!os) {
+            std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+            return 2;
+        }
+        trace.write(os);
+        std::fprintf(stderr, "trace: %zu events -> %s\n", trace.size(),
+                     trace_path.c_str());
+    } else {
+        m = wk::runWorkload(app, opts);
+    }
+
+    if (!stats_json_path.empty()) {
+        std::ofstream os(stats_json_path);
+        if (!os) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         stats_json_path.c_str());
+            return 2;
+        }
+        registry.writeJson(os);
+    }
 
     std::printf("app                    %s (%s)\n", app.name.c_str(),
                 app.suite.c_str());
