@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace morpheus::core {
@@ -103,6 +104,16 @@ MorpheusDeviceRuntime::doMInit(const nvme::Command &cmd, sim::Tick start)
     // core cycles installing it into I-SRAM.
     const sim::Tick fetched = _ssd.fabric().dmaRead(
         _ssd.port(), cmd.prp1, code_bytes, start);
+    if (_ssd.fabric().consumeDmaFault()) {
+        // The image arrived corrupted: refuse the install and undo the
+        // SRAM reservations. The scheduler front end frees the slot and
+        // placement when it sees the failure status, so the host can
+        // simply resubmit MINIT.
+        core.unloadImage(code_bytes);
+        if (granted)
+            core.releaseDsram(granted);
+        return {fetched, nvme::Status::kTransientTransferError, 0};
+    }
     const sim::Tick installed =
         core.execute(static_cast<double>(code_bytes) * 0.5 + 5000.0,
                      fetched, "install",
@@ -141,9 +152,15 @@ MorpheusDeviceRuntime::drainFlushes(
         // PCIe to the instance's DMA target.
         const sim::Tick buffered =
             _ssd.dramTransfer(seg.size(), earliest);
-        const sim::Tick dma = _ssd.fabric().dmaWriteData(
+        sim::Tick dma = _ssd.fabric().dmaWriteData(
             _ssd.port(), inst.dmaCursor, seg.data(), seg.size(),
             buffered);
+        // Transient outbound faults are replayed by the device (the
+        // data was already delivered functionally, so an exhausted
+        // retry bound only costs time — never a double delivery).
+        bool dma_failed = false;
+        dma = _ssd.retryOutboundDma(inst.dmaCursor, seg.size(), dma,
+                                    &dma_failed);
         if (auto *sink = obs::traceSink()) {
             obs::Span s;
             s.track = "ssd.dma";
@@ -225,6 +242,8 @@ MorpheusDeviceRuntime::doMRead(const nvme::Command &cmd, sim::Tick start)
     if (it == _instances.end())
         return {start, nvme::Status::kNoSuchInstance, 0};
     Instance &inst = it->second;
+    if (inst.poisoned)
+        return {start, nvme::Status::kAppFault, 0};
     maybeMigrate(inst, start, cmd.traceId);
 
     const std::uint64_t byte_off = cmd.slba * nvme::kBlockBytes;
@@ -232,19 +251,116 @@ MorpheusDeviceRuntime::doMRead(const nvme::Command &cmd, sim::Tick start)
         cmd.cdw13 ? cmd.cdw13 : cmd.dataBytes();
     MORPHEUS_ASSERT(valid <= cmd.dataBytes(),
                     "valid byte count exceeds the LBA range");
+
+    // Stream-order guard: after a failed chunk the host may still have
+    // later chunks of the same batch in flight. Feeding them would run
+    // the stateful parser across a gap, so bounce them (retryable)
+    // until the missing chunk is resubmitted. The first chunk of a
+    // stream pins its origin.
+    constexpr std::uint64_t kUnpinned = ~std::uint64_t{0};
+    if (inst.expectedByteOff != kUnpinned &&
+        byte_off != inst.expectedByteOff)
+        return {start, nvme::Status::kSequenceError, 0};
     _rawBytesIn += valid;
 
     // Flash -> controller DRAM (timed), then the embedded core parses
     // the chunk out of D-SRAM.
+    bool media = false;
     const sim::Tick fetched =
-        _ssd.fetchToDram(byte_off, valid, start);
+        _ssd.fetchToDram(byte_off, valid, start, &media);
+    if (media) {
+        // Uncorrectable flash page: the access time was charged but the
+        // chunk never reaches the parser, so a host resubmission of the
+        // same command is exact (read-retry recoverable). Pin the
+        // stream cursor to this chunk so nothing can slip past it.
+        inst.expectedByteOff = byte_off;
+        if (auto *sink = obs::traceSink()) {
+            obs::Span s;
+            s.track = "ssd.firmware";
+            s.name = "media_error";
+            s.category = "ssd";
+            s.begin = fetched;
+            s.end = fetched;
+            s.instant = true;
+            s.trace = cmd.traceId;
+            s.tenant = inst.tenant;
+            s.instance = inst.id;
+            s.core = inst.coreId;
+            s.status =
+                static_cast<std::uint32_t>(nvme::Status::kMediaError);
+            sink->record(s);
+        }
+        return {fetched, nvme::Status::kMediaError, 0};
+    }
     std::vector<std::uint8_t> chunk = _ssd.peekBytes(byte_off, valid);
 
+    // App-fault injection: both streams are drawn every chunk so each
+    // schedule depends only on its own event sequence, regardless of
+    // which (if either) fires. A hang outranks a crash.
+    bool app_hang = false;
+    bool app_crash = false;
+    if (auto *fi = sim::faultInjector()) {
+        app_hang = fi->appHang();
+        app_crash = fi->appCrash();
+    }
+    ssd::EmbeddedCore *core_ptr = &_ssd.core(inst.coreId);
+    if (app_hang) {
+        // The app spins forever; the controller watchdog reclaims the
+        // core at its deadline and force-kills the instance. No CQE is
+        // posted (the host's command timeout covers discovery).
+        auto *fi = sim::faultInjector();
+        const sim::Tick deadline =
+            core_ptr->seize(fetched, fi->plan().watchdogTicks);
+        if (auto *sink = obs::traceSink()) {
+            obs::Span s;
+            s.track = core_ptr->timeline().name();
+            s.name = "hang";
+            s.category = "ssd";
+            s.begin = fetched;
+            s.end = deadline;
+            s.trace = cmd.traceId;
+            s.tenant = inst.tenant;
+            s.instance = inst.id;
+            s.core = inst.coreId;
+            sink->record(s);
+            obs::Span k;
+            k.track = "ssd.firmware";
+            k.name = "watchdog_kill";
+            k.category = "ssd";
+            k.begin = deadline;
+            k.end = deadline;
+            k.instant = true;
+            k.trace = cmd.traceId;
+            k.tenant = inst.tenant;
+            k.instance = inst.id;
+            sink->record(k);
+        }
+        fi->noteWatchdogKill();
+        watchdogKill(cmd.instanceId);
+        return {deadline, nvme::Status::kAppFault, 0,
+                /*dropped=*/true};
+    }
+    inst.expectedByteOff = byte_off + valid;
     inst.ctx->feedChunk(std::move(chunk));
+    if (app_crash) {
+        // The app dies mid-parse: drop the partial staging and charge
+        // the aborted work to this command (same symmetry as the
+        // MWRITE refusal path), then poison the instance so every
+        // later data command bounces until the host reinstalls it.
+        inst.app->processChunk(*inst.ctx);
+        const serde::ParseCost aborted = inst.ctx->abortCommand();
+        const sim::Tick done = core_ptr->execute(
+            core_ptr->config().parseCycles(aborted) +
+                core_ptr->config().cyclesPerCommand,
+            fetched, "crash",
+            {cmd.traceId, inst.tenant, inst.id, valid});
+        inst.poisoned = true;
+        return {done, nvme::Status::kAppFault, 0};
+    }
     inst.app->processChunk(*inst.ctx);
     ++inst.chunksProcessed;
 
-    ssd::EmbeddedCore &core = _ssd.core(inst.coreId);
+    ssd::EmbeddedCore &core = *core_ptr;
     const serde::ParseCost delta = inst.ctx->takeCostDelta();
     auto flushes = inst.ctx->takeFlushes();
     const double cycles =
@@ -270,6 +386,8 @@ MorpheusDeviceRuntime::doMWrite(const nvme::Command &cmd, sim::Tick start)
     if (it == _instances.end())
         return {start, nvme::Status::kNoSuchInstance, 0};
     Instance &inst = it->second;
+    if (inst.poisoned)
+        return {start, nvme::Status::kAppFault, 0};
 
     const std::uint64_t valid =
         cmd.cdw13 ? cmd.cdw13 : cmd.dataBytes();
@@ -279,6 +397,11 @@ MorpheusDeviceRuntime::doMWrite(const nvme::Command &cmd, sim::Tick start)
     std::vector<std::uint8_t> data(valid);
     const sim::Tick fetched = _ssd.fabric().dmaReadData(
         _ssd.port(), cmd.prp1, data.data(), valid, start);
+    if (_ssd.fabric().consumeDmaFault()) {
+        // The inbound payload was corrupted in flight: fail before the
+        // app sees any byte so the host's resubmission is exact.
+        return {fetched, nvme::Status::kTransientTransferError, 0};
+    }
 
     ssd::EmbeddedCore &core = _ssd.core(inst.coreId);
     const std::uint64_t emitted_before = inst.ctx->bytesEmitted();
@@ -343,6 +466,21 @@ MorpheusDeviceRuntime::doMDeinit(const nvme::Command &cmd,
         return {start, nvme::Status::kNoSuchInstance, 0};
     Instance &inst = it->second;
 
+    if (inst.poisoned) {
+        // The app crashed earlier: skip its finish hooks (they would
+        // run over corrupt state) and just tear the instance down so
+        // the scheduler frees the slot and the host can reinstall.
+        ssd::EmbeddedCore &core = _ssd.core(inst.coreId);
+        const sim::Tick done = core.execute(
+            core.config().cyclesPerCommand, start, "teardown",
+            {cmd.traceId, inst.tenant, inst.id, 0});
+        core.unloadImage(inst.codeBytes);
+        if (inst.dsramGranted)
+            core.releaseDsram(inst.dsramGranted);
+        _instances.erase(it);
+        return {done, nvme::Status::kSuccess, 0};
+    }
+
     // The stream is over: let the app consume any carried final token,
     // then run its finish hook and flush the residual staging.
     inst.ctx->signalEndOfStream();
@@ -369,6 +507,24 @@ MorpheusDeviceRuntime::doMDeinit(const nvme::Command &cmd,
         core.releaseDsram(inst.dsramGranted);
     _instances.erase(it);
     return {done, nvme::Status::kSuccess, rv};
+}
+
+void
+MorpheusDeviceRuntime::watchdogKill(std::uint32_t instance_id)
+{
+    const auto it = _instances.find(instance_id);
+    if (it == _instances.end())
+        return;
+    Instance &inst = it->second;
+    ssd::EmbeddedCore &core = _ssd.core(inst.coreId);
+    core.unloadImage(inst.codeBytes);
+    if (inst.dsramGranted)
+        core.releaseDsram(inst.dsramGranted);
+    _instances.erase(it);
+    // The instance never reaches MDEINIT, so reclaim its scheduler
+    // slot and placement here; the host's reinstall starts clean.
+    _ssd.scheduler().arbiter().dropInstance(instance_id);
+    _ssd.scheduler().dispatcher().releaseInstance(instance_id);
 }
 
 void

@@ -102,6 +102,18 @@ class MorpheusDeviceRuntime : public ssd::MorpheusEngine
         std::uint64_t writeCursor = 0;
         bool writeRegionOpen = false;
         std::uint64_t chunksProcessed = 0;
+        /** Flash byte offset the next MREAD chunk must start at: the
+         *  parse is a stateful stream, so chunks have to be fed in
+         *  order. ~0 until the first chunk pins the stream origin. A
+         *  failed chunk leaves this pointing at itself, so only its
+         *  exact resubmission is accepted and any later chunk already
+         *  in flight bounces with kSequenceError instead of corrupting
+         *  the parse. */
+        std::uint64_t expectedByteOff = ~std::uint64_t{0};
+        /** The app crashed mid-command (injected fault): every further
+         *  data command bounces with kAppFault; MDEINIT tears the
+         *  instance down without running the app's finish hooks. */
+        bool poisoned = false;
     };
 
     nvme::CommandResult doMInit(const nvme::Command &cmd,
@@ -124,6 +136,15 @@ class MorpheusDeviceRuntime : public ssd::MorpheusEngine
      *  loaded core before its next chunk, and commit the move. @p trace
      *  is the chunk command paying for the move. */
     void maybeMigrate(Instance &inst, sim::Tick now, obs::TraceId trace);
+
+    /**
+     * Watchdog force-kill of a hung instance: release its I-SRAM and
+     * D-SRAM, free its scheduler slot and placement, and erase it from
+     * the instance table (the host's MDEINIT-and-reinstall sees
+     * kNoSuchInstance and starts fresh). The hung command's CQE is
+     * suppressed by the caller.
+     */
+    void watchdogKill(std::uint32_t instance_id);
 
     ssd::SsdController &_ssd;
     std::unordered_map<std::uint32_t, InstanceSetup> _staged;

@@ -1,6 +1,7 @@
 #include "core/host_runtime.hh"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -90,7 +91,23 @@ MorpheusRuntime::beginInvoke(const StorageAppImage &image,
     // Requested per-instance D-SRAM budget rides in PRP2's low dword
     // (MINIT has no second data pointer).
     minit.prp2 = opts.dsramBytes;
-    const nvme::Completion minit_cqe = driver.io(s.qid, minit, s.now);
+    nvme::Completion minit_cqe = driver.io(s.qid, minit, s.now);
+    if (driver.recovery().enabled) {
+        // Transient image-fetch corruption is retryable, but the
+        // device consumed the staged setup on the failed attempt:
+        // re-stage before each bounded resubmission.
+        for (unsigned attempt = 0;
+             minit_cqe.status ==
+                 nvme::Status::kTransientTransferError &&
+             attempt < driver.recovery().maxRetries;
+             ++attempt) {
+            _device.stageInstance(s.instance, setup);
+            driver.noteRetry();
+            const sim::Tick at =
+                minit_cqe.postedAt + driver.backoffDelay(attempt);
+            minit_cqe = driver.io(s.qid, minit, at);
+        }
+    }
     s.minitStatus = minit_cqe.status;
     if (s.minitStatus == nvme::Status::kAdmissionDenied ||
         s.minitStatus == nvme::Status::kInstanceBusy ||
@@ -102,12 +119,33 @@ MorpheusRuntime::beginInvoke(const StorageAppImage &image,
         // instance finishes, so it is retryable.
         _device.unstageInstance(s.instance);
         s.retry = s.minitStatus != nvme::Status::kAdmissionDenied;
+        s.retryAfterUs = s.retry ? minit_cqe.dw0 : 0;
         s.result.accepted = false;
         s.result.done = std::max(s.now, minit_cqe.postedAt);
         return s;
     }
-    MORPHEUS_ASSERT(minit_cqe.ok(), "MINIT failed: status=",
-                    static_cast<unsigned>(minit_cqe.status));
+    if (!minit_cqe.ok()) {
+        MORPHEUS_ASSERT(driver.recovery().enabled,
+                        "MINIT failed: status=",
+                        nvme::statusName(minit_cqe.status));
+        // Retry budget exhausted, or the MINIT's CQE was lost. The
+        // device may or may not have installed the instance; a
+        // best-effort MDEINIT reclaims it either way (kNoSuchInstance
+        // when it never came up) before reporting the refusal.
+        _device.unstageInstance(s.instance);
+        nvme::Command mdeinit;
+        mdeinit.opcode = nvme::Opcode::kMDeinit;
+        mdeinit.instanceId = s.instance;
+        const nvme::Completion cleanup = driver.io(
+            s.qid, mdeinit, std::max(s.now, minit_cqe.postedAt));
+        s.retry = true;  // transient by nature: try again later
+        s.failed = true;
+        s.failStatus = s.minitStatus;
+        s.result.accepted = false;
+        s.result.failed = true;
+        s.result.done = std::max(s.now, cleanup.postedAt);
+        return s;
+    }
     s.accepted = true;
     s.now = std::max(s.now, minit_cqe.postedAt);
 
@@ -130,10 +168,12 @@ sim::Tick
 MorpheusRuntime::stepInvoke(InvokeSession &s)
 {
     MORPHEUS_ASSERT(s.accepted, "stepInvoke on a refused session");
+    MORPHEUS_ASSERT(!s.failed, "stepInvoke on a failed session");
     MORPHEUS_ASSERT(!s.streamDone(), "stepInvoke past the stream end");
     nvme::NvmeDriver &driver = _sys.nvmeDriver();
+    const bool recover = driver.recovery().enabled;
 
-    std::vector<nvme::Submitted> batch;
+    std::vector<std::pair<nvme::Command, nvme::Submitted>> batch;
     while (!s.streamDone() && batch.size() < s.depth) {
         const std::uint64_t valid = std::min<std::uint64_t>(
             s.chunkBytes, s.stream.extent.sizeBytes - s.offset);
@@ -146,7 +186,7 @@ MorpheusRuntime::stepInvoke(InvokeSession &s)
         mread.nlb = static_cast<std::uint16_t>(blocks - 1);
         mread.cdw13 = static_cast<std::uint32_t>(valid);
         mread.prp1 = s.target.addr;  // informational; cursor advances
-        batch.push_back(driver.submit(s.qid, mread));
+        batch.emplace_back(mread, driver.submit(s.qid, mread));
         s.offset += valid;
         ++s.result.mreadCommands;
     }
@@ -154,9 +194,26 @@ MorpheusRuntime::stepInvoke(InvokeSession &s)
     // The host thread blocks once per batch (Fig 10: the Morpheus
     // path context-switches per *stream*, not per chunk).
     sim::Tick batch_done = s.now;
-    for (const auto &token : batch) {
-        const nvme::Completion cqe = driver.wait(token);
-        MORPHEUS_ASSERT(cqe.ok(), "MREAD failed");
+    for (const auto &[cmd, token] : batch) {
+        nvme::Completion cqe = driver.wait(token);
+        if (!cqe.ok() && recover && nvme::isRetryable(cqe.status)) {
+            // Retryable chunk failure (media error, transient DMA,
+            // busy bounce): the device saw none of its effects, so a
+            // resubmission is exact. ioRetry applies the retry-after
+            // hint or jittered backoff per attempt.
+            driver.noteRetry();
+            cqe = driver.ioRetry(s.qid, cmd,
+                                 std::max(s.now, cqe.postedAt));
+        }
+        if (!cqe.ok()) {
+            MORPHEUS_ASSERT(recover, "MREAD failed: status=",
+                            nvme::statusName(cqe.status));
+            // Fatal (app fault, timeout) or retry budget exhausted:
+            // mark the session dead but keep draining the batch so
+            // the queue is clean for abortInvoke's MDEINIT.
+            s.failed = true;
+            s.failStatus = cqe.status;
+        }
         batch_done = std::max(batch_done, cqe.postedAt);
     }
     s.now = _sys.os().blockingWait(s.opts.hostCore, batch_done);
@@ -174,14 +231,42 @@ MorpheusRuntime::finishInvoke(InvokeSession &s)
     mdeinit.opcode = nvme::Opcode::kMDeinit;
     mdeinit.instanceId = s.instance;
     const nvme::Completion fin = driver.io(s.qid, mdeinit, s.now);
-    MORPHEUS_ASSERT(fin.ok(), "MDEINIT failed");
-    s.result.returnValue = fin.dw0;
+    if (!fin.ok()) {
+        // With recovery, a lost MDEINIT CQE (the teardown itself ran
+        // device-side) degrades the invocation: the return value is
+        // unrecoverable even though the object bytes landed.
+        MORPHEUS_ASSERT(driver.recovery().enabled,
+                        "MDEINIT failed: status=",
+                        nvme::statusName(fin.status));
+        s.failed = true;
+        s.failStatus = fin.status;
+        s.result.failed = true;
+    }
+    s.result.returnValue = fin.ok() ? fin.dw0 : 0;
     s.now = std::max(s.now, fin.postedAt);
 
     // Make the DMA buffer visible to the application (driver unmap +
     // cache maintenance): one syscall, no per-page copying.
     s.now = _sys.os().syscall(s.opts.hostCore, s.now);
 
+    s.result.done = s.now;
+    s.result.objectBytes = _device.takeDeliveredBytes(s.instance);
+    return s.result;
+}
+
+InvokeResult
+MorpheusRuntime::abortInvoke(InvokeSession &s)
+{
+    nvme::NvmeDriver &driver = _sys.nvmeDriver();
+    // Best-effort reclaim: a watchdog-killed instance answers
+    // kNoSuchInstance (already freed device-side), a poisoned one runs
+    // the hook-skipping teardown; either way the slot comes back.
+    nvme::Command mdeinit;
+    mdeinit.opcode = nvme::Opcode::kMDeinit;
+    mdeinit.instanceId = s.instance;
+    const nvme::Completion fin = driver.io(s.qid, mdeinit, s.now);
+    s.now = std::max(s.now, fin.postedAt);
+    s.result.failed = true;
     s.result.done = s.now;
     s.result.objectBytes = _device.takeDeliveredBytes(s.instance);
     return s.result;
@@ -195,8 +280,10 @@ MorpheusRuntime::invoke(const StorageAppImage &image,
     InvokeSession s = beginInvoke(image, stream, target, now, opts);
     if (!s.accepted)
         return s.result;
-    while (!s.streamDone())
+    while (!s.streamDone() && !s.failed)
         stepInvoke(s);
+    if (s.failed)
+        return abortInvoke(s);
     return finishInvoke(s);
 }
 

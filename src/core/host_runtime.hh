@@ -70,6 +70,10 @@ struct InvokeResult
     std::uint64_t hostWakeups = 0;   ///< Blocking waits by the host.
     /** False when the scheduler front end refused the MINIT. */
     bool accepted = true;
+    /** The invocation died mid-stream on a device fault the driver's
+     *  recovery budget could not absorb (only with recovery enabled;
+     *  otherwise faults assert). Delivered bytes may be partial. */
+    bool failed = false;
 
     sim::Tick elapsed() const { return done - start; }
 };
@@ -97,6 +101,16 @@ struct InvokeSession
     /** Refused with a retry indication (slot held by open instances):
      *  begin again later. */
     bool retry = false;
+    /** NVMe-style retry-after hint from the refusing completion's DW0
+     *  (microseconds, derived from the arbiter's backlog); 0 = no hint,
+     *  wait for a completion instead. */
+    std::uint32_t retryAfterUs = 0;
+    /** A data command failed fatally (retry budget exhausted, app
+     *  fault, or command timeout): the stream cannot continue and
+     *  abortInvoke() must reclaim the instance. */
+    bool failed = false;
+    /** Status that killed the stream (kSuccess while healthy). */
+    nvme::Status failStatus = nvme::Status::kSuccess;
 
     std::uint64_t offset = 0;      ///< Next stream byte to issue.
     std::uint64_t chunkBytes = 0;
@@ -157,6 +171,14 @@ class MorpheusRuntime
 
     /** MDEINIT + buffer handoff; @return the filled result. */
     InvokeResult finishInvoke(InvokeSession &session);
+
+    /**
+     * Best-effort teardown of a failed session: MDEINIT the instance
+     * (tolerating kNoSuchInstance when the device watchdog already
+     * killed it) and return the result with failed set. The caller
+     * decides whether to fall back to the host path.
+     */
+    InvokeResult abortInvoke(InvokeSession &session);
 
     /** Allocate a host DMA buffer and return a host-memory target. */
     DmaTarget hostTarget(std::uint64_t bytes);

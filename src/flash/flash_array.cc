@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace morpheus::flash {
@@ -79,7 +80,7 @@ FlashArray::dieTimeline(unsigned channel, unsigned die_idx) const
 
 sim::Tick
 FlashArray::read(const PagePointer &addr, sim::Tick earliest,
-                 ReadCallback cb)
+                 ReadCallback cb, bool *uncorrectable)
 {
     const std::uint64_t idx = flatPage(addr);
     const auto it = _pages.find(idx);
@@ -97,6 +98,14 @@ FlashArray::read(const PagePointer &addr, sim::Tick earliest,
 
     ++_reads;
     _bytesRead += _config.pageBytes;
+
+    // One uncorrectable-read draw per page access, consumed whether or
+    // not the caller cares, so the fault schedule depends only on the
+    // sequence of page reads.
+    if (auto *fi = sim::faultInjector()) {
+        if (fi->mediaError() && uncorrectable)
+            *uncorrectable = true;
+    }
 
     if (cb) {
         std::vector<std::uint8_t> data = it->second;

@@ -47,11 +47,18 @@ class FlashArray
      * @param earliest First tick at which the die may start.
      * @param cb       Optional; invoked (via the event queue) at
      *                 completion with a copy of the page contents.
+     * @param uncorrectable  Optional fault-injection out-param: set to
+     *                 true when the installed sim::FaultInjector makes
+     *                 this read come back uncorrectable (the full
+     *                 tR + transfer time is still charged — read retry
+     *                 consumes the access either way). Never written
+     *                 when no injector is installed.
      * @return Completion tick (known eagerly: timelines reserve at
      *         issue time).
      */
     sim::Tick read(const PagePointer &addr, sim::Tick earliest,
-                   ReadCallback cb = nullptr);
+                   ReadCallback cb = nullptr,
+                   bool *uncorrectable = nullptr);
 
     /**
      * Program one page. Enforces erase-before-program and in-order

@@ -105,7 +105,7 @@ Ftl::peekPage(std::uint64_t lpn) const
 
 sim::Tick
 Ftl::readPages(std::uint64_t lpn, std::uint32_t count, sim::Tick earliest,
-               ReadCallback cb)
+               ReadCallback cb, bool *media_error)
 {
     MORPHEUS_ASSERT(count > 0, "zero-length FTL read");
     MORPHEUS_ASSERT(lpn + count <= _logicalPages,
@@ -133,7 +133,9 @@ Ftl::readPages(std::uint64_t lpn, std::uint32_t count, sim::Tick earliest,
             addr.die = static_cast<unsigned>(rest % fc.diesPerChannel);
             rest /= fc.diesPerChannel;
             addr.channel = static_cast<unsigned>(rest);
-            done = std::max(done, _array.read(addr, earliest));
+            done = std::max(done,
+                            _array.read(addr, earliest, nullptr,
+                                        media_error));
         }
         out.insert(out.end(), data.begin(), data.end());
         ++_hostReads;

@@ -64,11 +64,15 @@ class Ftl
      * Unmapped pages read as zeros (like a trimmed LBA). Pages are
      * fetched in parallel across dies; completion is the latest page.
      *
+     * @param media_error  Optional fault-injection out-param: set true
+     *         when any constituent flash page read comes back
+     *         uncorrectable (time for every page is still charged).
      * @return Completion tick; @p cb (optional) fires then with the
      *         concatenated data.
      */
     sim::Tick readPages(std::uint64_t lpn, std::uint32_t count,
-                        sim::Tick earliest, ReadCallback cb = nullptr);
+                        sim::Tick earliest, ReadCallback cb = nullptr,
+                        bool *media_error = nullptr);
 
     /**
      * Write logical pages starting at @p lpn. @p data is padded to a

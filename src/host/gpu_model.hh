@@ -126,8 +126,14 @@ class Gpu : public pcie::BusTarget
     {
         _mem.write(dev_addr, data, n);
         _bytesDmaIn += n;
-        const sim::Tick link_done =
+        sim::Tick link_done =
             _fabric.dmaRead(_port, host_addr, n, earliest);
+        // Injected transient faults on the copy are replayed by the
+        // copy engine (bounded so a rate of 1.0 cannot spin forever).
+        for (unsigned tries = 0; _fabric.consumeDmaFault() && tries < 8;
+             ++tries) {
+            link_done = _fabric.dmaRead(_port, host_addr, n, link_done);
+        }
         // Pageable-memory staging bounds the effective rate.
         const sim::Tick staged =
             earliest + sim::transferTicks(n, _config.h2dBytesPerSec);

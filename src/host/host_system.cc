@@ -1,5 +1,6 @@
 #include "host/host_system.hh"
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace morpheus::host {
@@ -106,6 +107,10 @@ HostSystem::registerStats(sim::stats::StatSet &set)
     _cpu.registerStats(set, "host.cpu");
     _gpu->registerStats(set, "gpu");
     _fabric.registerStats(set, "pcie");
+    if (auto *fi = sim::faultInjector()) {
+        // Federates into the run-wide registry as sys.faults.*.
+        fi->registerStats(set, "faults");
+    }
 }
 
 }  // namespace morpheus::host

@@ -48,8 +48,11 @@ NvmeBackend::ingest(std::uint64_t offset,
         // address before the device DMA-reads it (store() directly so
         // setup does not perturb the measured bus counters).
         _hostMem.store().writeVec(scratch, chunk);
-        const nvme::Completion cqe = _driver.io(_qid, cmd, t);
-        MORPHEUS_ASSERT(cqe.ok(), "ingest write failed");
+        // ioRetry so setup survives injected transient faults; with
+        // recovery disabled it is exactly io().
+        const nvme::Completion cqe = _driver.ioRetry(_qid, cmd, t);
+        MORPHEUS_ASSERT(cqe.ok(), "ingest write failed: status=",
+                        nvme::statusName(cqe.status));
         t = cqe.postedAt;
         off += len;
     }
@@ -76,8 +79,13 @@ NvmeBackend::read(std::uint64_t offset, std::uint64_t len,
         cmd.prp1 = dst + off;
         cmd.slba = (offset + off) / nvme::kBlockBytes;
         cmd.nlb = static_cast<std::uint16_t>(blocks - 1);
-        const nvme::Completion cqe = _driver.io(_qid, cmd, earliest);
-        MORPHEUS_ASSERT(cqe.ok(), "read command failed");
+        // The fallback serving path reads through here while faults
+        // are firing: retryable failures (media, transient DMA) are
+        // absorbed by the driver's bounded retry budget.
+        const nvme::Completion cqe =
+            _driver.ioRetry(_qid, cmd, earliest);
+        MORPHEUS_ASSERT(cqe.ok(), "read command failed: status=",
+                        nvme::statusName(cqe.status));
         done = std::max(done, cqe.postedAt);
         off += take;
     }

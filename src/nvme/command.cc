@@ -74,6 +74,76 @@ Command::decode(const std::array<std::uint8_t, kCommandBytes> &raw)
     return c;
 }
 
+// Completion layout follows the NVMe CQE (little-endian, byte offsets):
+//   0  dw0 (command-specific)   4  dw1 (reserved, 0)
+//   8  sqHead   10  sqId   12  cid   14  phase (bit 0) | status << 1
+// postedAt is simulation metadata and does not cross the wire.
+std::array<std::uint8_t, kCompletionBytes>
+Completion::encode() const
+{
+    std::array<std::uint8_t, kCompletionBytes> raw{};
+    std::memcpy(raw.data() + 0, &dw0, sizeof(dw0));
+    std::memcpy(raw.data() + 8, &sqHead, sizeof(sqHead));
+    std::memcpy(raw.data() + 10, &sqId, sizeof(sqId));
+    std::memcpy(raw.data() + 12, &cid, sizeof(cid));
+    const std::uint16_t sf = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(status) << 1) | (phase ? 1 : 0));
+    std::memcpy(raw.data() + 14, &sf, sizeof(sf));
+    return raw;
+}
+
+Completion
+Completion::decode(const std::array<std::uint8_t, kCompletionBytes> &raw)
+{
+    Completion c;
+    std::memcpy(&c.dw0, raw.data() + 0, sizeof(c.dw0));
+    std::memcpy(&c.sqHead, raw.data() + 8, sizeof(c.sqHead));
+    std::memcpy(&c.sqId, raw.data() + 10, sizeof(c.sqId));
+    std::memcpy(&c.cid, raw.data() + 12, sizeof(c.cid));
+    std::uint16_t sf = 0;
+    std::memcpy(&sf, raw.data() + 14, sizeof(sf));
+    c.phase = (sf & 1) != 0;
+    c.status = static_cast<Status>(sf >> 1);
+    return c;
+}
+
+const char *
+statusName(Status s)
+{
+    switch (s) {
+      case Status::kSuccess: return "Success";
+      case Status::kInvalidOpcode: return "InvalidOpcode";
+      case Status::kInvalidField: return "InvalidField";
+      case Status::kTransientTransferError: return "TransientTransferError";
+      case Status::kLbaOutOfRange: return "LbaOutOfRange";
+      case Status::kNoSuchInstance: return "NoSuchInstance";
+      case Status::kAppLoadFailed: return "AppLoadFailed";
+      case Status::kInstanceBusy: return "InstanceBusy";
+      case Status::kAdmissionDenied: return "AdmissionDenied";
+      case Status::kDsramExhausted: return "DsramExhausted";
+      case Status::kAppFault: return "AppFault";
+      case Status::kSequenceError: return "SequenceError";
+      case Status::kMediaError: return "MediaError";
+      case Status::kCommandTimeout: return "CommandTimeout";
+    }
+    return "Unknown";
+}
+
+bool
+isRetryable(Status s)
+{
+    switch (s) {
+      case Status::kTransientTransferError:  // link glitch; resubmit
+      case Status::kInstanceBusy:            // table full; wait + retry
+      case Status::kDsramExhausted:          // budget pressure; wait + retry
+      case Status::kMediaError:              // read-retry recoverable
+      case Status::kSequenceError:           // gap fills, then resubmit
+        return true;
+      default:
+        return false;
+    }
+}
+
 const char *
 opcodeName(Opcode op)
 {

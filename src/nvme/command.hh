@@ -68,13 +68,40 @@ enum class Status : std::uint16_t {
     kSuccess = 0x0,
     kInvalidOpcode = 0x1,
     kInvalidField = 0x2,
+    kTransientTransferError = 0x22,  // transient PCIe/DMA fault; retryable
     kLbaOutOfRange = 0x80,
     kNoSuchInstance = 0x1C0,   // Morpheus: unknown instance ID
     kAppLoadFailed = 0x1C1,    // Morpheus: image too big for I-SRAM
     kInstanceBusy = 0x1C2,     // Morpheus: instance table full / retry
     kAdmissionDenied = 0x1C3,  // Morpheus: tenant over instance quota
     kDsramExhausted = 0x1C4,   // Morpheus: no D-SRAM budget on the core
+    kAppFault = 0x1C5,         // Morpheus: StorageApp crashed mid-command
+    /** Morpheus: MREAD chunk arrived out of stream order. The parse is
+     *  a stateful stream, so after one chunk fails the firmware bounces
+     *  any later chunk of the same instance instead of feeding the
+     *  parser across the gap. Retryable: resubmit once the missing
+     *  chunk has landed. */
+    kSequenceError = 0x1C6,
+    kMediaError = 0x281,       // uncorrectable flash read; retryable
+    /** Host-synthesized: no CQE arrived before the command deadline.
+     *  Never produced by the device; the driver fabricates it when it
+     *  aborts a timed-out command (dropped CQE, hung StorageApp). */
+    kCommandTimeout = 0x3F1,
 };
+
+/** Human-readable status mnemonic ("MediaError", "Success", ...). */
+const char *statusName(Status s);
+
+/**
+ * Driver-side classification: true when a command that completed with
+ * this status may succeed if simply resubmitted. Retryable statuses
+ * model transient conditions (media retry-recoverable reads, link
+ * glitches, busy/over-budget bounces); everything else is treated as
+ * fatal for the command — resubmitting the same bytes would fail the
+ * same way (bad opcode/field, crashed app, missing instance) or has
+ * unknown device-side state (timeout abort).
+ */
+bool isRetryable(Status s);
 
 /**
  * A decoded submission queue entry. Field names follow the NVMe spec
@@ -143,6 +170,13 @@ struct Completion
     sim::Tick postedAt = 0;
 
     bool ok() const { return status == Status::kSuccess; }
+
+    /** Encode to the 16-byte wire format (postedAt is not on the wire). */
+    std::array<std::uint8_t, kCompletionBytes> encode() const;
+
+    /** Decode from the 16-byte wire format. */
+    static Completion decode(
+        const std::array<std::uint8_t, kCompletionBytes> &raw);
 };
 
 }  // namespace morpheus::nvme

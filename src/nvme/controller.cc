@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/trace.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace morpheus::nvme {
@@ -129,6 +130,35 @@ NvmeController::ringDoorbell(std::uint16_t qid, sim::Tick now)
             }
         }
 
+        // Dropped-CQE fault: the command executed (and its side effects
+        // stand) but the completion never reaches the host — either the
+        // handler said so (watchdog-killed instance) or the injector
+        // eats it here. The host driver's command timeout recovers.
+        bool drop = result.dropped;
+        if (!drop) {
+            if (auto *fi = sim::faultInjector())
+                drop = fi->dropCqe();
+        }
+        if (drop) {
+            ++_cqesDropped;
+            if (auto *sink = obs::traceSink()) {
+                obs::Span d;
+                d.track = "nvme.exec[" + std::to_string(qid) + "]";
+                d.name = "cqe_dropped";
+                d.category = "nvme";
+                d.begin = result.done;
+                d.end = result.done;
+                d.instant = true;
+                d.trace = cmd.traceId;
+                d.instance = cmd.instanceId;
+                d.status = static_cast<std::uint32_t>(result.status);
+                sink->record(d);
+            }
+            last_done = std::max(last_done, result.done);
+            cursor = fetched;
+            continue;
+        }
+
         // Post the 16-byte CQE to host memory, then raise MSI-X.
         const sim::Tick posted = _fabric.dmaWrite(
             _port, qp.cqBase, kCompletionBytes, result.done);
@@ -157,6 +187,7 @@ NvmeController::registerStats(sim::stats::StatSet &set,
     set.registerCounter(prefix + ".commands", &_commands);
     set.registerCounter(prefix + ".doorbells", &_doorbells);
     set.registerCounter(prefix + ".interrupts", &_interrupts);
+    set.registerCounter(prefix + ".cqesDropped", &_cqesDropped);
 }
 
 }  // namespace morpheus::nvme

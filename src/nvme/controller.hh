@@ -31,6 +31,10 @@ struct CommandResult
     sim::Tick done = 0;
     Status status = Status::kSuccess;
     std::uint32_t dw0 = 0;  ///< Returned in the completion's DW0.
+    /** The firmware never posts a CQE for this command (e.g. the
+     *  watchdog killed the instance that was executing it); the host
+     *  driver recovers via its command timeout. */
+    bool dropped = false;
 };
 
 /** Firmware entry point: execute @p cmd starting at @p start. */
@@ -109,6 +113,7 @@ class NvmeController
     sim::stats::Counter _commands;
     sim::stats::Counter _doorbells;
     sim::stats::Counter _interrupts;
+    sim::stats::Counter _cqesDropped;
 };
 
 }  // namespace morpheus::nvme

@@ -1,5 +1,7 @@
 #include "nvme/driver.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace morpheus::nvme {
@@ -63,6 +65,8 @@ NvmeDriver::submit(std::uint16_t qid, Command cmd)
             cmd.traceId, cmd.opcode, tracedBytes(cmd), 0};
         _unrung[qid].push_back(key(qid, cmd.cid));
     }
+    if (_recovery.enabled)
+        _unrungIssued[qid].push_back(key(qid, cmd.cid));
     return Submitted{qid, cmd.cid};
 }
 
@@ -79,6 +83,14 @@ NvmeDriver::ring(std::uint16_t qid, sim::Tick now)
                 if (inflight != _inflight.end())
                     inflight->second.rungAt = now;
             }
+            it->second.clear();
+        }
+    }
+    if (_recovery.enabled) {
+        auto it = _unrungIssued.find(qid);
+        if (it != _unrungIssued.end()) {
+            for (const std::uint32_t k : it->second)
+                _issuedAt[k] = now;
             it->second.clear();
         }
     }
@@ -122,9 +134,42 @@ NvmeDriver::wait(const Submitted &token)
         ++_reaped;
         if (!_inflight.empty())
             noteReaped(token.qid, cqe);
+        if (_recovery.enabled)
+            _issuedAt.erase(key(token.qid, cqe.cid));
         if (cqe.cid == token.cid)
             return cqe;
         _pending.emplace(key(token.qid, cqe.cid), cqe);
+    }
+    if (_recovery.enabled) {
+        // The CQE never arrived (dropped, or the instance hung and the
+        // watchdog suppressed it). Abort the command at its deadline
+        // and hand back a host-synthesized timeout completion.
+        const auto issued = _issuedAt.find(key(token.qid, token.cid));
+        if (issued != _issuedAt.end()) {
+            Completion cqe;
+            cqe.cid = token.cid;
+            cqe.sqId = token.qid;
+            cqe.status = Status::kCommandTimeout;
+            cqe.postedAt = issued->second + _recovery.commandTimeout;
+            _issuedAt.erase(issued);
+            ++_timeouts;
+            if (auto *sink = obs::traceSink()) {
+                obs::Span s;
+                s.track = "host.queue[" + std::to_string(token.qid) + "]";
+                s.name = "timeout_abort";
+                s.category = "nvme";
+                s.begin = cqe.postedAt;
+                s.end = cqe.postedAt;
+                s.instant = true;
+                const auto t = _inflight.find(key(token.qid, token.cid));
+                if (t != _inflight.end())
+                    s.trace = t->second.trace;
+                s.status = static_cast<std::uint32_t>(cqe.status);
+                sink->record(s);
+            }
+            _inflight.erase(key(token.qid, token.cid));
+            return cqe;
+        }
     }
     MORPHEUS_PANIC("no completion for qid=", token.qid,
                    " cid=", token.cid,
@@ -137,6 +182,67 @@ NvmeDriver::io(std::uint16_t qid, Command cmd, sim::Tick now)
     const Submitted token = submit(qid, cmd);
     ring(qid, now);
     return wait(token);
+}
+
+void
+NvmeDriver::setRecovery(const DriverRecoveryConfig &cfg)
+{
+    _recovery = cfg;
+    if (cfg.enabled)
+        _jitterRng.emplace(cfg.jitterSeed);
+    else
+        _jitterRng.reset();
+}
+
+sim::Tick
+NvmeDriver::backoffDelay(unsigned attempt)
+{
+    // Exponential growth, capped so the shift cannot overflow.
+    const sim::Tick base =
+        _recovery.backoffBase << std::min(attempt, 16u);
+    double scale = 1.0;
+    if (_jitterRng && _recovery.backoffJitter > 0.0) {
+        scale = 1.0 + _recovery.backoffJitter *
+                          (2.0 * _jitterRng->nextDouble() - 1.0);
+    }
+    return static_cast<sim::Tick>(static_cast<double>(base) * scale);
+}
+
+Completion
+NvmeDriver::ioRetry(std::uint16_t qid, Command cmd, sim::Tick now)
+{
+    sim::Tick t = now;
+    for (unsigned attempt = 0;; ++attempt) {
+        const Completion cqe = io(qid, cmd, t);
+        if (cqe.ok() || !_recovery.enabled || !isRetryable(cqe.status) ||
+            attempt >= _recovery.maxRetries) {
+            return cqe;
+        }
+        ++_retries;
+        // Busy/over-budget bounces carry an NVMe-style retry-after
+        // hint in DW0 (microseconds, derived from arbiter backlog);
+        // statuses without a hint back off exponentially.
+        sim::Tick delay;
+        if ((cqe.status == Status::kInstanceBusy ||
+             cqe.status == Status::kDsramExhausted) &&
+            cqe.dw0 != 0) {
+            delay = sim::Tick(cqe.dw0) * sim::kPsPerUs;
+        } else {
+            delay = backoffDelay(attempt);
+        }
+        if (auto *sink = obs::traceSink()) {
+            obs::Span s;
+            s.track = "host.queue[" + std::to_string(qid) + "]";
+            s.name = "retry";
+            s.category = "nvme";
+            s.begin = cqe.postedAt;
+            s.end = cqe.postedAt;
+            s.instant = true;
+            s.status = static_cast<std::uint32_t>(cqe.status);
+            sink->record(s);
+        }
+        t = cqe.postedAt + delay;
+    }
 }
 
 }  // namespace morpheus::nvme

@@ -14,11 +14,13 @@
 #define MORPHEUS_NVME_DRIVER_HH
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "nvme/controller.hh"
 #include "obs/trace.hh"
+#include "sim/rng.hh"
 
 namespace morpheus::nvme {
 
@@ -27,6 +29,32 @@ struct Submitted
 {
     std::uint16_t qid = 0;
     std::uint16_t cid = 0;
+};
+
+/**
+ * Driver-side fault recovery knobs. Disabled by default: wait() panics
+ * on a missing completion (a dropped CQE is a simulator bug unless
+ * faults are being injected) and ioRetry() degenerates to io().
+ */
+struct DriverRecoveryConfig
+{
+    bool enabled = false;
+
+    /** Simulated time after the doorbell ring before wait() gives up
+     *  on a command and synthesizes a kCommandTimeout completion. */
+    sim::Tick commandTimeout = 1000 * sim::kPsPerUs;
+
+    /** Max resubmissions of one command for retryable statuses. */
+    unsigned maxRetries = 4;
+
+    /** First backoff delay; doubles per attempt. */
+    sim::Tick backoffBase = 20 * sim::kPsPerUs;
+
+    /** Uniform jitter fraction applied to each backoff (+/-). */
+    double backoffJitter = 0.25;
+
+    /** Seed for the jitter stream (deterministic like everything). */
+    std::uint64_t jitterSeed = 0x6a697474ull;  // "jitt"
 };
 
 /** Host-side driver bound to one controller. */
@@ -66,7 +94,34 @@ class NvmeDriver
     /** submit + ring + wait for simple synchronous callers. */
     Completion io(std::uint16_t qid, Command cmd, sim::Tick now);
 
+    /**
+     * io() plus bounded recovery: retryable failures (isRetryable())
+     * are resubmitted after the completion's retry-after hint (DW0, in
+     * microseconds, on busy/over-budget bounces) or, absent a hint,
+     * exponential backoff with seeded jitter. Returns the first
+     * success, the first fatal completion, or the last retryable one
+     * when the retry budget runs out. With recovery disabled this is
+     * exactly io().
+     */
+    Completion ioRetry(std::uint16_t qid, Command cmd, sim::Tick now);
+
+    /** Enable/configure fault recovery (timeout synthesis + retries). */
+    void setRecovery(const DriverRecoveryConfig &cfg);
+
+    const DriverRecoveryConfig &recovery() const { return _recovery; }
+
+    /** Backoff before resubmission attempt @p attempt (0-based). */
+    sim::Tick backoffDelay(unsigned attempt);
+
+    /** Count a caller-driven resubmission of a failed command in
+     *  retriesIssued(). ioRetry() counts its internal loop itself; a
+     *  session that reaps a failure via wait() and resubmits through a
+     *  fresh ioRetry() calls this so the retry shows up too. */
+    void noteRetry() { ++_retries; }
+
     std::uint64_t completionsReaped() const { return _reaped.value(); }
+    std::uint64_t retriesIssued() const { return _retries.value(); }
+    std::uint64_t timeoutsSynthesized() const { return _timeouts.value(); }
 
   private:
     /** Emit the host-side span for a just-reaped completion. */
@@ -93,6 +148,18 @@ class NvmeDriver
     std::unordered_map<std::uint32_t, InflightTrace> _inflight;
     /** Per-qid keys submitted but not yet rung (rungAt unstamped). */
     std::unordered_map<std::uint16_t, std::vector<std::uint32_t>> _unrung;
+
+    DriverRecoveryConfig _recovery;
+    /** Jitter stream; engaged by setRecovery(). */
+    std::optional<sim::Rng> _jitterRng;
+    /** (qid << 16 | cid) -> doorbell tick; recovery-enabled only, so
+     *  wait() can place the synthesized timeout abort in time. */
+    std::unordered_map<std::uint32_t, sim::Tick> _issuedAt;
+    /** Per-qid keys awaiting their doorbell tick (recovery only). */
+    std::unordered_map<std::uint16_t, std::vector<std::uint32_t>>
+        _unrungIssued;
+    sim::stats::Counter _retries;
+    sim::stats::Counter _timeouts;
 };
 
 }  // namespace morpheus::nvme

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace morpheus::pcie {
@@ -136,6 +137,26 @@ PcieSwitch::move(PortId src, PortId dst, std::uint64_t bytes,
     const sim::Tick down_done =
         _links[dst]->sendToDevice(bytes, earliest);
     const sim::Tick done = std::max(up_done, down_done);
+    // Transient-fault draw, one per payload move. Small control-plane
+    // transfers (doorbells, SQEs, CQEs) sit below the plan's size
+    // threshold and never consume a draw.
+    if (auto *fi = sim::faultInjector()) {
+        if (fi->dmaFault(bytes)) {
+            _dmaFaultPending = true;
+            if (auto *sink = obs::traceSink()) {
+                obs::Span f;
+                f.track = "pcie." + _links[src]->name() + "->" +
+                          _links[dst]->name();
+                f.name = "dma_fault";
+                f.category = "pcie";
+                f.begin = done;
+                f.end = done;
+                f.instant = true;
+                f.bytes = bytes;
+                sink->record(f);
+            }
+        }
+    }
     if (auto *sink = obs::traceSink()) {
         obs::Span s;
         s.track = "pcie." + _links[src]->name() + "->" +

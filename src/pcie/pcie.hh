@@ -182,6 +182,22 @@ class PcieSwitch
         return static_cast<unsigned>(_links.size());
     }
 
+    /**
+     * Fault injection: check-and-clear the transient-fault flag set by
+     * the last DMA move. The fabric charges full transfer time for a
+     * faulted move (the TLPs crossed the wire; the completion was
+     * poisoned), so callers observe the fault after the fact, decide
+     * how to recover (retry, fail the command), and the flag never
+     * leaks into an unrelated later transfer.
+     */
+    bool
+    consumeDmaFault()
+    {
+        const bool f = _dmaFaultPending;
+        _dmaFaultPending = false;
+        return f;
+    }
+
     /** Total bytes moved across the fabric (each payload counted once). */
     std::uint64_t fabricBytes() const { return _fabricBytes.value(); }
 
@@ -210,6 +226,7 @@ class PcieSwitch
     std::vector<Window> _windows;
     sim::stats::Counter _fabricBytes;
     sim::stats::Counter _p2pBytes;
+    bool _dmaFaultPending = false;
 };
 
 }  // namespace morpheus::pcie

@@ -81,8 +81,10 @@ SsdScheduler::admitCommand(const nvme::Command &cmd, sim::Tick arrival)
         }
         if (d.rejected)
             return {arrival, nvme::Status::kAdmissionDenied};
-        if (d.retry)
-            return {arrival, nvme::Status::kInstanceBusy};
+        if (d.retry) {
+            return {arrival, nvme::Status::kInstanceBusy,
+                    _arbiter.retryAfterHintUs()};
+        }
         return {d.start, nvme::Status::kSuccess};
       }
       case nvme::Opcode::kMRead:

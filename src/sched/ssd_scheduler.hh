@@ -31,6 +31,9 @@ struct FrontEndDecision
     /** kSuccess to proceed; any other status completes the command
      *  immediately (kAdmissionDenied, or kInstanceBusy for retry). */
     nvme::Status status = nvme::Status::kSuccess;
+    /** Completion DW0 payload for refusals: the retry-after hint in
+     *  microseconds on kInstanceBusy (0 = no hint). */
+    std::uint32_t dw0 = 0;
 };
 
 /** Admission + arbitration + placement for the Morpheus command path. */

@@ -154,6 +154,27 @@ TenantArbiter::backlogOf(std::uint32_t tenant_id) const
     return it == _tenants.end() ? 0 : it->second.backlogBytes;
 }
 
+std::uint32_t
+TenantArbiter::retryAfterHintUs() const
+{
+    std::uint64_t backlog = 0;
+    for (const auto &[inst, bytes] : _instanceBacklog)
+        backlog += bytes;
+    const unsigned open = std::max(1u, _openTotal);
+    double ticks;
+    if (_ewmaBytesPerTick > 0.0 && backlog > 0) {
+        ticks = static_cast<double>(backlog) / _ewmaBytesPerTick /
+                static_cast<double>(open);
+    } else {
+        // No service-rate observation (or nothing declared) yet: a
+        // fixed small hint beats both an immediate bounce storm and an
+        // arbitrarily long stall.
+        ticks = 50.0 * static_cast<double>(sim::kPsPerUs);
+    }
+    const double us = ticks / static_cast<double>(sim::kPsPerUs);
+    return static_cast<std::uint32_t>(std::clamp(us, 1.0, 65535.0));
+}
+
 sim::Tick
 TenantArbiter::admitData(std::uint32_t instance, std::uint64_t bytes,
                          sim::Tick arrival)

@@ -95,6 +95,17 @@ class TenantArbiter
     /** Declared-but-unserved bytes of @p tenant (for tests). */
     std::int64_t backlogOf(std::uint32_t tenant) const;
 
+    /**
+     * NVMe-style retry-after hint, in microseconds, for a bounced
+     * command (kInstanceBusy / kDsramExhausted). Estimates when device
+     * pressure will ease: the total declared-but-unserved backlog at
+     * the observed data-path service rate, amortized over the open
+     * instances draining it. Falls back to a fixed 50 us before any
+     * service-rate observation exists. Clamped to [1, 65535] so it
+     * always fits a CQE DW0 and a zero hint still means "no hint".
+     */
+    std::uint32_t retryAfterHintUs() const;
+
     // ------------------------------------------------ observability
 
     std::uint64_t instancesAdmitted() const { return _admitted.value(); }

@@ -1,0 +1,175 @@
+#include "sim/fault.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace morpheus::sim {
+
+namespace {
+
+// Distinct salts keep the per-class streams independent: enabling or
+// re-rating one fault class never shifts another class's schedule.
+constexpr std::uint64_t kMediaSalt = 0x6d65646961ull;  // "media"
+constexpr std::uint64_t kDmaSalt = 0x646d61ull;        // "dma"
+constexpr std::uint64_t kCrashSalt = 0x6372617368ull;  // "crash"
+constexpr std::uint64_t kHangSalt = 0x68616e67ull;     // "hang"
+constexpr std::uint64_t kDropSalt = 0x64726f70ull;     // "drop"
+
+FaultInjector *g_injector = nullptr;
+
+double
+parseRate(const std::string &key, const std::string &value)
+{
+    const double v = std::stod(value);
+    if (v < 0.0 || v > 1.0)
+        MORPHEUS_FATAL("fault rate '", key, "' out of [0,1]: ", value);
+    return v;
+}
+
+}  // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string item = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            MORPHEUS_FATAL("fault plan item '", item, "' is not key=value");
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key == "media") {
+            plan.mediaRate = parseRate(key, value);
+        } else if (key == "dma") {
+            plan.dmaRate = parseRate(key, value);
+        } else if (key == "crash") {
+            plan.crashRate = parseRate(key, value);
+        } else if (key == "hang") {
+            plan.hangRate = parseRate(key, value);
+        } else if (key == "drop") {
+            plan.dropRate = parseRate(key, value);
+        } else if (key == "dma_min") {
+            plan.dmaMinBytes = std::stoull(value);
+        } else if (key == "watchdog_us") {
+            plan.watchdogTicks = Tick(std::stoull(value)) * 1'000'000;
+        } else if (key == "seed") {
+            plan.seed = std::stoull(value);
+        } else {
+            MORPHEUS_FATAL("unknown fault plan key '", key, "'");
+        }
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fromEnv()
+{
+    const char *env = std::getenv("MORPHEUS_FAULTS");
+    if (env == nullptr || *env == '\0')
+        return FaultPlan{};
+    return parse(env);
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+    : _plan(plan),
+      _mediaRng(plan.seed ^ kMediaSalt),
+      _dmaRng(plan.seed ^ kDmaSalt),
+      _crashRng(plan.seed ^ kCrashSalt),
+      _hangRng(plan.seed ^ kHangSalt),
+      _dropRng(plan.seed ^ kDropSalt)
+{
+}
+
+bool
+FaultInjector::mediaError()
+{
+    if (_plan.mediaRate <= 0.0)
+        return false;
+    if (!_mediaRng.nextBool(_plan.mediaRate))
+        return false;
+    ++_mediaErrors;
+    return true;
+}
+
+bool
+FaultInjector::dmaFault(std::uint64_t bytes)
+{
+    if (_plan.dmaRate <= 0.0 || bytes < _plan.dmaMinBytes)
+        return false;
+    if (!_dmaRng.nextBool(_plan.dmaRate))
+        return false;
+    ++_dmaFaults;
+    return true;
+}
+
+bool
+FaultInjector::appCrash()
+{
+    if (_plan.crashRate <= 0.0)
+        return false;
+    if (!_crashRng.nextBool(_plan.crashRate))
+        return false;
+    ++_appCrashes;
+    return true;
+}
+
+bool
+FaultInjector::appHang()
+{
+    if (_plan.hangRate <= 0.0)
+        return false;
+    if (!_hangRng.nextBool(_plan.hangRate))
+        return false;
+    ++_appHangs;
+    return true;
+}
+
+bool
+FaultInjector::dropCqe()
+{
+    if (_plan.dropRate <= 0.0)
+        return false;
+    if (!_dropRng.nextBool(_plan.dropRate))
+        return false;
+    ++_droppedCqes;
+    return true;
+}
+
+void
+FaultInjector::registerStats(stats::StatSet &set,
+                             const std::string &prefix) const
+{
+    set.registerCounter(prefix + ".mediaErrors", &_mediaErrors);
+    set.registerCounter(prefix + ".dmaFaults", &_dmaFaults);
+    set.registerCounter(prefix + ".dmaRetries", &_dmaRetries);
+    set.registerCounter(prefix + ".appCrashes", &_appCrashes);
+    set.registerCounter(prefix + ".appHangs", &_appHangs);
+    set.registerCounter(prefix + ".droppedCqes", &_droppedCqes);
+    set.registerCounter(prefix + ".watchdogKills", &_watchdogKills);
+}
+
+FaultInjector *
+faultInjector()
+{
+    return g_injector;
+}
+
+FaultInjector *
+setFaultInjector(FaultInjector *fi)
+{
+    FaultInjector *prev = g_injector;
+    g_injector = fi;
+    return prev;
+}
+
+}  // namespace morpheus::sim

@@ -140,6 +140,18 @@ class EmbeddedCore
     }
 
     /**
+     * Occupy the core for a fixed simulated duration regardless of the
+     * cycle cost model — a hung StorageApp spinning until the
+     * controller watchdog's deadline (fault injection). @return the
+     * tick the core frees up.
+     */
+    sim::Tick
+    seize(sim::Tick earliest, sim::Tick dur)
+    {
+        return _timeline.acquireUntil(earliest, dur);
+    }
+
+    /**
      * Load a code image into I-SRAM. @return false if it does not fit
      * next to the images already resident.
      */

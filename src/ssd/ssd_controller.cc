@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace morpheus::ssd {
@@ -70,7 +72,7 @@ SsdController::peekBytes(std::uint64_t byte_offset,
 
 sim::Tick
 SsdController::fetchToDram(std::uint64_t byte_offset, std::uint64_t len,
-                           sim::Tick earliest)
+                           sim::Tick earliest, bool *media_error)
 {
     if (len == 0)
         return earliest;
@@ -79,9 +81,28 @@ SsdController::fetchToDram(std::uint64_t byte_offset, std::uint64_t len,
     const std::uint64_t last = (byte_offset + len - 1) / page_bytes;
     const auto count = static_cast<std::uint32_t>(last - first + 1);
     const sim::Tick flash_done =
-        _ftl->readPages(first, count, earliest);
+        _ftl->readPages(first, count, earliest, nullptr, media_error);
     // Buffer the payload through controller DRAM.
     return dramTransfer(len, flash_done);
+}
+
+sim::Tick
+SsdController::retryOutboundDma(pcie::Addr dst, std::uint64_t bytes,
+                                sim::Tick done, bool *failed)
+{
+    constexpr unsigned kMaxDeviceDmaRetries = 3;
+    unsigned tries = 0;
+    while (_fabric.consumeDmaFault()) {
+        if (++tries > kMaxDeviceDmaRetries) {
+            *failed = true;
+            return done;
+        }
+        if (auto *fi = sim::faultInjector())
+            fi->noteDmaRetry();
+        // Re-send the payload; each resend can itself draw a fault.
+        done = _fabric.dmaWrite(_port, dst, bytes, done);
+    }
+    return done;
 }
 
 sim::Tick
@@ -146,10 +167,15 @@ SsdController::handleCommand(const nvme::Command &cmd, sim::Tick start)
         const sched::FrontEndDecision fe =
             _sched->admitCommand(cmd, start);
         if (fe.status != nvme::Status::kSuccess)
-            return nvme::CommandResult{start, fe.status, 0};
-        const nvme::CommandResult result =
-            _engine->execute(cmd, fe.start);
+            return nvme::CommandResult{start, fe.status, fe.dw0};
+        nvme::CommandResult result = _engine->execute(cmd, fe.start);
         _sched->onCommandDone(cmd, fe.start, result);
+        if (result.status == nvme::Status::kDsramExhausted &&
+            result.dw0 == 0) {
+            // Engine-level bounce: stamp the same NVMe-style
+            // retry-after hint the admission path uses.
+            result.dw0 = _sched->arbiter().retryAfterHintUs();
+        }
         return result;
       }
     }
@@ -168,11 +194,34 @@ SsdController::doRead(const nvme::Command &cmd, sim::Tick start)
     _bytesToHost += len;
 
     // Flash -> controller DRAM, then DMA out to the PRP target.
-    const sim::Tick buffered = fetchToDram(off, len, start);
+    bool media = false;
+    const sim::Tick buffered = fetchToDram(off, len, start, &media);
+    if (media) {
+        // Uncorrectable page: the access time was charged, but no data
+        // leaves the device. The host retries (read-retry recoverable).
+        if (auto *sink = obs::traceSink()) {
+            obs::Span s;
+            s.track = "ssd.firmware";
+            s.name = "media_error";
+            s.category = "ssd";
+            s.begin = buffered;
+            s.end = buffered;
+            s.instant = true;
+            s.trace = cmd.traceId;
+            s.status =
+                static_cast<std::uint32_t>(nvme::Status::kMediaError);
+            sink->record(s);
+        }
+        return {buffered, nvme::Status::kMediaError, 0};
+    }
     const auto data = peekBytes(off, len);
-    const sim::Tick done =
+    sim::Tick done =
         _fabric.dmaWriteData(_port, cmd.prp1, data.data(), data.size(),
                              buffered);
+    bool dma_failed = false;
+    done = retryOutboundDma(cmd.prp1, data.size(), done, &dma_failed);
+    if (dma_failed)
+        return {done, nvme::Status::kTransientTransferError, 0};
     return {done, nvme::Status::kSuccess, 0};
 }
 
@@ -191,6 +240,11 @@ SsdController::doWrite(const nvme::Command &cmd, sim::Tick start)
     std::vector<std::uint8_t> data(len);
     const sim::Tick fetched =
         _fabric.dmaReadData(_port, cmd.prp1, data.data(), len, start);
+    if (_fabric.consumeDmaFault()) {
+        // The inbound payload was corrupted in flight; fail before any
+        // flash side effect so the host's resubmission is exact.
+        return {fetched, nvme::Status::kTransientTransferError, 0};
+    }
     const sim::Tick done = storeFromDram(off, data, fetched);
     return {done, nvme::Status::kSuccess, 0};
 }

@@ -104,9 +104,23 @@ class SsdController
     /**
      * Timed flash fetch of the logical byte range into controller
      * DRAM. @return tick when the data is buffered on-device.
+     * @p media_error (optional) is set true when fault injection made
+     * any underlying flash page read uncorrectable.
      */
     sim::Tick fetchToDram(std::uint64_t byte_offset, std::uint64_t len,
-                          sim::Tick earliest);
+                          sim::Tick earliest,
+                          bool *media_error = nullptr);
+
+    /**
+     * Device-side recovery for an outbound (device -> host/GPU) DMA:
+     * consume the fabric's transient-fault flag and, while set, re-send
+     * the payload (re-charging fabric time), up to a bound. The data
+     * was delivered functionally on the first pass; retries model the
+     * link-level replays. @return new completion tick; sets @p failed
+     * when the retry bound is exhausted with the fault still firing.
+     */
+    sim::Tick retryOutboundDma(pcie::Addr dst, std::uint64_t bytes,
+                               sim::Tick done, bool *failed);
 
     /**
      * Timed write of @p data at a logical byte offset (read-modify-

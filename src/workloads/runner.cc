@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -137,6 +138,7 @@ runWorkload(const AppSpec &app, const RunOptions &opts)
 {
     host::HostSystem sys(opts.sys);
     sys.cpu().setFreqHz(opts.cpuFreqHz);
+    sys.nvmeDriver().setRecovery(opts.recovery);
 
     const bool gpu_app = app.isGpuApp();
     const bool p2p = opts.mode == ExecutionMode::kMorpheusP2p && gpu_app;
@@ -199,6 +201,16 @@ runWorkload(const AppSpec &app, const RunOptions &opts)
     const std::uint64_t obj_total = objectBytes(reference);
 
     // ---------------- measured phases --------------------------------
+    // Faults fire only during the measured phases, never at ingest.
+    // The injector stays installed through metrics federation so
+    // sys.faults.* gets snapshotted; an inactive plan installs nothing.
+    std::optional<sim::FaultInjector> fault_injector;
+    std::optional<sim::ScopedFaultInjector> fault_scope;
+    if (opts.faults.active()) {
+        fault_injector.emplace(opts.faults);
+        fault_scope.emplace(&*fault_injector);
+    }
+
     const sim::Tick t0 = ingest_done;
     const ActivitySnapshot before = ActivitySnapshot::take(sys);
 
@@ -242,6 +254,25 @@ runWorkload(const AppSpec &app, const RunOptions &opts)
                 runtime.streamCreate(inputs[r].extent, t0, iopts.hostCore);
             results[r] =
                 runtime.invoke(image, stream, targets[r], t0, iopts);
+            // With recovery enabled an invocation can die on an
+            // injected fault (crashed app, watchdog kill). Replay it
+            // whole: the fresh instance restreams from byte 0,
+            // overwriting any partial delivery. Bounded so a rate-1.0
+            // plan can't loop forever.
+            for (unsigned replay = 0;
+                 (results[r].failed || !results[r].accepted) &&
+                 opts.recovery.enabled && replay < 8;
+                 ++replay) {
+                const sim::Tick at = results[r].done;
+                const core::MsStream again = runtime.streamCreate(
+                    inputs[r].extent, at, iopts.hostCore);
+                results[r] =
+                    runtime.invoke(image, again, targets[r], at, iopts);
+            }
+            MORPHEUS_ASSERT(
+                results[r].accepted && !results[r].failed,
+                "invocation failed beyond recovery: app=", app.name,
+                " rank=", r);
             deser_done = std::max(deser_done, results[r].done);
         }
         // Reconstruct the produced objects from the DMA destinations.
@@ -383,6 +414,10 @@ runWorkload(const AppSpec &app, const RunOptions &opts)
             reg.setCounter("run.raw_text_bytes", m.rawTextBytes);
             reg.setCounter("run.object_bytes", m.objectBytesProduced);
             reg.setCounter("run.validated", m.validated ? 1 : 0);
+            reg.setCounter("run.retries",
+                           sys.nvmeDriver().retriesIssued());
+            reg.setCounter("run.timeouts",
+                           sys.nvmeDriver().timeoutsSynthesized());
             reg.setScalar("run.deser_power_watts", m.deserPowerWatts);
             reg.setScalar("run.deser_energy_joules",
                           m.deserEnergyJoules);

@@ -24,7 +24,9 @@
 #include <string>
 
 #include "host/host_system.hh"
+#include "nvme/driver.hh"
 #include "obs/metrics.hh"
+#include "sim/fault.hh"
 #include "workloads/app_spec.hh"
 
 namespace morpheus::workloads {
@@ -52,6 +54,11 @@ struct RunOptions
     obs::MetricsRegistry *metrics = nullptr;
     /** System configuration overrides. */
     host::SystemConfig sys{};
+    /** Fault plan installed around the measured phases (ingest runs
+     *  clean). Inactive by default: bit-identical to a fault-free run. */
+    sim::FaultPlan faults{};
+    /** Driver-side recovery (timeouts + bounded retries). */
+    nvme::DriverRecoveryConfig recovery{};
 };
 
 /** Everything measured in one run. */

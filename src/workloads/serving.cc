@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <string>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "core/host_runtime.hh"
 #include "core/nvme_p2p.hh"
 #include "core/standard_apps.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
@@ -39,7 +41,39 @@ struct SizeClass
 {
     host::FileExtent extent;
     std::uint64_t objectBytes = 0;
+    /** Parse cost of the file, for the host-fallback path's CPU
+     *  conversion charge (the paper's baseline model). */
+    serde::ParseCost cost;
 };
+
+/** Read-chunk size of the host-fallback path (matches the baseline
+ *  runner's default staging buffer). */
+constexpr std::uint64_t kFallbackChunkBytes = 256 * 1024;
+
+/** Per-tenant circuit breaker over the device path. */
+struct Breaker
+{
+    unsigned consecutive = 0;   ///< Consecutive device-path failures.
+    bool open = false;          ///< Requests route to the host path.
+    std::uint64_t sinceOpen = 0;  ///< Requests routed while open.
+};
+
+void
+recordBreakerInstant(const char *name, std::uint32_t tenant,
+                     sim::Tick when)
+{
+    if (auto *sink = obs::traceSink()) {
+        obs::Span s;
+        s.track = "host.serving";
+        s.name = name;
+        s.category = "serving";
+        s.begin = when;
+        s.end = when;
+        s.instant = true;
+        s.tenant = tenant;
+        sink->record(s);
+    }
+}
 
 struct ActiveSession
 {
@@ -140,6 +174,7 @@ runServing(const ServingOptions &opts)
 {
     MORPHEUS_ASSERT(!opts.tenants.empty(), "serving without tenants");
     host::HostSystem sys(opts.sys);
+    sys.nvmeDriver().setRecovery(opts.recovery);
     core::StandardImages images = core::StandardImages::make();
     core::MorpheusDeviceRuntime device(sys.ssd());
     core::NvmeP2p p2p(sys);
@@ -163,6 +198,9 @@ runServing(const ServingOptions &opts)
                 opts.seed + ti * 131 + k, tenant.sizeClassValues[k]);
             const auto text = serializeObject(obj);
             classes[ti][k].objectBytes = objectBytes(obj);
+            // Reference parse for the host-fallback conversion charge.
+            parseObject(ObjectKind::kIntArray, text.data(), text.size(),
+                        &classes[ti][k].cost);
             classes[ti][k].extent = sys.createFile(
                 "serve.t" + std::to_string(tenant.id) + ".c" +
                     std::to_string(k),
@@ -191,6 +229,17 @@ runServing(const ServingOptions &opts)
         imageFor(ObjectKind::kIntArray, images);
 
     // ---- event loop ---------------------------------------------------
+    // Fault injection covers only the measured loop (ingest ran clean);
+    // the injector stays installed through metrics federation below so
+    // sys.faults.* is visible there. An inactive plan installs nothing,
+    // keeping the fault-free run bit-identical.
+    std::optional<sim::FaultInjector> injector;
+    std::optional<sim::ScopedFaultInjector> fault_scope;
+    if (opts.faults.active()) {
+        injector.emplace(opts.faults);
+        fault_scope.emplace(&*injector);
+    }
+
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
         events;
     std::uint64_t seq = 0;
@@ -205,18 +254,118 @@ runServing(const ServingOptions &opts)
     {
         bool completed = false;
         bool rejected = false;
+        bool fellBack = false;
         std::uint64_t retries = 0;
         std::uint64_t dsramBounces = 0;
+        std::uint64_t deviceFailures = 0;
         sim::Tick latency = 0;
         std::uint64_t servedBytes = 0;
     };
     std::vector<Outcome> outcomes(requests.size());
+    std::vector<Breaker> breakers(opts.tenants.size());
     sim::Tick last_done = ingest_done;
+
+    // Re-enqueue everything parked as fresh arrivals at @p when: a
+    // completion is the retry signal a hint-less busy status asks the
+    // host to wait for (hinted bounces are timed through the heap
+    // instead).
+    auto release_parked = [&](sim::Tick when) {
+        std::vector<unsigned> waiting;
+        waiting.swap(parked);
+        for (unsigned req_idx : waiting)
+            events.push(Event{when, seq++, Event::kArrival, req_idx});
+    };
+
+    // The paper's baseline path (Fig 1): host read()s the raw text in
+    // chunks and converts on the CPU. This is what keeps availability
+    // at 100% while the device path is faulting.
+    auto fallback_request = [&](unsigned req_idx, sim::Tick when) {
+        const Request &req = requests[req_idx];
+        const SizeClass &cls = classes[req.tenantIdx][req.classIdx];
+        const unsigned core =
+            req.tenantIdx % sys.cpu().config().cores;
+        host::OsModel &os = sys.os();
+        host::HostCpu &cpu = sys.cpu();
+
+        // Raw staging buffer X and the object buffer Y.
+        const pcie::Addr buf_x = sys.allocHost(kFallbackChunkBytes);
+        sys.allocHost(cls.objectBytes);
+        const sim::Tick opened = os.syscall(core, when);  // open()
+        sim::Tick cpu_cursor = os.pageFaults(
+            core, os.faultsForBytes(cls.objectBytes), opened);
+
+        const std::uint64_t file_bytes = cls.extent.sizeBytes;
+        const double total_convert = cpu.convertCycles(cls.cost);
+        std::uint64_t offset = 0;
+        while (offset < file_bytes) {
+            const std::uint64_t len = std::min<std::uint64_t>(
+                kFallbackChunkBytes, file_bytes - offset);
+            const sim::Tick io_done = sys.ssdBackend().read(
+                cls.extent.startByte + offset, len, buf_x, when);
+            const sim::Tick ready = std::max(cpu_cursor, io_done);
+            const sim::Tick fs_done =
+                os.blockingReadOverhead(core, len, ready);
+            const double convert =
+                total_convert * static_cast<double>(len) /
+                static_cast<double>(file_bytes);
+            cpu_cursor = cpu.execute(core, convert, fs_done);
+            sys.mem().cpuAccess(
+                len, cls.objectBytes * len / file_bytes, fs_done);
+            offset += len;
+        }
+        recordBreakerInstant("fallback",
+                             opts.tenants[req.tenantIdx].id, when);
+        Outcome &out = outcomes[req_idx];
+        out.completed = true;
+        out.fellBack = true;
+        out.latency = cpu_cursor - req.arrival;
+        out.servedBytes = cls.objectBytes;
+        last_done = std::max(last_done, cpu_cursor);
+        release_parked(cpu_cursor);
+    };
+
+    // A device-path attempt for req_idx failed terminally at `when`.
+    auto device_failure = [&](unsigned req_idx, sim::Tick when) {
+        const Request &req = requests[req_idx];
+        Outcome &out = outcomes[req_idx];
+        Breaker &br = breakers[req.tenantIdx];
+        ++out.deviceFailures;
+        ++br.consecutive;
+        if (opts.breakerThreshold > 0 && !br.open &&
+            br.consecutive >= opts.breakerThreshold) {
+            br.open = true;
+            br.sinceOpen = 0;
+            recordBreakerInstant("breaker_open",
+                                 opts.tenants[req.tenantIdx].id, when);
+        }
+        last_done = std::max(last_done, when);
+        if (opts.breakerThreshold > 0) {
+            // Rescue the request on the host path: completion stays
+            // at 100% even while the device is faulting.
+            fallback_request(req_idx, when);
+        }
+        // breakerThreshold == 0: the recovery-off ablation — the
+        // request is lost (neither completed nor rejected).
+    };
 
     auto start_request = [&](unsigned req_idx, sim::Tick when) {
         const Request &req = requests[req_idx];
         const TenantSpec &tenant = opts.tenants[req.tenantIdx];
         const SizeClass &cls = classes[req.tenantIdx][req.classIdx];
+
+        Breaker &br = breakers[req.tenantIdx];
+        if (br.open) {
+            // Open: serve from the host path, except a periodic
+            // half-open probe that tests whether the device healed.
+            ++br.sinceOpen;
+            const bool probe =
+                opts.breakerProbeEvery > 0 &&
+                br.sinceOpen % opts.breakerProbeEvery == 0;
+            if (!probe) {
+                fallback_request(req_idx, when);
+                return;
+            }
+        }
 
         core::InvokeOptions iopts;
         iopts.hostCore = req.tenantIdx % sys.cpu().config().cores;
@@ -231,11 +380,26 @@ runServing(const ServingOptions &opts)
         core::InvokeSession s = runtime.beginInvoke(
             image, stream, target, when, iopts);
         if (!s.accepted) {
+            if (s.failed) {
+                // MINIT died on an injected fault with the retry
+                // budget spent: a device failure, not a bounce.
+                device_failure(req_idx, s.result.done);
+                return;
+            }
             if (s.retry) {
                 ++outcomes[req_idx].retries;
                 if (s.minitStatus == nvme::Status::kDsramExhausted)
                     ++outcomes[req_idx].dsramBounces;
-                parked.push_back(req_idx);
+                if (s.retryAfterUs > 0) {
+                    // Honor the completion's retry-after hint instead
+                    // of waiting for an unrelated completion.
+                    events.push(Event{
+                        s.result.done +
+                            sim::Tick(s.retryAfterUs) * sim::kPsPerUs,
+                        seq++, Event::kArrival, req_idx});
+                } else {
+                    parked.push_back(req_idx);
+                }
             } else {
                 outcomes[req_idx].rejected = true;
                 last_done = std::max(last_done, s.result.done);
@@ -263,31 +427,39 @@ runServing(const ServingOptions &opts)
             continue;
         }
         ActiveSession &as = active[ev.idx];
-        if (!as.session.streamDone()) {
+        if (!as.session.streamDone() && !as.session.failed) {
             const sim::Tick next = runtime.stepInvoke(as.session);
-            if (!as.session.streamDone()) {
+            if (!as.session.streamDone() && !as.session.failed) {
                 events.push(Event{next, seq++, Event::kStep, ev.idx});
                 continue;
             }
         }
+        const unsigned req_idx = as.requestIdx;
         const core::InvokeResult result =
-            runtime.finishInvoke(as.session);
-        Outcome &out = outcomes[as.requestIdx];
+            as.session.failed ? runtime.abortInvoke(as.session)
+                              : runtime.finishInvoke(as.session);
+        free_slots.push_back(ev.idx);
+        Breaker &br = breakers[requests[req_idx].tenantIdx];
+        if (result.failed) {
+            device_failure(req_idx, result.done);
+            release_parked(result.done);
+            continue;
+        }
+        if (br.open) {
+            // A successful device-path probe: the device healed.
+            br.open = false;
+            recordBreakerInstant(
+                "breaker_close",
+                opts.tenants[requests[req_idx].tenantIdx].id,
+                result.done);
+        }
+        br.consecutive = 0;
+        Outcome &out = outcomes[req_idx];
         out.completed = true;
-        out.latency = result.done - requests[as.requestIdx].arrival;
+        out.latency = result.done - requests[req_idx].arrival;
         out.servedBytes = result.objectBytes;
         last_done = std::max(last_done, result.done);
-        free_slots.push_back(ev.idx);
-
-        // A completion is the retry signal the device's busy status
-        // asks the host to wait for: re-enqueue everything parked as
-        // fresh arrivals at the completion time (through the heap, so
-        // MINIT issue order stays chronological).
-        std::vector<unsigned> waiting;
-        waiting.swap(parked);
-        for (unsigned req_idx : waiting)
-            events.push(Event{result.done, seq++, Event::kArrival,
-                              req_idx});
+        release_parked(result.done);
     }
     MORPHEUS_ASSERT(parked.empty(),
                     "parked requests with no active session left");
@@ -311,12 +483,17 @@ runServing(const ServingOptions &opts)
             ++tr.submitted;
             tr.retries += outcomes[i].retries;
             tr.dsramBounces += outcomes[i].dsramBounces;
+            tr.deviceFailures += outcomes[i].deviceFailures;
+            if (outcomes[i].fellBack)
+                ++tr.fallbacks;
             if (outcomes[i].rejected) {
                 ++tr.rejected;
                 continue;
             }
-            if (!outcomes[i].completed)
+            if (!outcomes[i].completed) {
+                ++tr.lost;
                 continue;
+            }
             ++tr.completed;
             tr.servedBytes += outcomes[i].servedBytes;
             const double us = ticksToUs(outcomes[i].latency);
@@ -331,6 +508,9 @@ runServing(const ServingOptions &opts)
         report.submitted += tr.submitted;
         report.completed += tr.completed;
         report.rejected += tr.rejected;
+        report.deviceFailures += tr.deviceFailures;
+        report.fallbacks += tr.fallbacks;
+        report.lost += tr.lost;
         fairness_x.push_back(static_cast<double>(tr.servedBytes) /
                              tenant.weight);
         report.tenants.push_back(tr);
@@ -362,6 +542,8 @@ runServing(const ServingOptions &opts)
             : 0.0;
     report.migrations = sys.ssd().scheduler().dispatcher().migrations();
     report.drrDelays = arbiter.dataDelays();
+    report.driverRetries = sys.nvmeDriver().retriesIssued();
+    report.driverTimeouts = sys.nvmeDriver().timeoutsSynthesized();
 
     // ---- federate metrics (values must be snapshotted before `sys`
     //      and the device stats die with this scope) -------------------
@@ -378,6 +560,9 @@ runServing(const ServingOptions &opts)
             reg.setCounter(p + "rejected", tr.rejected);
             reg.setCounter(p + "retries", tr.retries);
             reg.setCounter(p + "dsramBounces", tr.dsramBounces);
+            reg.setCounter(p + "deviceFailures", tr.deviceFailures);
+            reg.setCounter(p + "fallbacks", tr.fallbacks);
+            reg.setCounter(p + "lost", tr.lost);
             reg.setCounter(p + "servedBytes", tr.servedBytes);
             reg.setScalar(p + "mean_us", tr.meanUs);
             reg.setScalar(p + "p50_us", tr.p50Us);
@@ -387,6 +572,11 @@ runServing(const ServingOptions &opts)
         reg.setCounter("serving.submitted", report.submitted);
         reg.setCounter("serving.completed", report.completed);
         reg.setCounter("serving.rejected", report.rejected);
+        reg.setCounter("serving.deviceFailures", report.deviceFailures);
+        reg.setCounter("serving.fallbacks", report.fallbacks);
+        reg.setCounter("serving.lost", report.lost);
+        reg.setCounter("serving.driverRetries", report.driverRetries);
+        reg.setCounter("serving.driverTimeouts", report.driverTimeouts);
         reg.setCounter("serving.migrations", report.migrations);
         reg.setCounter("serving.drrDelays", report.drrDelays);
         reg.setCounter("serving.makespan_ticks", report.makespan);

@@ -25,7 +25,9 @@
 #include <vector>
 
 #include "host/system_config.hh"
+#include "nvme/driver.hh"
 #include "obs/metrics.hh"
+#include "sim/fault.hh"
 
 namespace morpheus::workloads {
 
@@ -68,6 +70,33 @@ struct ServingOptions
     host::SystemConfig sys{};
 
     /**
+     * Fault-injection plan, installed (scoped) around the measured
+     * event loop only — ingest always runs clean. An inactive plan
+     * (all rates zero, the default) installs nothing and leaves the
+     * run bit-identical to a fault-free build.
+     */
+    sim::FaultPlan faults{};
+
+    /** Driver-side recovery: per-command timeouts, bounded retries
+     *  with backoff/retry-after, watchdog-abort synthesis. Disabled by
+     *  default (faults then assert, as before). */
+    nvme::DriverRecoveryConfig recovery{};
+
+    /**
+     * Per-tenant circuit breaker: after this many consecutive
+     * device-path failures the tenant's requests are served by the
+     * baseline host-read + host-deserialize path until a half-open
+     * probe succeeds. 0 disables the breaker AND the per-request
+     * fallback — failed requests are simply lost (the recovery-off
+     * ablation).
+     */
+    unsigned breakerThreshold = 3;
+
+    /** While open, every Nth request is a half-open probe down the
+     *  device path; success closes the breaker. */
+    unsigned breakerProbeEvery = 8;
+
+    /**
      * Optional federation target. When set, runServing() snapshots the
      * whole system StatSet (under "sys.") plus per-tenant serving
      * outcomes (under "serving.") into it before the simulated machine
@@ -87,6 +116,14 @@ struct TenantReport
     std::uint64_t retries = 0;    ///< Bounced-and-reparked attempts.
     /** Retries whose MINIT bounced for lack of D-SRAM budget. */
     std::uint64_t dsramBounces = 0;
+    /** Device-path invocations that died on an injected fault. */
+    std::uint64_t deviceFailures = 0;
+    /** Requests completed by the baseline host path (circuit breaker
+     *  open, or per-request rescue after a device failure). */
+    std::uint64_t fallbacks = 0;
+    /** Requests neither completed nor terminally rejected (recovery
+     *  and fallback both off while faults fire). */
+    std::uint64_t lost = 0;
     std::uint64_t servedBytes = 0;
     double meanUs = 0.0;
     double p50Us = 0.0;
@@ -102,6 +139,12 @@ struct ServingReport
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
     std::uint64_t rejected = 0;
+    std::uint64_t deviceFailures = 0;
+    std::uint64_t fallbacks = 0;
+    std::uint64_t lost = 0;
+    /** Host-side driver recovery activity during the run. */
+    std::uint64_t driverRetries = 0;
+    std::uint64_t driverTimeouts = 0;
     double meanUs = 0.0;
     double p50Us = 0.0;
     double p95Us = 0.0;

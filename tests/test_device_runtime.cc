@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/device_runtime.hh"
 #include "core/standard_apps.hh"
 #include "host/host_system.hh"
+#include "sim/fault.hh"
 #include "workloads/generators.hh"
 
 namespace co = morpheus::core;
@@ -470,11 +472,8 @@ TEST(DeviceRuntime, MixedReadWriteStreamLandsWritesAtSlba)
     // Now serialize binary ints; the text must land exactly at the
     // command's SLBA, not skewed by the MREAD deliveries above.
     const std::vector<std::int64_t> vals{41, 542, 6643, 77444, 885};
-    std::vector<std::uint8_t> bin;
-    for (const auto v : vals) {
-        const auto *p = reinterpret_cast<const std::uint8_t *>(&v);
-        bin.insert(bin.end(), p, p + 8);
-    }
+    std::vector<std::uint8_t> bin(vals.size() * sizeof(std::int64_t));
+    std::memcpy(bin.data(), vals.data(), bin.size());
     const morpheus::pcie::Addr src = rig.sys.allocHost(bin.size());
     rig.sys.mem().store().writeVec(src, bin);
 
@@ -519,11 +518,9 @@ TEST(DeviceRuntime, FailedMWriteDoesNotBleedIntoNext)
 
     // First command: stages "1 2 " then hits the poison value.
     const std::vector<std::int64_t> bad{1, 2, -1};
-    std::vector<std::uint8_t> bad_bin;
-    for (const auto v : bad) {
-        const auto *p = reinterpret_cast<const std::uint8_t *>(&v);
-        bad_bin.insert(bad_bin.end(), p, p + 8);
-    }
+    std::vector<std::uint8_t> bad_bin(bad.size() *
+                                      sizeof(std::int64_t));
+    std::memcpy(bad_bin.data(), bad.data(), bad_bin.size());
     const morpheus::pcie::Addr bad_src =
         rig.sys.allocHost(bad_bin.size());
     rig.sys.mem().store().writeVec(bad_src, bad_bin);
@@ -591,4 +588,244 @@ TEST(DeviceRuntime, StatsCountMorpheusCommands)
     EXPECT_EQ(set.counterValue("morpheus.mdeinits"), 1u);
     EXPECT_GT(set.counterValue("morpheus.objectBytesOut"), 0u);
     EXPECT_EQ(set.counterValue("morpheus.rawBytesIn"), 8192u);
+}
+
+TEST(DeviceRuntime, MediaErrorLeavesCleanResubmission)
+{
+    Rig rig;
+    const auto a = wk::genIntArray(77, 8000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("ints", w.bytes());
+    const auto target_addr = rig.sys.allocHost(a.objectBytes());
+    ASSERT_TRUE(rig.minit(1, rig.images.intArray,
+                          co::DmaTarget{target_addr, false})
+                    .ok());
+
+    nv::Command c;
+    c.opcode = nv::Opcode::kMRead;
+    c.instanceId = 1;
+    c.slba = extent.startByte / nv::kBlockBytes;
+    c.nlb = static_cast<std::uint16_t>(
+        (extent.sizeBytes + nv::kBlockBytes - 1) / nv::kBlockBytes - 1);
+    c.cdw13 = static_cast<std::uint32_t>(extent.sizeBytes);
+
+    morpheus::sim::Tick t = 0;
+    {
+        // Every flash page read comes back uncorrectable.
+        morpheus::sim::FaultPlan plan;
+        plan.mediaRate = 1.0;
+        morpheus::sim::FaultInjector fi(plan);
+        morpheus::sim::ScopedFaultInjector scope(&fi);
+        const auto cqe = rig.io(c, t);
+        EXPECT_EQ(cqe.status, nv::Status::kMediaError);
+        EXPECT_GE(fi.mediaErrors(), 1u);
+        t = cqe.postedAt;
+    }
+    // The chunk never reached the parser: resubmitting the identical
+    // command with the fault cleared completes the stream exactly.
+    const auto retry = rig.io(c, t);
+    ASSERT_TRUE(retry.ok());
+    const auto fin = rig.mdeinit(1, retry.postedAt);
+    ASSERT_TRUE(fin.ok());
+    EXPECT_EQ(fin.dw0, a.values.size());
+    const auto bin = rig.sys.mem().store().readVec(
+        target_addr, static_cast<std::size_t>(a.objectBytes()));
+    EXPECT_EQ(sd::IntArrayObject::fromBinary(bin), a);
+}
+
+TEST(DeviceRuntime, OutOfOrderChunkAfterMediaErrorBounces)
+{
+    Rig rig;
+    const auto a = wk::genIntArray(79, 8000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("ints", w.bytes());
+    const auto target_addr = rig.sys.allocHost(a.objectBytes());
+    ASSERT_TRUE(rig.minit(4, rig.images.intArray,
+                          co::DmaTarget{target_addr, false})
+                    .ok());
+
+    // Split the stream into two chunks on a block boundary.
+    const std::uint64_t first_bytes = 4096;
+    ASSERT_GT(extent.sizeBytes, first_bytes);
+    nv::Command c1;
+    c1.opcode = nv::Opcode::kMRead;
+    c1.instanceId = 4;
+    c1.slba = extent.startByte / nv::kBlockBytes;
+    c1.nlb =
+        static_cast<std::uint16_t>(first_bytes / nv::kBlockBytes - 1);
+    c1.cdw13 = static_cast<std::uint32_t>(first_bytes);
+    nv::Command c2 = c1;
+    c2.slba = c1.slba + first_bytes / nv::kBlockBytes;
+    c2.nlb = static_cast<std::uint16_t>(
+        (extent.sizeBytes - first_bytes + nv::kBlockBytes - 1) /
+            nv::kBlockBytes -
+        1);
+    c2.cdw13 =
+        static_cast<std::uint32_t>(extent.sizeBytes - first_bytes);
+
+    morpheus::sim::Tick t = 0;
+    {
+        morpheus::sim::FaultPlan plan;
+        plan.mediaRate = 1.0;
+        morpheus::sim::FaultInjector fi(plan);
+        morpheus::sim::ScopedFaultInjector scope(&fi);
+        const auto cqe = rig.io(c1, t);
+        EXPECT_EQ(cqe.status, nv::Status::kMediaError);
+        t = cqe.postedAt;
+    }
+    // Chunk 2 was already in flight when chunk 1 failed: the parse is
+    // a stateful stream, so the firmware must bounce the gap-jumping
+    // chunk instead of feeding it out of order.
+    const auto ooo = rig.io(c2, t);
+    EXPECT_EQ(ooo.status, nv::Status::kSequenceError);
+    EXPECT_TRUE(nv::isRetryable(ooo.status));
+    t = ooo.postedAt;
+
+    // In-order resubmission of both chunks drains the stream exactly.
+    const auto r1 = rig.io(c1, t);
+    ASSERT_TRUE(r1.ok());
+    const auto r2 = rig.io(c2, r1.postedAt);
+    ASSERT_TRUE(r2.ok());
+    const auto fin = rig.mdeinit(4, r2.postedAt);
+    ASSERT_TRUE(fin.ok());
+    EXPECT_EQ(fin.dw0, a.values.size());
+    const auto bin = rig.sys.mem().store().readVec(
+        target_addr, static_cast<std::size_t>(a.objectBytes()));
+    EXPECT_EQ(sd::IntArrayObject::fromBinary(bin), a);
+}
+
+TEST(DeviceRuntime, CrashChargesAbortedWorkAndPoisonsInstance)
+{
+    Rig rig;
+    const auto a = wk::genIntArray(78, 8000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("ints", w.bytes());
+    const auto target_addr = rig.sys.allocHost(a.objectBytes());
+    ASSERT_TRUE(rig.minit(3, rig.images.intArray,
+                          co::DmaTarget{target_addr, false})
+                    .ok());
+
+    nv::Command c;
+    c.opcode = nv::Opcode::kMRead;
+    c.instanceId = 3;
+    c.slba = extent.startByte / nv::kBlockBytes;
+    c.nlb = static_cast<std::uint16_t>(
+        (extent.sizeBytes + nv::kBlockBytes - 1) / nv::kBlockBytes - 1);
+    c.cdw13 = static_cast<std::uint32_t>(extent.sizeBytes);
+
+    morpheus::sim::Tick t = 0;
+    {
+        morpheus::sim::FaultPlan plan;
+        plan.crashRate = 1.0;
+        morpheus::sim::FaultInjector fi(plan);
+        morpheus::sim::ScopedFaultInjector scope(&fi);
+        const auto cqe = rig.io(c, t);
+        EXPECT_EQ(cqe.status, nv::Status::kAppFault);
+        EXPECT_EQ(fi.appCrashes(), 1u);
+        t = cqe.postedAt;
+    }
+    // The aborted command's staged bytes were dropped, not shipped:
+    // nothing reached host memory (the staged-byte-leak regression).
+    EXPECT_EQ(rig.device.objectBytesOut(), 0u);
+
+    // The instance is poisoned: data commands bounce without fault
+    // injection until the host reinstalls it.
+    EXPECT_EQ(rig.io(c, t).status, nv::Status::kAppFault);
+
+    // MDEINIT tears the carcass down (skipping finish hooks) and frees
+    // the scheduler slot; the same ID is then fully reusable.
+    const auto fin = rig.mdeinit(3, t);
+    ASSERT_TRUE(fin.ok());
+    EXPECT_EQ(fin.dw0, 0u);  // no finished object to report
+    EXPECT_EQ(rig.device.liveInstances(), 0u);
+    EXPECT_EQ(rig.sys.ssd().scheduler().arbiter().openInstances(), 0u);
+    EXPECT_EQ(rig.sys.ssd().core(3 % 4).dsramUsed(), 0u);
+
+    ASSERT_TRUE(rig.minit(3, rig.images.intArray,
+                          co::DmaTarget{target_addr, false})
+                    .ok());
+    const auto good = rig.io(c, t);
+    ASSERT_TRUE(good.ok());
+    ASSERT_TRUE(rig.mdeinit(3, good.postedAt).ok());
+    const auto bin = rig.sys.mem().store().readVec(
+        target_addr, static_cast<std::size_t>(a.objectBytes()));
+    EXPECT_EQ(sd::IntArrayObject::fromBinary(bin), a);
+}
+
+TEST(DeviceRuntime, WatchdogKillsHungInstanceAndHostTimesOut)
+{
+    Rig rig;
+    const auto a = wk::genIntArray(79, 4000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("ints", w.bytes());
+    const auto target_addr = rig.sys.allocHost(a.objectBytes());
+    ASSERT_TRUE(rig.minit(2, rig.images.intArray,
+                          co::DmaTarget{target_addr, false})
+                    .ok());
+
+    // The hang suppresses the CQE; only driver recovery can observe it.
+    nv::DriverRecoveryConfig rec;
+    rec.enabled = true;
+    rig.sys.nvmeDriver().setRecovery(rec);
+
+    nv::Command c;
+    c.opcode = nv::Opcode::kMRead;
+    c.instanceId = 2;
+    c.slba = extent.startByte / nv::kBlockBytes;
+    c.nlb = static_cast<std::uint16_t>(
+        (extent.sizeBytes + nv::kBlockBytes - 1) / nv::kBlockBytes - 1);
+    c.cdw13 = static_cast<std::uint32_t>(extent.sizeBytes);
+
+    {
+        morpheus::sim::FaultPlan plan;
+        plan.hangRate = 1.0;
+        morpheus::sim::FaultInjector fi(plan);
+        morpheus::sim::ScopedFaultInjector scope(&fi);
+        const auto cqe = rig.io(c, 0);
+        EXPECT_EQ(cqe.status, nv::Status::kCommandTimeout);
+        EXPECT_EQ(fi.appHangs(), 1u);
+        EXPECT_EQ(fi.watchdogKills(), 1u);
+    }
+    EXPECT_EQ(rig.sys.nvmeDriver().timeoutsSynthesized(), 1u);
+
+    // The watchdog already reclaimed everything device-side: the
+    // instance is gone, its core and scheduler slot are free.
+    EXPECT_EQ(rig.device.liveInstances(), 0u);
+    EXPECT_EQ(rig.sys.ssd().scheduler().arbiter().openInstances(), 0u);
+    EXPECT_EQ(rig.mdeinit(2).status, nv::Status::kNoSuchInstance);
+
+    // The host can reinstall the same ID and finish the job clean.
+    ASSERT_TRUE(rig.minit(2, rig.images.intArray,
+                          co::DmaTarget{target_addr, false})
+                    .ok());
+    const auto good = rig.io(c, 0);
+    ASSERT_TRUE(good.ok());
+    ASSERT_TRUE(rig.mdeinit(2, good.postedAt).ok());
+}
+
+TEST(DeviceRuntime, TransientImageFetchFaultIsRetryable)
+{
+    Rig rig;
+    const auto target = co::DmaTarget{rig.sys.allocHost(4096), false};
+    {
+        // Every payload-sized DMA move faults, including the MINIT
+        // image fetch.
+        morpheus::sim::FaultPlan plan;
+        plan.dmaRate = 1.0;
+        morpheus::sim::FaultInjector fi(plan);
+        morpheus::sim::ScopedFaultInjector scope(&fi);
+        const auto cqe = rig.minit(4, rig.images.intArray, target);
+        EXPECT_EQ(cqe.status, nv::Status::kTransientTransferError);
+        EXPECT_GE(fi.dmaFaults(), 1u);
+    }
+    // The failed MINIT released core and scheduler state, so a clean
+    // resubmission (fault cleared) installs the instance.
+    EXPECT_EQ(rig.device.liveInstances(), 0u);
+    EXPECT_EQ(rig.sys.ssd().scheduler().arbiter().openInstances(), 0u);
+    ASSERT_TRUE(rig.minit(4, rig.images.intArray, target).ok());
+    ASSERT_TRUE(rig.mdeinit(4).ok());
 }

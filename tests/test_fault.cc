@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Fault-injection tests: plan parsing (flag and environment forms),
+ * per-class stream independence, the no-draw guarantees that keep a
+ * fault-free run bit-identical, and the scoped global installation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "sim/fault.hh"
+#include "sim/stats.hh"
+
+namespace ms = morpheus::sim;
+
+TEST(FaultPlan, DefaultConstructedIsInactive)
+{
+    const ms::FaultPlan plan;
+    EXPECT_FALSE(plan.active());
+    EXPECT_EQ(plan.dmaMinBytes, 512u);
+    EXPECT_EQ(plan.seed, 1u);
+}
+
+TEST(FaultPlan, ParsesFullSpec)
+{
+    const ms::FaultPlan plan = ms::FaultPlan::parse(
+        "media=2e-3,dma=1e-3,crash=5e-4,hang=1e-4,drop=1e-3,"
+        "dma_min=4096,watchdog_us=500,seed=7");
+    EXPECT_DOUBLE_EQ(plan.mediaRate, 2e-3);
+    EXPECT_DOUBLE_EQ(plan.dmaRate, 1e-3);
+    EXPECT_DOUBLE_EQ(plan.crashRate, 5e-4);
+    EXPECT_DOUBLE_EQ(plan.hangRate, 1e-4);
+    EXPECT_DOUBLE_EQ(plan.dropRate, 1e-3);
+    EXPECT_EQ(plan.dmaMinBytes, 4096u);
+    EXPECT_EQ(plan.watchdogTicks, ms::Tick(500) * ms::kPsPerUs);
+    EXPECT_EQ(plan.seed, 7u);
+    EXPECT_TRUE(plan.active());
+}
+
+TEST(FaultPlan, ParsesPartialAndEmptySpecs)
+{
+    const ms::FaultPlan partial = ms::FaultPlan::parse("media=0.5");
+    EXPECT_DOUBLE_EQ(partial.mediaRate, 0.5);
+    EXPECT_DOUBLE_EQ(partial.dmaRate, 0.0);
+    EXPECT_TRUE(partial.active());
+
+    const ms::FaultPlan empty = ms::FaultPlan::parse("");
+    EXPECT_FALSE(empty.active());
+
+    // Stray commas are tolerated (trailing comma from shell quoting).
+    const ms::FaultPlan trailing = ms::FaultPlan::parse("drop=1e-2,");
+    EXPECT_DOUBLE_EQ(trailing.dropRate, 1e-2);
+}
+
+TEST(FaultPlanDeath, RejectsMalformedSpecs)
+{
+    EXPECT_DEATH(ms::FaultPlan::parse("bogus=1"), "unknown");
+    EXPECT_DEATH(ms::FaultPlan::parse("media"), "key=value");
+    EXPECT_DEATH(ms::FaultPlan::parse("media=1.5"), "out of");
+    EXPECT_DEATH(ms::FaultPlan::parse("media=-0.1"), "out of");
+}
+
+TEST(FaultPlan, FromEnvReadsMorpheusFaults)
+{
+    ::unsetenv("MORPHEUS_FAULTS");
+    EXPECT_FALSE(ms::FaultPlan::fromEnv().active());
+
+    ::setenv("MORPHEUS_FAULTS", "media=1e-2,seed=3", 1);
+    const ms::FaultPlan plan = ms::FaultPlan::fromEnv();
+    EXPECT_DOUBLE_EQ(plan.mediaRate, 1e-2);
+    EXPECT_EQ(plan.seed, 3u);
+
+    ::setenv("MORPHEUS_FAULTS", "", 1);
+    EXPECT_FALSE(ms::FaultPlan::fromEnv().active());
+    ::unsetenv("MORPHEUS_FAULTS");
+}
+
+TEST(FaultInjector, ZeroRateNeverFires)
+{
+    ms::FaultPlan plan;  // all rates zero
+    ms::FaultInjector fi(plan);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(fi.mediaError());
+        EXPECT_FALSE(fi.dmaFault(1 << 20));
+        EXPECT_FALSE(fi.appCrash());
+        EXPECT_FALSE(fi.appHang());
+        EXPECT_FALSE(fi.dropCqe());
+    }
+    EXPECT_EQ(fi.mediaErrors(), 0u);
+    EXPECT_EQ(fi.dmaFaults(), 0u);
+    EXPECT_EQ(fi.appCrashes(), 0u);
+    EXPECT_EQ(fi.appHangs(), 0u);
+    EXPECT_EQ(fi.droppedCqes(), 0u);
+}
+
+TEST(FaultInjector, RateOneAlwaysFires)
+{
+    ms::FaultPlan plan;
+    plan.mediaRate = 1.0;
+    plan.dropRate = 1.0;
+    ms::FaultInjector fi(plan);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(fi.mediaError());
+        EXPECT_TRUE(fi.dropCqe());
+    }
+    EXPECT_EQ(fi.mediaErrors(), 100u);
+    EXPECT_EQ(fi.droppedCqes(), 100u);
+}
+
+TEST(FaultInjector, DeterministicInSeed)
+{
+    ms::FaultPlan plan;
+    plan.mediaRate = 0.3;
+    plan.seed = 42;
+    ms::FaultInjector a(plan);
+    ms::FaultInjector b(plan);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(a.mediaError(), b.mediaError()) << "draw " << i;
+
+    plan.seed = 43;
+    ms::FaultInjector c(plan);
+    ms::FaultInjector d(plan);
+    bool diverged = false;
+    for (int i = 0; i < 500; ++i) {
+        const bool ci = c.mediaError();
+        if (ci != d.mediaError())
+            ADD_FAILURE() << "same-seed divergence at draw " << i;
+        diverged |= ci;
+    }
+    EXPECT_TRUE(diverged) << "rate 0.3 never fired in 500 draws";
+}
+
+TEST(FaultInjector, ClassStreamsAreIndependent)
+{
+    // The media schedule at a given seed must not move when the DMA
+    // class is enabled alongside it (distinct Rng streams per class).
+    ms::FaultPlan media_only;
+    media_only.mediaRate = 0.2;
+    media_only.seed = 7;
+    ms::FaultPlan both = media_only;
+    both.dmaRate = 0.9;
+
+    ms::FaultInjector a(media_only);
+    ms::FaultInjector b(both);
+    for (int i = 0; i < 300; ++i) {
+        EXPECT_EQ(a.mediaError(), b.mediaError()) << "draw " << i;
+        // Interleave DMA draws in b only: must not perturb its media
+        // stream.
+        (void)b.dmaFault(4096);
+    }
+}
+
+TEST(FaultInjector, SmallDmaMovesAreExemptWithoutConsumingDraws)
+{
+    ms::FaultPlan plan;
+    plan.dmaRate = 0.5;
+    plan.dmaMinBytes = 512;
+    plan.seed = 11;
+    ms::FaultInjector a(plan);
+    ms::FaultInjector b(plan);
+    std::vector<bool> a_seq;
+    std::vector<bool> b_seq;
+    for (int i = 0; i < 200; ++i) {
+        // a sees a control-path move (no draw) before every data move.
+        EXPECT_FALSE(a.dmaFault(64));
+        a_seq.push_back(a.dmaFault(4096));
+        b_seq.push_back(b.dmaFault(4096));
+    }
+    EXPECT_EQ(a_seq, b_seq);
+}
+
+TEST(FaultInjector, ScopedInstallAndRestore)
+{
+    EXPECT_EQ(ms::faultInjector(), nullptr);
+    ms::FaultPlan plan;
+    plan.mediaRate = 1.0;
+    ms::FaultInjector outer(plan);
+    {
+        ms::ScopedFaultInjector scope(&outer);
+        EXPECT_EQ(ms::faultInjector(), &outer);
+        ms::FaultInjector inner(plan);
+        {
+            ms::ScopedFaultInjector nested(&inner);
+            EXPECT_EQ(ms::faultInjector(), &inner);
+        }
+        EXPECT_EQ(ms::faultInjector(), &outer);
+    }
+    EXPECT_EQ(ms::faultInjector(), nullptr);
+}
+
+TEST(FaultInjector, RegistersCountersUnderPrefix)
+{
+    ms::FaultPlan plan;
+    plan.mediaRate = 1.0;
+    ms::FaultInjector fi(plan);
+    (void)fi.mediaError();
+    fi.noteWatchdogKill();
+    fi.noteDmaRetry();
+
+    ms::stats::StatSet set;
+    fi.registerStats(set, "faults");
+    EXPECT_EQ(set.counterValue("faults.mediaErrors"), 1u);
+    EXPECT_EQ(set.counterValue("faults.watchdogKills"), 1u);
+    EXPECT_EQ(set.counterValue("faults.dmaRetries"), 1u);
+    EXPECT_EQ(set.counterValue("faults.dmaFaults"), 0u);
+    EXPECT_EQ(set.counterValue("faults.appCrashes"), 0u);
+    EXPECT_EQ(set.counterValue("faults.appHangs"), 0u);
+    EXPECT_EQ(set.counterValue("faults.droppedCqes"), 0u);
+}

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <vector>
+
 #include "nvme/driver.hh"
 #include "sim/rng.hh"
 
@@ -287,4 +291,219 @@ TEST(NvmeDriver, QueueWrapStress)
         t = cqe.postedAt;
     }
     EXPECT_EQ(rig.ctrl.commandsProcessed(), 100u);
+}
+
+TEST(NvmeStatus, EveryStatusHasAUniqueName)
+{
+    const nv::Status all[] = {
+        nv::Status::kSuccess,         nv::Status::kInvalidOpcode,
+        nv::Status::kInvalidField,    nv::Status::kTransientTransferError,
+        nv::Status::kLbaOutOfRange,   nv::Status::kNoSuchInstance,
+        nv::Status::kAppLoadFailed,   nv::Status::kInstanceBusy,
+        nv::Status::kAdmissionDenied, nv::Status::kDsramExhausted,
+        nv::Status::kAppFault,        nv::Status::kSequenceError,
+        nv::Status::kMediaError,      nv::Status::kCommandTimeout};
+    std::set<std::string> names;
+    for (const nv::Status s : all) {
+        const char *name = nv::statusName(s);
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "Unknown");
+        names.insert(name);
+    }
+    EXPECT_EQ(names.size(), std::size(all));
+}
+
+TEST(NvmeStatus, RetryabilityClassification)
+{
+    // Transient conditions a resubmission can clear...
+    EXPECT_TRUE(nv::isRetryable(nv::Status::kTransientTransferError));
+    EXPECT_TRUE(nv::isRetryable(nv::Status::kInstanceBusy));
+    EXPECT_TRUE(nv::isRetryable(nv::Status::kDsramExhausted));
+    EXPECT_TRUE(nv::isRetryable(nv::Status::kMediaError));
+    EXPECT_TRUE(nv::isRetryable(nv::Status::kSequenceError));
+    // ...vs. deterministic failures and unknown device-side state.
+    EXPECT_FALSE(nv::isRetryable(nv::Status::kSuccess));
+    EXPECT_FALSE(nv::isRetryable(nv::Status::kInvalidOpcode));
+    EXPECT_FALSE(nv::isRetryable(nv::Status::kInvalidField));
+    EXPECT_FALSE(nv::isRetryable(nv::Status::kLbaOutOfRange));
+    EXPECT_FALSE(nv::isRetryable(nv::Status::kNoSuchInstance));
+    EXPECT_FALSE(nv::isRetryable(nv::Status::kAppLoadFailed));
+    EXPECT_FALSE(nv::isRetryable(nv::Status::kAdmissionDenied));
+    EXPECT_FALSE(nv::isRetryable(nv::Status::kAppFault));
+    EXPECT_FALSE(nv::isRetryable(nv::Status::kCommandTimeout));
+}
+
+TEST(NvmeCompletion, WireFormatRoundTripsEveryStatus)
+{
+    const nv::Status all[] = {
+        nv::Status::kSuccess,         nv::Status::kInvalidOpcode,
+        nv::Status::kInvalidField,    nv::Status::kTransientTransferError,
+        nv::Status::kLbaOutOfRange,   nv::Status::kNoSuchInstance,
+        nv::Status::kAppLoadFailed,   nv::Status::kInstanceBusy,
+        nv::Status::kAdmissionDenied, nv::Status::kDsramExhausted,
+        nv::Status::kAppFault,        nv::Status::kSequenceError,
+        nv::Status::kMediaError,      nv::Status::kCommandTimeout};
+    std::uint32_t dw0 = 0x1000;
+    for (const nv::Status s : all) {
+        nv::Completion e;
+        e.dw0 = dw0++;  // e.g. a retry-after hint riding DW0
+        e.sqHead = 0x55;
+        e.sqId = 3;
+        e.cid = 0xBEEF;
+        e.status = s;
+        e.phase = (dw0 & 1) != 0;
+        const auto raw = e.encode();
+        const nv::Completion back = nv::Completion::decode(raw);
+        EXPECT_EQ(back.dw0, e.dw0);
+        EXPECT_EQ(back.sqHead, e.sqHead);
+        EXPECT_EQ(back.sqId, e.sqId);
+        EXPECT_EQ(back.cid, e.cid);
+        EXPECT_EQ(back.status, s) << nv::statusName(s);
+        EXPECT_EQ(back.phase, e.phase);
+    }
+}
+
+TEST(NvmeDriver, SynthesizesTimeoutForDroppedCqe)
+{
+    Rig rig;
+    rig.ctrl.setHandler([](const nv::Command &, ms::Tick start) {
+        // Executed, but the firmware never posts the CQE.
+        return nv::CommandResult{start + 100, nv::Status::kSuccess, 0,
+                                 /*dropped=*/true};
+    });
+    nv::DriverRecoveryConfig rec;
+    rec.enabled = true;
+    rig.driver.setRecovery(rec);
+    const auto qid = rig.driver.openQueue(8, 0x1000, 0x2000);
+    nv::Command c;
+    c.opcode = nv::Opcode::kFlush;
+    const auto cqe = rig.driver.io(qid, c, 5000);
+    EXPECT_EQ(cqe.status, nv::Status::kCommandTimeout);
+    // Aborted at the deadline: doorbell tick + the command timeout.
+    EXPECT_EQ(cqe.postedAt, 5000 + rec.commandTimeout);
+    EXPECT_EQ(rig.driver.timeoutsSynthesized(), 1u);
+    // The synthesized abort is fatal by classification: the command's
+    // device-side effects may have happened, resubmitting is not safe.
+    EXPECT_FALSE(nv::isRetryable(cqe.status));
+}
+
+TEST(NvmeDriverDeath, DroppedCqeWithoutRecoveryPanics)
+{
+    Rig rig;
+    rig.ctrl.setHandler([](const nv::Command &, ms::Tick start) {
+        return nv::CommandResult{start + 100, nv::Status::kSuccess, 0,
+                                 /*dropped=*/true};
+    });
+    const auto qid = rig.driver.openQueue(8, 0x1000, 0x2000);
+    nv::Command c;
+    c.opcode = nv::Opcode::kFlush;
+    EXPECT_DEATH(rig.driver.io(qid, c, 0), "no completion");
+}
+
+TEST(NvmeDriver, IoRetryHonorsRetryAfterHint)
+{
+    Rig rig;
+    std::vector<ms::Tick> starts;
+    rig.ctrl.setHandler([&](const nv::Command &, ms::Tick start) {
+        starts.push_back(start);
+        if (starts.size() < 3) {
+            // Busy bounce carrying a 40 us retry-after hint in DW0.
+            return nv::CommandResult{start + 10,
+                                     nv::Status::kInstanceBusy, 40};
+        }
+        return nv::CommandResult{start + 10, nv::Status::kSuccess, 0};
+    });
+    nv::DriverRecoveryConfig rec;
+    rec.enabled = true;
+    rig.driver.setRecovery(rec);
+    const auto qid = rig.driver.openQueue(8, 0x1000, 0x2000);
+    nv::Command c;
+    c.opcode = nv::Opcode::kFlush;
+    const auto cqe = rig.driver.ioRetry(qid, c, 0);
+    EXPECT_TRUE(cqe.ok());
+    ASSERT_EQ(starts.size(), 3u);
+    EXPECT_EQ(rig.driver.retriesIssued(), 2u);
+    // Each resubmission waited at least the hinted 40 us beyond the
+    // previous attempt's completion.
+    EXPECT_GE(starts[1], starts[0] + 40 * ms::kPsPerUs);
+    EXPECT_GE(starts[2], starts[1] + 40 * ms::kPsPerUs);
+}
+
+TEST(NvmeDriver, IoRetryBacksOffExponentiallyWithoutHint)
+{
+    Rig rig;
+    std::vector<ms::Tick> starts;
+    rig.ctrl.setHandler([&](const nv::Command &, ms::Tick start) {
+        starts.push_back(start);
+        if (starts.size() < 3) {
+            // Media errors carry no retry-after hint (dw0 == 0).
+            return nv::CommandResult{start + 10,
+                                     nv::Status::kMediaError, 0};
+        }
+        return nv::CommandResult{start + 10, nv::Status::kSuccess, 0};
+    });
+    nv::DriverRecoveryConfig rec;
+    rec.enabled = true;
+    rig.driver.setRecovery(rec);
+    const auto qid = rig.driver.openQueue(8, 0x1000, 0x2000);
+    nv::Command c;
+    c.opcode = nv::Opcode::kFlush;
+    const auto cqe = rig.driver.ioRetry(qid, c, 0);
+    EXPECT_TRUE(cqe.ok());
+    ASSERT_EQ(starts.size(), 3u);
+    // The base delay doubles per attempt; +/-25% jitter cannot close a
+    // 2x gap, so inter-attempt spacing must strictly grow.
+    const ms::Tick gap1 = starts[1] - starts[0];
+    const ms::Tick gap2 = starts[2] - starts[1];
+    EXPECT_GT(gap2, gap1);
+}
+
+TEST(NvmeDriver, IoRetryStopsAtBudgetAndOnFatalStatus)
+{
+    Rig rig;
+    int calls = 0;
+    rig.ctrl.setHandler([&](const nv::Command &, ms::Tick start) {
+        ++calls;
+        return nv::CommandResult{start + 10, nv::Status::kMediaError,
+                                 0};
+    });
+    nv::DriverRecoveryConfig rec;
+    rec.enabled = true;
+    rec.maxRetries = 2;
+    rig.driver.setRecovery(rec);
+    const auto qid = rig.driver.openQueue(8, 0x1000, 0x2000);
+    nv::Command c;
+    c.opcode = nv::Opcode::kFlush;
+    const auto cqe = rig.driver.ioRetry(qid, c, 0);
+    EXPECT_EQ(cqe.status, nv::Status::kMediaError);
+    EXPECT_EQ(calls, 3);  // initial + 2 retries
+    EXPECT_EQ(rig.driver.retriesIssued(), 2u);
+
+    // A fatal status is returned immediately, no retry at all.
+    calls = 0;
+    rig.ctrl.setHandler([&](const nv::Command &, ms::Tick start) {
+        ++calls;
+        return nv::CommandResult{start + 10, nv::Status::kAppFault, 0};
+    });
+    const auto fatal = rig.driver.ioRetry(qid, c, 0);
+    EXPECT_EQ(fatal.status, nv::Status::kAppFault);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(NvmeDriver, IoRetryIsPlainIoWithRecoveryDisabled)
+{
+    Rig rig;
+    int calls = 0;
+    rig.ctrl.setHandler([&](const nv::Command &, ms::Tick start) {
+        ++calls;
+        return nv::CommandResult{start + 10, nv::Status::kMediaError,
+                                 0};
+    });
+    const auto qid = rig.driver.openQueue(8, 0x1000, 0x2000);
+    nv::Command c;
+    c.opcode = nv::Opcode::kFlush;
+    const auto cqe = rig.driver.ioRetry(qid, c, 0);
+    EXPECT_EQ(cqe.status, nv::Status::kMediaError);
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(rig.driver.retriesIssued(), 0u);
 }

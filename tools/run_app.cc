@@ -41,7 +41,12 @@ usage()
         "                    [--backend nvme|hdd|ram] [--freq GHZ]\n"
         "                    [--scale S] [--chunk-blocks N] [--seed N]\n"
         "                    [--stats] [--trace FILE.json]\n"
-        "                    [--stats-json FILE]\n");
+        "                    [--stats-json FILE]\n"
+        "                    [--fault-plan key=value,...]\n"
+        "                    [--recovery]\n"
+        "fault plan keys: media, dma, crash, hang, drop (rates),\n"
+        "dma_min, watchdog_us, seed; also read from MORPHEUS_FAULTS.\n"
+        "--recovery enables driver timeouts + bounded retries.\n");
 }
 
 int
@@ -77,6 +82,8 @@ main(int argc, char **argv)
     wk::RunOptions opts;
     opts.mode = wk::ExecutionMode::kBaseline;
     opts.scale = 0.25;
+    // MORPHEUS_FAULTS seeds the plan; --fault-plan overrides it.
+    opts.faults = sim::FaultPlan::fromEnv();
     bool dump_stats = false;
     std::string trace_path;
     std::string stats_json_path;
@@ -128,6 +135,10 @@ main(int argc, char **argv)
                 std::atoll(next("--seed")));
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--fault-plan") {
+            opts.faults = sim::FaultPlan::parse(next("--fault-plan"));
+        } else if (arg == "--recovery") {
+            opts.recovery.enabled = true;
         } else if (arg == "--trace") {
             trace_path = next("--trace");
         } else if (arg == "--stats-json") {
