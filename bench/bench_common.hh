@@ -138,6 +138,71 @@ banner(const char *artifact, const char *claim)
                 benchScale());
 }
 
+/** One secondary metric in a BENCH_<name>.json report. */
+struct BenchMetric
+{
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+};
+
+/** Git revision for BENCH_*.json: MORPHEUS_GIT_REV, then the CI's
+ *  GITHUB_SHA, then "unknown" (the simulator itself never shells out). */
+inline std::string
+benchGitRev()
+{
+    if (const char *rev = std::getenv("MORPHEUS_GIT_REV"))
+        return rev;
+    if (const char *rev = std::getenv("GITHUB_SHA"))
+        return rev;
+    return "unknown";
+}
+
+/**
+ * Write the machine-readable result record `BENCH_<bench>.json` in the
+ * working directory: the headline metric (what the CI regression gate
+ * compares across PRs), the bench scale, the git revision, and any
+ * secondary metrics. Simulated metrics are deterministic, so the same
+ * code at the same scale produces the same file on any machine.
+ */
+inline void
+writeBenchJson(const std::string &bench, const std::string &metric,
+               double value, const std::string &unit,
+               bool higher_is_better,
+               const std::vector<BenchMetric> &extra = {})
+{
+    const std::string path = "BENCH_" + bench + ".json";
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "BENCH json: cannot open %s\n",
+                     path.c_str());
+        return;
+    }
+    char num[64];
+    const auto fmt = [&num](double v) {
+        std::snprintf(num, sizeof(num), "%.17g", v);
+        return num;
+    };
+    os << "{\n"
+       << "  \"bench\": \"" << bench << "\",\n"
+       << "  \"metric\": \"" << metric << "\",\n"
+       << "  \"value\": " << fmt(value) << ",\n"
+       << "  \"unit\": \"" << unit << "\",\n"
+       << "  \"higherIsBetter\": "
+       << (higher_is_better ? "true" : "false") << ",\n"
+       << "  \"scale\": " << fmt(benchScale()) << ",\n"
+       << "  \"gitRev\": \"" << benchGitRev() << "\",\n"
+       << "  \"metrics\": {";
+    for (std::size_t i = 0; i < extra.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ") << "\"" << extra[i].name
+           << "\": {\"value\": " << fmt(extra[i].value)
+           << ", \"unit\": \"" << extra[i].unit << "\"}";
+    }
+    os << (extra.empty() ? "" : "\n  ") << "}\n}\n";
+    std::fprintf(stderr, "BENCH json: %s=%g %s -> %s\n", metric.c_str(),
+                 value, unit.c_str(), path.c_str());
+}
+
 }  // namespace morpheus::bench
 
 #endif  // MORPHEUS_BENCH_BENCH_COMMON_HH

@@ -102,5 +102,13 @@ main()
     std::printf("%-12s %14s %14s %8.2fx\n", "mean", "", "",
                 bench::mean(speedups));
 
+    std::vector<bench::BenchMetric> extra;
+    for (std::size_t i = 0; i < base_rows.size(); ++i)
+        extra.push_back({base_rows[i].app->name + ".speedup",
+                         speedups[i], "x"});
+    bench::writeBenchJson("fig08", "geomeanSpeedup",
+                          bench::geomean(speedups), "x",
+                          /*higher_is_better=*/true, extra);
+
     return traceInvarianceCheck(*base_rows.front().app);
 }

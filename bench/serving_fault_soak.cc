@@ -211,6 +211,23 @@ main()
     repeat_opts.metrics = &repeat_reg;
     (void)wk::runServing(repeat_opts);
 
+    // Run 5: run 2's schedule with the streaming chunk pipeline on.
+    // Readahead, sub-buffer parse, and coalesced flushes overlap the
+    // stages but must not change fault semantics: nothing lost, every
+    // request completed or terminally rejected.
+    obs::MetricsRegistry pipe_reg;
+    wk::ServingOptions pipe_opts = makeOptions(true, true);
+    pipe_opts.sys.ssd.pipeline.enabled = true;
+    pipe_opts.metrics = &pipe_reg;
+    const wk::ServingReport pipe = wk::runServing(pipe_opts);
+    std::fprintf(stderr,
+                 "pipelined: %llu/%llu completed, %llu device "
+                 "failures, p99 %8.1f us\n",
+                 static_cast<unsigned long long>(pipe.completed),
+                 static_cast<unsigned long long>(pipe.submitted),
+                 static_cast<unsigned long long>(pipe.deviceFailures),
+                 pipe.p99Us);
+
     bool ok = true;
     // Availability: with recovery on, nothing is lost — every request
     // either completes (device path or fallback) or is terminally
@@ -244,6 +261,12 @@ main()
     // The ablation proves the faults are load-bearing: without
     // retries/fallback the same schedule loses requests.
     ok &= check(ablate.lost > 0, "ablated run lost nothing");
+    // The pipeline preserves the availability contract under fire.
+    ok &= check(pipe.lost == 0, "pipelined faulted run lost requests");
+    ok &= check(pipe.completed + pipe.rejected == pipe.submitted,
+                "pipelined run: completed+rejected != submitted");
+    ok &= check(pipe.p99Us <= 3.0 * clean.p99Us,
+                "pipelined faulted p99 exceeds 3x fault-free p99");
     // Determinism guards.
     ok &= check(reportString(fault_reg) == reportString(repeat_reg),
                 "faulted rerun not bit-identical");

@@ -200,6 +200,13 @@ main()
                  headline_static_p99, headline_load_p99,
                  ok ? "true" : "false");
 
+    bench::writeBenchJson(
+        "serving_tail_latency", "headlineLoadAwareP99Us",
+        headline_load_p99, "us", /*higher_is_better=*/false,
+        {{"headlineStaticP99Us", headline_static_p99, "us"},
+         {"completedTotal", static_cast<double>(completed_total),
+          "requests"}});
+
     std::fprintf(stderr, "self-check: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
 }

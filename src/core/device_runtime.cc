@@ -232,6 +232,14 @@ MorpheusDeviceRuntime::maybeMigrate(Instance &inst, sim::Tick now,
                state_moved, "isram_reload",
                {trace, inst.tenant, inst.id, inst.codeBytes});
     inst.coreId = to.id();
+    if (inst.readahead.valid) {
+        // The readahead buffer is owned by the firmware context that
+        // just moved: drop it rather than carry per-core prefetch
+        // state across the migration. It holds only schedule state, so
+        // the next chunk simply pays a fresh (fully charged) fetch.
+        inst.readahead = Instance::Readahead{};
+        ++_readaheadDropped;
+    }
 }
 
 nvme::CommandResult
@@ -262,6 +270,9 @@ MorpheusDeviceRuntime::doMRead(const nvme::Command &cmd, sim::Tick start)
         byte_off != inst.expectedByteOff)
         return {start, nvme::Status::kSequenceError, 0};
     _rawBytesIn += valid;
+
+    if (_ssd.config().pipeline.enabled)
+        return mreadPipelined(inst, cmd, byte_off, valid, start);
 
     // Flash -> controller DRAM (timed), then the embedded core parses
     // the chunk out of D-SRAM.
@@ -378,6 +389,276 @@ MorpheusDeviceRuntime::doMRead(const nvme::Command &cmd, sim::Tick start)
     return {done, nvme::Status::kSuccess, 0};
 }
 
+std::vector<std::vector<std::uint8_t>>
+MorpheusDeviceRuntime::coalesceSegments(
+    std::vector<std::vector<std::uint8_t>> segments,
+    std::uint64_t max_bytes)
+{
+    std::vector<std::vector<std::uint8_t>> merged;
+    merged.reserve(segments.size());
+    for (auto &seg : segments) {
+        if (!merged.empty() &&
+            merged.back().size() + seg.size() <= max_bytes) {
+            merged.back().insert(merged.back().end(), seg.begin(),
+                                 seg.end());
+        } else {
+            merged.push_back(std::move(seg));
+        }
+    }
+    return merged;
+}
+
+void
+MorpheusDeviceRuntime::issueReadahead(Instance &inst,
+                                      std::uint64_t byte_off,
+                                      std::uint64_t len,
+                                      sim::Tick earliest,
+                                      obs::TraceId trace)
+{
+    const ssd::PipelineConfig &pl = _ssd.config().pipeline;
+    const std::uint64_t capacity =
+        _ssd.ftl().logicalPages() *
+        static_cast<std::uint64_t>(_ssd.ftl().pageBytes());
+    if (byte_off >= capacity)
+        return;
+    len = std::min(len, pl.readaheadBufferBytes);
+    len = std::min(len, capacity - byte_off);
+    if (len == 0)
+        return;
+    Instance::Readahead ra;
+    ra.fetch = _ssd.fetchToDramPaged(byte_off, len, earliest);
+    ra.media = ra.fetch.mediaError;
+    ra.byteOff = byte_off;
+    ra.len = len;
+    ra.valid = true;
+    if (auto *sink = obs::traceSink()) {
+        obs::Span s;
+        s.track = "ssd.dram";
+        s.name = "readahead";
+        s.category = "ssd";
+        s.begin = earliest;
+        s.end = ra.fetch.allReady;
+        s.trace = trace;
+        s.tenant = inst.tenant;
+        s.instance = inst.id;
+        s.core = inst.coreId;
+        s.bytes = len;
+        sink->record(s);
+    }
+    inst.readahead = std::move(ra);
+    ++_readaheadIssued;
+}
+
+nvme::CommandResult
+MorpheusDeviceRuntime::mreadPipelined(Instance &inst,
+                                      const nvme::Command &cmd,
+                                      std::uint64_t byte_off,
+                                      std::uint64_t valid,
+                                      sim::Tick start)
+{
+    const ssd::PipelineConfig &pl = _ssd.config().pipeline;
+    const std::uint32_t page_bytes = _ssd.ftl().pageBytes();
+
+    // Stage 1 — fetch. The readahead buffer satisfies the chunk when
+    // the prefetch covered this exact origin cleanly; it is consumed
+    // either way, and a poisoned or mismatched prefetch is discarded
+    // (never fed to the parser) in favor of a fresh, fully charged
+    // fetch — which keeps a host resubmission after any failure exact.
+    Instance::Readahead ra = std::move(inst.readahead);
+    inst.readahead = Instance::Readahead{};
+    ssd::PagedFetch fetch;
+    bool readahead_hit = false;
+    if (pl.readahead && ra.valid && !ra.media &&
+        ra.byteOff == byte_off && ra.len >= valid) {
+        fetch = std::move(ra.fetch);
+        readahead_hit = true;
+        ++_readaheadHits;
+    } else {
+        if (ra.valid) {
+            if (ra.media)
+                ++_readaheadMediaDiscards;
+            else
+                ++_readaheadDropped;
+        }
+        fetch = _ssd.fetchToDramPaged(byte_off, valid, start);
+    }
+    const sim::Tick all_ready = std::max(start, fetch.allReady);
+    if (fetch.mediaError) {
+        // Same contract as the serial path: time was charged, nothing
+        // reaches the parser, and the stream cursor pins this chunk so
+        // only its exact resubmission is accepted.
+        inst.expectedByteOff = byte_off;
+        if (auto *sink = obs::traceSink()) {
+            obs::Span s;
+            s.track = "ssd.firmware";
+            s.name = "media_error";
+            s.category = "ssd";
+            s.begin = all_ready;
+            s.end = all_ready;
+            s.instant = true;
+            s.trace = cmd.traceId;
+            s.tenant = inst.tenant;
+            s.instance = inst.id;
+            s.core = inst.coreId;
+            s.status =
+                static_cast<std::uint32_t>(nvme::Status::kMediaError);
+            sink->record(s);
+        }
+        return {all_ready, nvme::Status::kMediaError, 0};
+    }
+    if (auto *sink = obs::traceSink()) {
+        obs::Span s;
+        s.track = "ssd.dram";
+        s.name = readahead_hit ? "fetch_readahead" : "fetch";
+        s.category = "ssd";
+        s.begin = start;
+        s.end = all_ready;
+        s.trace = cmd.traceId;
+        s.tenant = inst.tenant;
+        s.instance = inst.id;
+        s.core = inst.coreId;
+        s.bytes = valid;
+        sink->record(s);
+    }
+    std::vector<std::uint8_t> chunk = _ssd.peekBytes(byte_off, valid);
+
+    // Tick the sub-buffer ending at chunk-relative byte @p end_rel is
+    // buffered in controller DRAM (pageReady is non-decreasing, so the
+    // last covered page dominates). Readahead ticks may lie before the
+    // command's arrival — the pages are simply already resident.
+    const auto ready_at = [&](std::uint64_t end_rel) {
+        const std::uint64_t page =
+            (byte_off + end_rel - 1) / page_bytes - fetch.firstPage;
+        return std::max(start, fetch.pageReady[page]);
+    };
+
+    // App-fault injection: same draws as the serial path, so each
+    // schedule depends only on its own event sequence.
+    bool app_hang = false;
+    bool app_crash = false;
+    if (auto *fi = sim::faultInjector()) {
+        app_hang = fi->appHang();
+        app_crash = fi->appCrash();
+    }
+    ssd::EmbeddedCore *core_ptr = &_ssd.core(inst.coreId);
+    if (app_hang) {
+        // The app is dispatched at the first sub-buffer's arrival and
+        // spins; the controller watchdog reclaims the core.
+        auto *fi = sim::faultInjector();
+        const sim::Tick dispatched = std::max(start, fetch.firstReady);
+        const sim::Tick deadline =
+            core_ptr->seize(dispatched, fi->plan().watchdogTicks);
+        if (auto *sink = obs::traceSink()) {
+            obs::Span s;
+            s.track = core_ptr->timeline().name();
+            s.name = "hang";
+            s.category = "ssd";
+            s.begin = dispatched;
+            s.end = deadline;
+            s.trace = cmd.traceId;
+            s.tenant = inst.tenant;
+            s.instance = inst.id;
+            s.core = inst.coreId;
+            sink->record(s);
+            obs::Span k;
+            k.track = "ssd.firmware";
+            k.name = "watchdog_kill";
+            k.category = "ssd";
+            k.begin = deadline;
+            k.end = deadline;
+            k.instant = true;
+            k.trace = cmd.traceId;
+            k.tenant = inst.tenant;
+            k.instance = inst.id;
+            sink->record(k);
+        }
+        fi->noteWatchdogKill();
+        watchdogKill(cmd.instanceId);
+        return {deadline, nvme::Status::kAppFault, 0,
+                /*dropped=*/true};
+    }
+    inst.expectedByteOff = byte_off + valid;
+
+    // Stage 2 — double-buffered parse. Sub-buffers are sized from the
+    // instance's partitioned grant (two in-flight sub-buffers plus the
+    // staging/carry share it, hence the quarter), so parse(sub_i)
+    // starts at sub_i's last page arrival instead of the chunk's.
+    // ParseCost is linear, so the per-sub-buffer deltas sum to the
+    // serial path's total and cost accounting is unchanged.
+    const std::uint32_t dsram = inst.dsramGranted
+                                    ? inst.dsramGranted
+                                    : core_ptr->config().dsramBytes;
+    std::uint64_t sub_bytes = valid;
+    if (pl.doubleBuffer)
+        sub_bytes = std::max<std::uint64_t>(page_bytes, dsram / 4);
+
+    sim::Tick parsed = start;
+    sim::Tick dma_done = start;
+    std::uint64_t pos = 0;
+    bool first = true;
+    while (pos < valid) {
+        const std::uint64_t take = std::min(sub_bytes, valid - pos);
+        std::vector<std::uint8_t> sub(
+            chunk.begin() + static_cast<std::ptrdiff_t>(pos),
+            chunk.begin() + static_cast<std::ptrdiff_t>(pos + take));
+        const sim::Tick ready = ready_at(pos + take);
+        inst.ctx->feedChunk(std::move(sub));
+        if (app_crash) {
+            // The app dies in its first sub-buffer: drop the partial
+            // staging, charge the aborted work to this command once,
+            // and poison the instance (serial-path semantics).
+            inst.app->processChunk(*inst.ctx);
+            const serde::ParseCost aborted = inst.ctx->abortCommand();
+            const sim::Tick done = core_ptr->execute(
+                core_ptr->config().parseCycles(aborted) +
+                    core_ptr->config().cyclesPerCommand,
+                std::max(ready, parsed), "crash",
+                {cmd.traceId, inst.tenant, inst.id, take});
+            inst.poisoned = true;
+            return {done, nvme::Status::kAppFault, 0};
+        }
+        inst.app->processChunk(*inst.ctx);
+        const serde::ParseCost delta = inst.ctx->takeCostDelta();
+        auto flushes = inst.ctx->takeFlushes();
+        if (pl.coalesceFlush) {
+            const std::size_t raw = flushes.size();
+            flushes = coalesceSegments(std::move(flushes),
+                                       pl.maxDescriptorBytes);
+            _flushSegmentsCoalesced += raw - flushes.size();
+        }
+        const double cycles =
+            core_ptr->config().parseCycles(delta) +
+            (first ? core_ptr->config().cyclesPerCommand : 0.0) +
+            core_ptr->config().cyclesPerFlush *
+                static_cast<double>(flushes.size());
+        // max(ready, parsed): the parse is a sequential stream, so
+        // sub_i may not start before sub_{i-1} finished even when its
+        // data landed earlier.
+        parsed = core_ptr->execute(
+            cycles, std::max(ready, parsed), "parse",
+            {cmd.traceId, inst.tenant, inst.id, take});
+        // Stage 3 — sub_i's flush DMA proceeds while sub_{i+1}
+        // parses; only the command completion waits for the last DMA.
+        dma_done = std::max(dma_done,
+                            drainFlushes(inst, std::move(flushes),
+                                         parsed, cmd.traceId));
+        ++_subBuffersParsed;
+        pos += take;
+        first = false;
+    }
+    ++inst.chunksProcessed;
+
+    // Prefetch the next chunk's pages. Issued at this command's start:
+    // the die/channel timelines queue the prefetch behind this chunk's
+    // own reads wherever they contend, so it streams in under the
+    // parse that is still running and never delays data a deeper queue
+    // would have fetched on its own.
+    if (pl.readahead)
+        issueReadahead(inst, byte_off + valid, valid, start,
+                       cmd.traceId);
+    return {std::max(parsed, dma_done), nvme::Status::kSuccess, 0};
+}
+
 nvme::CommandResult
 MorpheusDeviceRuntime::doMWrite(const nvme::Command &cmd, sim::Tick start)
 {
@@ -445,7 +726,19 @@ MorpheusDeviceRuntime::doMWrite(const nvme::Command &cmd, sim::Tick start)
     }
     inst.ctx->flushResidual();
     sim::Tick done = serialized;
-    for (auto &seg : inst.ctx->takeFlushes()) {
+    auto segments = inst.ctx->takeFlushes();
+    const ssd::PipelineConfig &pl = _ssd.config().pipeline;
+    if (pl.enabled && pl.coalesceFlush) {
+        // Stage 3 for the write path: successive segments land behind
+        // each other on flash (the region cursor advances segment by
+        // segment), so merging them saves the page read-modify-write
+        // at every seam.
+        const std::size_t raw = segments.size();
+        segments =
+            coalesceSegments(std::move(segments), pl.maxDescriptorBytes);
+        _flushSegmentsCoalesced += raw - segments.size();
+    }
+    for (auto &seg : segments) {
         const std::uint64_t dst =
             inst.writeSlba * nvme::kBlockBytes + inst.writeCursor;
         done = _ssd.storeFromDram(dst, seg, done);
@@ -491,6 +784,13 @@ MorpheusDeviceRuntime::doMDeinit(const nvme::Command &cmd,
     ssd::EmbeddedCore &core = _ssd.core(inst.coreId);
     const serde::ParseCost delta = inst.ctx->takeCostDelta();
     auto flushes = inst.ctx->takeFlushes();
+    const ssd::PipelineConfig &pl = _ssd.config().pipeline;
+    if (pl.enabled && pl.coalesceFlush) {
+        const std::size_t raw = flushes.size();
+        flushes =
+            coalesceSegments(std::move(flushes), pl.maxDescriptorBytes);
+        _flushSegmentsCoalesced += raw - flushes.size();
+    }
     const sim::Tick parsed = core.execute(
         core.config().parseCycles(delta) +
             core.config().cyclesPerCommand +
@@ -537,6 +837,18 @@ MorpheusDeviceRuntime::registerStats(sim::stats::StatSet &set,
     set.registerCounter(prefix + ".mdeinits", &_mdeinits);
     set.registerCounter(prefix + ".objectBytesOut", &_objectBytes);
     set.registerCounter(prefix + ".rawBytesIn", &_rawBytesIn);
+    set.registerCounter(prefix + ".pipeline.readaheadIssued",
+                        &_readaheadIssued);
+    set.registerCounter(prefix + ".pipeline.readaheadHits",
+                        &_readaheadHits);
+    set.registerCounter(prefix + ".pipeline.readaheadMediaDiscards",
+                        &_readaheadMediaDiscards);
+    set.registerCounter(prefix + ".pipeline.readaheadDropped",
+                        &_readaheadDropped);
+    set.registerCounter(prefix + ".pipeline.subBuffersParsed",
+                        &_subBuffersParsed);
+    set.registerCounter(prefix + ".pipeline.flushSegmentsCoalesced",
+                        &_flushSegmentsCoalesced);
 }
 
 }  // namespace morpheus::core

@@ -79,6 +79,32 @@ class MorpheusDeviceRuntime : public ssd::MorpheusEngine
     /** Number of live instances (for tests). */
     std::size_t liveInstances() const { return _instances.size(); }
 
+    // Streaming-pipeline observability (tests + tools).
+    std::uint64_t readaheadIssued() const
+    {
+        return _readaheadIssued.value();
+    }
+    std::uint64_t readaheadHits() const
+    {
+        return _readaheadHits.value();
+    }
+    std::uint64_t readaheadMediaDiscards() const
+    {
+        return _readaheadMediaDiscards.value();
+    }
+    std::uint64_t readaheadDropped() const
+    {
+        return _readaheadDropped.value();
+    }
+    std::uint64_t subBuffersParsed() const
+    {
+        return _subBuffersParsed.value();
+    }
+    std::uint64_t flushSegmentsCoalesced() const
+    {
+        return _flushSegmentsCoalesced.value();
+    }
+
     void registerStats(sim::stats::StatSet &set,
                        const std::string &prefix) const;
 
@@ -114,12 +140,67 @@ class MorpheusDeviceRuntime : public ssd::MorpheusEngine
          *  data command bounces with kAppFault; MDEINIT tears the
          *  instance down without running the app's finish hooks. */
         bool poisoned = false;
+        /**
+         * Streaming-pipeline readahead (DESIGN.md §11): timing of the
+         * next chunk's prefetched flash pages. Pure schedule state —
+         * functional bytes always come from peekBytes at MREAD time,
+         * so discarding the buffer only costs a re-fetch. A prefetch
+         * that drew an uncorrectable page is marked `media` and is
+         * discarded on use, never fed to the parser.
+         */
+        struct Readahead
+        {
+            bool valid = false;
+            bool media = false;
+            std::uint64_t byteOff = 0;
+            std::uint64_t len = 0;
+            ssd::PagedFetch fetch;
+        };
+        Readahead readahead;
     };
 
     nvme::CommandResult doMInit(const nvme::Command &cmd,
                                 sim::Tick start);
     nvme::CommandResult doMRead(const nvme::Command &cmd,
                                 sim::Tick start);
+
+    /**
+     * Pipelined MREAD data path (SsdConfig::pipeline.enabled): chunk
+     * timing comes from the instance's readahead buffer when the
+     * prefetch covered this range cleanly, the chunk is parsed in
+     * D-SRAM-sized sub-buffers so parse(sub_i) overlaps fetch and
+     * flush DMA of its neighbours, and contiguous flush segments are
+     * coalesced into bounded DMA descriptors. Functional results and
+     * ParseCost cycle totals match the serial path; only the schedule
+     * differs. Called by doMRead after the common admission checks
+     * (instance lookup, poison, migration, sequence guard).
+     */
+    nvme::CommandResult mreadPipelined(Instance &inst,
+                                       const nvme::Command &cmd,
+                                       std::uint64_t byte_off,
+                                       std::uint64_t valid,
+                                       sim::Tick start);
+
+    /**
+     * Issue the next chunk's flash page reads into the bounded
+     * controller-DRAM readahead buffer, starting no earlier than
+     * @p earliest (the tick the current chunk's fetch drained, so the
+     * prefetch runs under the current chunk's parse). Clamped to
+     * device capacity and PipelineConfig::readaheadBufferBytes.
+     */
+    void issueReadahead(Instance &inst, std::uint64_t byte_off,
+                        std::uint64_t len, sim::Tick earliest,
+                        obs::TraceId trace);
+
+    /**
+     * Merge address-contiguous flush segments (they are contiguous by
+     * construction: the DMA cursor advances segment by segment) into
+     * descriptors of at most @p max_bytes. One cyclesPerFlush and one
+     * outbound DMA are charged per merged descriptor.
+     */
+    static std::vector<std::vector<std::uint8_t>>
+    coalesceSegments(std::vector<std::vector<std::uint8_t>> segments,
+                     std::uint64_t max_bytes);
     nvme::CommandResult doMWrite(const nvme::Command &cmd,
                                  sim::Tick start);
     nvme::CommandResult doMDeinit(const nvme::Command &cmd,
@@ -158,6 +239,17 @@ class MorpheusDeviceRuntime : public ssd::MorpheusEngine
     sim::stats::Counter _mdeinits;
     sim::stats::Counter _objectBytes;
     sim::stats::Counter _rawBytesIn;
+
+    // Streaming-pipeline counters (DESIGN.md §11).
+    sim::stats::Counter _readaheadIssued;
+    sim::stats::Counter _readaheadHits;
+    /** Prefetches discarded because a page came back uncorrectable. */
+    sim::stats::Counter _readaheadMediaDiscards;
+    /** Prefetches dropped (migration, or a mismatched next chunk). */
+    sim::stats::Counter _readaheadDropped;
+    sim::stats::Counter _subBuffersParsed;
+    /** Flush segments absorbed into a preceding DMA descriptor. */
+    sim::stats::Counter _flushSegmentsCoalesced;
 };
 
 }  // namespace morpheus::core

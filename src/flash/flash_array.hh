@@ -54,7 +54,10 @@ class FlashArray
      *                 consumes the access either way). Never written
      *                 when no injector is installed.
      * @return Completion tick (known eagerly: timelines reserve at
-     *         issue time).
+     *         issue time). This per-page tick is the contract the
+     *         streaming pipeline builds on: the FTL forwards it per
+     *         page (Ftl::readPages page_ticks), so a chunk's consumer
+     *         can start at the first page's arrival, not the last's.
      */
     sim::Tick read(const PagePointer &addr, sim::Tick earliest,
                    ReadCallback cb = nullptr,

@@ -105,7 +105,8 @@ Ftl::peekPage(std::uint64_t lpn) const
 
 sim::Tick
 Ftl::readPages(std::uint64_t lpn, std::uint32_t count, sim::Tick earliest,
-               ReadCallback cb, bool *media_error)
+               ReadCallback cb, bool *media_error,
+               std::vector<sim::Tick> *page_ticks)
 {
     MORPHEUS_ASSERT(count > 0, "zero-length FTL read");
     MORPHEUS_ASSERT(lpn + count <= _logicalPages,
@@ -113,11 +114,16 @@ Ftl::readPages(std::uint64_t lpn, std::uint32_t count, sim::Tick earliest,
                     " count=", count);
     const auto &fc = _array.config();
 
+    if (page_ticks) {
+        page_ticks->clear();
+        page_ticks->reserve(count);
+    }
     std::vector<std::uint8_t> out;
     out.reserve(static_cast<std::size_t>(count) * fc.pageBytes);
     sim::Tick done = earliest;
     for (std::uint32_t i = 0; i < count; ++i) {
         const auto data = peekPage(lpn + i);
+        sim::Tick page_done = earliest;
         if (isMapped(lpn + i)) {
             // Charge the flash read; data content was fetched above.
             const auto it = _map.find(lpn + i);
@@ -133,10 +139,12 @@ Ftl::readPages(std::uint64_t lpn, std::uint32_t count, sim::Tick earliest,
             addr.die = static_cast<unsigned>(rest % fc.diesPerChannel);
             rest /= fc.diesPerChannel;
             addr.channel = static_cast<unsigned>(rest);
-            done = std::max(done,
-                            _array.read(addr, earliest, nullptr,
-                                        media_error));
+            page_done =
+                _array.read(addr, earliest, nullptr, media_error);
+            done = std::max(done, page_done);
         }
+        if (page_ticks)
+            page_ticks->push_back(page_done);
         out.insert(out.end(), data.begin(), data.end());
         ++_hostReads;
     }

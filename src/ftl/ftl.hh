@@ -67,12 +67,17 @@ class Ftl
      * @param media_error  Optional fault-injection out-param: set true
      *         when any constituent flash page read comes back
      *         uncorrectable (time for every page is still charged).
+     * @param page_ticks   Optional out-param: per-page flash completion
+     *         ticks, in LPN order (unmapped pages complete at
+     *         @p earliest). Lets the streaming pipeline start consuming
+     *         at the first page's arrival instead of the last's.
      * @return Completion tick; @p cb (optional) fires then with the
      *         concatenated data.
      */
     sim::Tick readPages(std::uint64_t lpn, std::uint32_t count,
                         sim::Tick earliest, ReadCallback cb = nullptr,
-                        bool *media_error = nullptr);
+                        bool *media_error = nullptr,
+                        std::vector<sim::Tick> *page_ticks = nullptr);
 
     /**
      * Write logical pages starting at @p lpn. @p data is padded to a

@@ -53,9 +53,17 @@ class CoreDispatcher
      * Pick the core for a new instance (MINIT). @p dsram_needed is the
      * instance's scratchpad grant (0 = unpartitioned): cores that can
      * hold it are preferred over cores that would bounce the MINIT.
+     * @p declared_bytes is the stream length the MINIT declared
+     * in-band (SLBA); with SchedConfig::backlogAwarePlacement it packs
+     * instances by pending bytes instead of resident count.
      */
     unsigned placeInstance(std::uint32_t instance, sim::Tick now,
-                           std::uint32_t dsram_needed = 0);
+                           std::uint32_t dsram_needed = 0,
+                           std::uint64_t declared_bytes = 0);
+
+    /** A data command served @p bytes of @p instance's declared
+     *  stream: drain the per-core pending-bytes packing signal. */
+    void noteServedBytes(std::uint32_t instance, std::uint64_t bytes);
 
     /** Core serving the next chunk; may carry a migration decision. */
     struct ChunkPlacement
@@ -86,6 +94,12 @@ class CoreDispatcher
     /** Live instances currently assigned to @p core. */
     unsigned residents(unsigned core) const { return _residents.at(core); }
 
+    /** Declared-but-unserved bytes pending on @p core. */
+    std::uint64_t pendingBytes(unsigned core) const
+    {
+        return _pendingBytes.at(core);
+    }
+
     std::uint64_t placements() const { return _placements.value(); }
     std::uint64_t migrations() const { return _migrations.value(); }
 
@@ -109,7 +123,12 @@ class CoreDispatcher
     /** Scratchpad grant each instance was placed with (packing + the
      *  migration fit check). */
     std::unordered_map<std::uint32_t, std::uint32_t> _dsramOf;
+    /** Declared stream bytes not yet served, per instance; follows the
+     *  instance across migrations and drains via noteServedBytes(). */
+    std::unordered_map<std::uint32_t, std::uint64_t> _bytesOf;
     std::vector<unsigned> _residents;
+    /** Sum of _bytesOf over each core's residents. */
+    std::vector<std::uint64_t> _pendingBytes;
 
     sim::stats::Counter _placements;
     sim::stats::Counter _migrations;

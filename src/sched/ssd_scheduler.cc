@@ -133,6 +133,9 @@ SsdScheduler::onCommandDone(const nvme::Command &cmd, sim::Tick start,
             const std::uint64_t bytes =
                 cmd.cdw13 ? cmd.cdw13 : cmd.dataBytes();
             _arbiter.onDataDone(bytes, start, result.done);
+            // Drain the dispatcher's per-core pending-bytes packing
+            // signal in step with the arbiter's declared backlog.
+            _dispatcher.noteServedBytes(cmd.instanceId, bytes);
         }
         break;
       case nvme::Opcode::kMDeinit:

@@ -154,6 +154,13 @@ TenantArbiter::backlogOf(std::uint32_t tenant_id) const
     return it == _tenants.end() ? 0 : it->second.backlogBytes;
 }
 
+std::uint64_t
+TenantArbiter::declaredBacklog(std::uint32_t instance) const
+{
+    const auto it = _instanceBacklog.find(instance);
+    return it == _instanceBacklog.end() ? 0 : it->second;
+}
+
 std::uint32_t
 TenantArbiter::retryAfterHintUs() const
 {

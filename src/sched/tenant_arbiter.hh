@@ -95,6 +95,11 @@ class TenantArbiter
     /** Declared-but-unserved bytes of @p tenant (for tests). */
     std::int64_t backlogOf(std::uint32_t tenant) const;
 
+    /** Declared-but-unserved bytes of one instance (0 when unknown) —
+     *  the in-band MINIT SLBA declaration minus the data commands seen
+     *  since, the placement signal behind backlogAwarePlacement. */
+    std::uint64_t declaredBacklog(std::uint32_t instance) const;
+
     /**
      * NVMe-style retry-after hint, in microseconds, for a bounced
      * command (kInstanceBusy / kDsramExhausted). Estimates when device

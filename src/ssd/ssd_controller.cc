@@ -35,9 +35,11 @@ SsdController::coreFor(std::uint32_t instance_id, sim::Tick now,
 {
     // Paper §IV-B statically sends all packets with one instance ID to
     // core `id % numCores`; the dispatcher generalizes that to the
-    // configured placement policy.
-    return *_cores[_sched->dispatcher().placeInstance(instance_id, now,
-                                                      dsram_needed)];
+    // configured placement policy. The stream length the MINIT
+    // declared in-band (SLBA) rides along as the byte-packing signal.
+    return *_cores[_sched->dispatcher().placeInstance(
+        instance_id, now, dsram_needed,
+        _sched->arbiter().declaredBacklog(instance_id))];
 }
 
 std::uint64_t
@@ -84,6 +86,49 @@ SsdController::fetchToDram(std::uint64_t byte_offset, std::uint64_t len,
         _ftl->readPages(first, count, earliest, nullptr, media_error);
     // Buffer the payload through controller DRAM.
     return dramTransfer(len, flash_done);
+}
+
+PagedFetch
+SsdController::fetchToDramPaged(std::uint64_t byte_offset,
+                                std::uint64_t len, sim::Tick earliest)
+{
+    PagedFetch fetch;
+    fetch.firstReady = earliest;
+    fetch.allReady = earliest;
+    if (len == 0)
+        return fetch;
+    const std::uint32_t page_bytes = _ftl->pageBytes();
+    const std::uint64_t first = byte_offset / page_bytes;
+    const std::uint64_t last = (byte_offset + len - 1) / page_bytes;
+    const auto count = static_cast<std::uint32_t>(last - first + 1);
+    fetch.firstPage = first;
+
+    std::vector<sim::Tick> flash_ticks;
+    bool media = false;
+    _ftl->readPages(first, count, earliest, nullptr, &media,
+                    &flash_ticks);
+    fetch.mediaError = media;
+
+    // Buffer each page through controller DRAM in logical order (the
+    // parse consumes a sequential byte stream): page i's transfer
+    // starts once its flash read lands and the DRAM port has drained
+    // page i-1. Charge each page's in-range bytes so the total DRAM
+    // occupancy matches the unpaged path.
+    fetch.pageReady.reserve(count);
+    sim::Tick buffered = earliest;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint64_t page_begin = (first + i) * page_bytes;
+        const std::uint64_t lo =
+            std::max<std::uint64_t>(page_begin, byte_offset);
+        const std::uint64_t hi = std::min<std::uint64_t>(
+            page_begin + page_bytes, byte_offset + len);
+        buffered = dramTransfer(hi - lo,
+                                std::max(flash_ticks[i], buffered));
+        fetch.pageReady.push_back(buffered);
+    }
+    fetch.firstReady = fetch.pageReady.front();
+    fetch.allReady = fetch.pageReady.back();
+    return fetch;
 }
 
 sim::Tick

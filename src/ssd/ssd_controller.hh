@@ -26,6 +26,30 @@
 
 namespace morpheus::ssd {
 
+/**
+ * Streaming chunk pipeline knobs (DESIGN.md §11). All stages are off
+ * by default so every existing figure reproduces unchanged; with
+ * `enabled` set, the firmware overlaps flash readahead, sub-buffer
+ * parsing, and outbound flush DMA on the MREAD path. The pipeline is a
+ * pure schedule change: functional results and the ParseCost cycle
+ * totals are identical either way.
+ */
+struct PipelineConfig
+{
+    /** Master switch for the pipelined MREAD/MWRITE data path. */
+    bool enabled = false;
+    /** Prefetch the next chunk's flash pages while this one parses. */
+    bool readahead = true;
+    /** Bound on controller-DRAM bytes a prefetch may occupy. */
+    std::uint64_t readaheadBufferBytes = 256 * 1024;
+    /** Interleave parse(sub_i) with fetch(sub_{i+1}) within a chunk. */
+    bool doubleBuffer = true;
+    /** Merge address-contiguous flush segments into one descriptor. */
+    bool coalesceFlush = true;
+    /** Largest coalesced outbound DMA descriptor. */
+    std::uint64_t maxDescriptorBytes = 128 * 1024;
+};
+
 /** Device-level parameters beyond the flash/FTL configs. */
 struct SsdConfig
 {
@@ -35,10 +59,28 @@ struct SsdConfig
     EmbeddedCoreConfig core;
     unsigned numCores = 4;
     sched::SchedConfig sched;
+    PipelineConfig pipeline;
 
     /** Controller DRAM (buffers + FTL tables). */
     std::uint64_t dramBytes = 2ULL * sim::kGiB;
     double dramBytesPerSec = 6.4 * sim::kGBps;  // DDR3-800 x64
+};
+
+/**
+ * Timing of a paged (pipelined) flash fetch: per-page DRAM-buffered
+ * completion ticks, so a consumer can start on the first page's
+ * arrival instead of the last's. Pages are buffered in logical order
+ * (the parse is a sequential stream), so pageReady is non-decreasing.
+ */
+struct PagedFetch
+{
+    /** Tick each covered page is buffered in controller DRAM. */
+    std::vector<sim::Tick> pageReady;
+    /** First covered logical page (byte_offset / pageBytes). */
+    std::uint64_t firstPage = 0;
+    sim::Tick firstReady = 0;  ///< pageReady.front() (or earliest).
+    sim::Tick allReady = 0;    ///< pageReady.back() (or earliest).
+    bool mediaError = false;
 };
 
 /** Extension hook for the Morpheus opcodes (implemented in core/). */
@@ -110,6 +152,16 @@ class SsdController
     sim::Tick fetchToDram(std::uint64_t byte_offset, std::uint64_t len,
                           sim::Tick earliest,
                           bool *media_error = nullptr);
+
+    /**
+     * Timed flash fetch like fetchToDram(), but returns per-page
+     * DRAM-buffered completion ticks so the caller can overlap
+     * consumption with the tail of the fetch (the streaming pipeline's
+     * readahead and double-buffered parse stages). Total DRAM
+     * occupancy matches fetchToDram() up to per-page rounding.
+     */
+    PagedFetch fetchToDramPaged(std::uint64_t byte_offset,
+                                std::uint64_t len, sim::Tick earliest);
 
     /**
      * Device-side recovery for an outbound (device -> host/GPU) DMA:

@@ -393,6 +393,7 @@ runWorkload(const AppSpec &app, const RunOptions &opts)
     if (opts.collectStats || opts.metrics != nullptr) {
         sim::stats::StatSet set;
         sys.registerStats(set);
+        device.registerStats(set, "morpheus");
         if (opts.collectStats) {
             std::ostringstream os;
             set.report(os);

@@ -210,20 +210,38 @@ runServing(const ServingOptions &opts)
         }
     }
 
-    // ---- generate the open-loop trace --------------------------------
+    // ---- generate the request trace ----------------------------------
     std::vector<Request> requests;
-    for (unsigned ti = 0; ti < opts.tenants.size(); ++ti) {
-        sim::Rng rng(opts.seed * 1000003u + opts.tenants[ti].id);
-        auto trace = genArrivals(opts, ti, rng);
-        requests.insert(requests.end(), trace.begin(), trace.end());
+    if (opts.closedLoop) {
+        // Closed loop: the size-class draws are fixed up front (so the
+        // run is deterministic in the seed), but arrival times are
+        // assigned at issue — each tenant's next request starts when
+        // one of its in-flight requests finishes.
+        for (unsigned ti = 0; ti < opts.tenants.size(); ++ti) {
+            sim::Rng rng(opts.seed * 1000003u + opts.tenants[ti].id);
+            for (std::uint64_t n = 0; n < opts.closedLoopRequests;
+                 ++n) {
+                Request r;
+                r.tenantIdx = ti;
+                r.classIdx = drawClass(opts.tenants[ti], rng);
+                requests.push_back(r);
+            }
+        }
+    } else {
+        for (unsigned ti = 0; ti < opts.tenants.size(); ++ti) {
+            sim::Rng rng(opts.seed * 1000003u + opts.tenants[ti].id);
+            auto trace = genArrivals(opts, ti, rng);
+            requests.insert(requests.end(), trace.begin(), trace.end());
+        }
+        // Arrivals start after ingest so admission sees a settled
+        // device.
+        for (Request &r : requests)
+            r.arrival += ingest_done;
+        std::stable_sort(requests.begin(), requests.end(),
+                         [](const Request &a, const Request &b) {
+                             return a.arrival < b.arrival;
+                         });
     }
-    // Arrivals start after ingest so admission sees a settled device.
-    for (Request &r : requests)
-        r.arrival += ingest_done;
-    std::stable_sort(requests.begin(), requests.end(),
-                     [](const Request &a, const Request &b) {
-                         return a.arrival < b.arrival;
-                     });
 
     const core::StorageAppImage &image =
         imageFor(ObjectKind::kIntArray, images);
@@ -243,8 +261,38 @@ runServing(const ServingOptions &opts)
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
         events;
     std::uint64_t seq = 0;
-    for (unsigned i = 0; i < requests.size(); ++i)
-        events.push(Event{requests[i].arrival, seq++, Event::kArrival, i});
+
+    // Closed-loop issue bookkeeping: each tenant's request indices in
+    // issue order, and the cursor to its next unissued request.
+    std::vector<std::vector<unsigned>> loop_queue(opts.tenants.size());
+    std::vector<std::size_t> loop_next(opts.tenants.size(), 0);
+    if (opts.closedLoop) {
+        for (unsigned i = 0; i < requests.size(); ++i)
+            loop_queue[requests[i].tenantIdx].push_back(i);
+    }
+    // Issue the tenant's next request at @p when (closed loop only;
+    // called from every terminal outcome so the in-flight count stays
+    // at the configured concurrency until the quota runs out).
+    auto issue_next = [&](unsigned tenant_idx, sim::Tick when) {
+        if (!opts.closedLoop)
+            return;
+        std::size_t &cursor = loop_next[tenant_idx];
+        if (cursor >= loop_queue[tenant_idx].size())
+            return;
+        const unsigned req_idx = loop_queue[tenant_idx][cursor++];
+        requests[req_idx].arrival = when;
+        events.push(Event{when, seq++, Event::kArrival, req_idx});
+    };
+
+    if (opts.closedLoop) {
+        for (unsigned ti = 0; ti < opts.tenants.size(); ++ti)
+            for (unsigned c = 0; c < opts.closedLoopConcurrency; ++c)
+                issue_next(ti, ingest_done);
+    } else {
+        for (unsigned i = 0; i < requests.size(); ++i)
+            events.push(
+                Event{requests[i].arrival, seq++, Event::kArrival, i});
+    }
 
     std::vector<ActiveSession> active;
     std::vector<unsigned> free_slots;
@@ -322,6 +370,7 @@ runServing(const ServingOptions &opts)
         out.servedBytes = cls.objectBytes;
         last_done = std::max(last_done, cpu_cursor);
         release_parked(cpu_cursor);
+        issue_next(req.tenantIdx, cpu_cursor);
     };
 
     // A device-path attempt for req_idx failed terminally at `when`.
@@ -343,9 +392,12 @@ runServing(const ServingOptions &opts)
             // Rescue the request on the host path: completion stays
             // at 100% even while the device is faulting.
             fallback_request(req_idx, when);
+        } else {
+            // The recovery-off ablation: the request is lost (neither
+            // completed nor rejected) — still a terminal outcome for
+            // the closed loop's in-flight accounting.
+            issue_next(req.tenantIdx, when);
         }
-        // breakerThreshold == 0: the recovery-off ablation — the
-        // request is lost (neither completed nor rejected).
     };
 
     auto start_request = [&](unsigned req_idx, sim::Tick when) {
@@ -403,6 +455,7 @@ runServing(const ServingOptions &opts)
             } else {
                 outcomes[req_idx].rejected = true;
                 last_done = std::max(last_done, s.result.done);
+                issue_next(req.tenantIdx, s.result.done);
             }
             return;
         }
@@ -460,6 +513,7 @@ runServing(const ServingOptions &opts)
         out.servedBytes = result.objectBytes;
         last_done = std::max(last_done, result.done);
         release_parked(result.done);
+        issue_next(requests[req_idx].tenantIdx, result.done);
     }
     MORPHEUS_ASSERT(parked.empty(),
                     "parked requests with no active session left");
@@ -469,7 +523,8 @@ runServing(const ServingOptions &opts)
     sim::stats::Histogram all_lat(0.0, kLatHiUs, kLatBuckets);
     std::vector<double> fairness_x;
     sim::Tick first_arrival =
-        requests.empty() ? ingest_done : requests.front().arrival;
+        opts.closedLoop || requests.empty() ? ingest_done
+                                            : requests.front().arrival;
 
     for (unsigned ti = 0; ti < opts.tenants.size(); ++ti) {
         const TenantSpec &tenant = opts.tenants[ti];
@@ -551,6 +606,7 @@ runServing(const ServingOptions &opts)
         obs::MetricsRegistry &reg = *opts.metrics;
         sim::stats::StatSet set;
         sys.registerStats(set);
+        device.registerStats(set, "morpheus");
         reg.absorb(set, "sys.");
         for (const TenantReport &tr : report.tenants) {
             const std::string p =

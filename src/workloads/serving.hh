@@ -7,7 +7,10 @@
  * requests at Poisson (or bursty on/off) arrival times, independent of
  * completions — the open-loop discipline of serving benchmarks, so
  * queueing delay shows up in the measured latency instead of being
- * absorbed by a closed loop's self-throttling.
+ * absorbed by a closed loop's self-throttling. A closed-loop mode
+ * (ServingOptions::closedLoop) provides that complementary discipline
+ * explicitly: fixed per-tenant concurrency, next request issued on
+ * completion, for throughput-vs-latency saturation sweeps.
  *
  * Each request is one invocation of the int-array deserializer over a
  * pre-ingested file drawn from a heavy-tailed size mix. Requests are
@@ -53,7 +56,23 @@ struct ServingOptions
     double durationSec = 0.02;
     std::uint64_t seed = 1;
 
-    /** On/off burst modulation instead of plain Poisson. */
+    /**
+     * Closed-loop mode: instead of the open-loop Poisson trace, each
+     * tenant keeps a fixed number of requests in flight and issues the
+     * next one the moment one finishes — the self-throttling
+     * throughput-vs-latency discipline of closed-loop load generators
+     * (queueing never builds beyond the concurrency, so the report's
+     * throughputPerSec and percentiles trace the saturation curve as
+     * closedLoopConcurrency sweeps). durationSec is ignored; every
+     * tenant issues exactly closedLoopRequests requests.
+     */
+    bool closedLoop = false;
+    /** Requests each tenant keeps in flight (closed loop). */
+    unsigned closedLoopConcurrency = 4;
+    /** Requests each tenant issues in total (closed loop). */
+    std::uint64_t closedLoopRequests = 64;
+
+    /** On/off burst modulation instead of plain Poisson (open loop). */
     bool bursty = false;
     double burstFactor = 4.0;      ///< Rate multiplier inside a burst.
     double burstOnFraction = 0.25; ///< Fraction of time bursting.
@@ -158,7 +177,9 @@ struct ServingReport
     std::uint64_t drrDelays = 0;
 };
 
-/** Run one open-loop serving experiment. Deterministic in the seed. */
+/** Run one serving experiment — open-loop Poisson by default,
+ *  fixed-concurrency closed loop with ServingOptions::closedLoop.
+ *  Deterministic in the seed. */
 ServingReport runServing(const ServingOptions &opts);
 
 }  // namespace morpheus::workloads

@@ -13,6 +13,7 @@
 #include "core/device_runtime.hh"
 #include "core/standard_apps.hh"
 #include "host/host_system.hh"
+#include "obs/trace.hh"
 #include "sim/fault.hh"
 #include "workloads/generators.hh"
 
@@ -73,7 +74,32 @@ struct Rig
         fin.instanceId = instance;
         return io(fin, now);
     }
+
+    /** One MREAD chunk of [@p off, @p off + @p len) of @p extent. */
+    nv::Completion
+    mread(std::uint32_t instance, const ho::FileExtent &extent,
+          std::uint64_t off, std::uint64_t len,
+          morpheus::sim::Tick now = 0)
+    {
+        nv::Command c;
+        c.opcode = nv::Opcode::kMRead;
+        c.instanceId = instance;
+        c.slba = (extent.startByte + off) / nv::kBlockBytes;
+        c.nlb = static_cast<std::uint16_t>(
+            (len + nv::kBlockBytes - 1) / nv::kBlockBytes - 1);
+        c.cdw13 = static_cast<std::uint32_t>(len);
+        return io(c, now);
+    }
 };
+
+/** Platform with the streaming chunk pipeline on (DESIGN.md §11). */
+ho::SystemConfig
+pipelineConfig()
+{
+    ho::SystemConfig cfg;
+    cfg.ssd.pipeline.enabled = true;
+    return cfg;
+}
 
 }  // namespace
 
@@ -828,4 +854,288 @@ TEST(DeviceRuntime, TransientImageFetchFaultIsRetryable)
     EXPECT_EQ(rig.sys.ssd().scheduler().arbiter().openInstances(), 0u);
     ASSERT_TRUE(rig.minit(4, rig.images.intArray, target).ok());
     ASSERT_TRUE(rig.mdeinit(4).ok());
+}
+
+// -------------------------------------------- streaming chunk pipeline
+
+TEST(DeviceRuntime, PipelinedStreamMatchesSerialResult)
+{
+    // The pipeline overlaps fetch/parse/flush but must not change one
+    // functional byte or the delivered object count.
+    const auto a = wk::genIntArray(91, 20000);
+    sd::TextWriter w;
+    a.serialize(w);
+
+    auto run = [&](const ho::SystemConfig &cfg) {
+        Rig rig(cfg);
+        const auto extent = rig.sys.createFile("ints", w.bytes());
+        const auto target_addr = rig.sys.allocHost(a.objectBytes());
+        EXPECT_TRUE(rig.minit(1, rig.images.intArray,
+                              co::DmaTarget{target_addr, false})
+                        .ok());
+        morpheus::sim::Tick t = 0;
+        std::uint64_t off = 0;
+        while (off < extent.sizeBytes) {
+            const std::uint64_t len =
+                std::min<std::uint64_t>(16 * 1024,
+                                        extent.sizeBytes - off);
+            const auto cqe = rig.mread(1, extent, off, len, t);
+            EXPECT_TRUE(cqe.ok());
+            t = cqe.postedAt;
+            off += len;
+        }
+        const auto fin = rig.mdeinit(1, t);
+        EXPECT_TRUE(fin.ok());
+        EXPECT_EQ(fin.dw0, a.values.size());
+        return rig.sys.mem().store().readVec(
+            target_addr, static_cast<std::size_t>(a.objectBytes()));
+    };
+
+    const auto serial = run(ho::SystemConfig{});
+    const auto piped = run(pipelineConfig());
+    EXPECT_EQ(serial, piped);
+    EXPECT_EQ(sd::IntArrayObject::fromBinary(piped), a);
+}
+
+TEST(DeviceRuntime, PipelinedCoalesceMergesSmallFlushSegments)
+{
+    // At the default threshold (D-SRAM/4) a sub-buffer rarely flushes
+    // twice, so coalescing has nothing to merge; a tiny threshold
+    // splits each sub-buffer's output into many 512-byte segments,
+    // which land back-to-back on the DMA cursor and must merge into
+    // maxDescriptorBytes descriptors without changing a byte.
+    const auto a = wk::genIntArray(93, 20000);
+    sd::TextWriter w;
+    a.serialize(w);
+
+    auto run = [&](bool coalesce) {
+        auto cfg = pipelineConfig();
+        cfg.ssd.pipeline.coalesceFlush = coalesce;
+        Rig rig(cfg);
+        const auto extent = rig.sys.createFile("ints", w.bytes());
+        const auto target_addr = rig.sys.allocHost(a.objectBytes());
+        EXPECT_TRUE(rig.minit(1, rig.images.intArray,
+                              co::DmaTarget{target_addr, false},
+                              /*arg=*/0, /*flush_threshold=*/512)
+                        .ok());
+        morpheus::sim::Tick t = 0;
+        std::uint64_t off = 0;
+        while (off < extent.sizeBytes) {
+            const std::uint64_t len = std::min<std::uint64_t>(
+                16 * 1024, extent.sizeBytes - off);
+            const auto cqe = rig.mread(1, extent, off, len, t);
+            EXPECT_TRUE(cqe.ok());
+            t = cqe.postedAt;
+            off += len;
+        }
+        EXPECT_TRUE(rig.mdeinit(1, t).ok());
+        return std::make_pair(
+            rig.sys.mem().store().readVec(
+                target_addr, static_cast<std::size_t>(a.objectBytes())),
+            rig.device.flushSegmentsCoalesced());
+    };
+
+    const auto [merged, merged_count] = run(true);
+    const auto [split, split_count] = run(false);
+    EXPECT_GT(merged_count, 0u);
+    EXPECT_EQ(split_count, 0u);
+    EXPECT_EQ(merged, split);
+    EXPECT_EQ(sd::IntArrayObject::fromBinary(merged), a);
+}
+
+TEST(DeviceRuntime, PipelinedMediaErrorOnReadaheadIsDiscarded)
+{
+    // A media error drawn while *prefetching* the next chunk must be
+    // discarded with the buffer — never fed to the parser and never
+    // surfaced to the host, which did not submit that chunk yet.
+    Rig rig(pipelineConfig());
+    const auto a = wk::genIntArray(92, 20000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("ints", w.bytes());
+    const auto target_addr = rig.sys.allocHost(a.objectBytes());
+    ASSERT_TRUE(rig.minit(1, rig.images.intArray,
+                          co::DmaTarget{target_addr, false})
+                    .ok());
+
+    const std::uint64_t chunk = 16 * 1024;
+    ASSERT_GT(extent.sizeBytes, 3 * chunk);
+
+    // Chunk 0 runs clean and prefetches chunk 1's pages cleanly.
+    auto cqe = rig.mread(1, extent, 0, chunk, 0);
+    ASSERT_TRUE(cqe.ok());
+    morpheus::sim::Tick t = cqe.postedAt;
+    {
+        // Chunk 1 consumes the clean readahead (no fresh flash reads
+        // for its own payload), so it succeeds even though every page
+        // read now comes back uncorrectable — but the prefetch it
+        // issues for chunk 2 draws the fault and is poisoned.
+        morpheus::sim::FaultPlan plan;
+        plan.mediaRate = 1.0;
+        morpheus::sim::FaultInjector fi(plan);
+        morpheus::sim::ScopedFaultInjector scope(&fi);
+        cqe = rig.mread(1, extent, chunk, chunk, t);
+        ASSERT_TRUE(cqe.ok());
+        t = cqe.postedAt;
+        EXPECT_GE(fi.mediaErrors(), 1u);
+    }
+    EXPECT_GE(rig.device.readaheadHits(), 1u);
+
+    // Chunk 2 discards the poisoned buffer and re-fetches from flash
+    // (fault cleared): the host never saw a media error.
+    std::uint64_t off = 2 * chunk;
+    while (off < extent.sizeBytes) {
+        const std::uint64_t len =
+            std::min<std::uint64_t>(chunk, extent.sizeBytes - off);
+        cqe = rig.mread(1, extent, off, len, t);
+        ASSERT_TRUE(cqe.ok());
+        t = cqe.postedAt;
+        off += len;
+    }
+    EXPECT_EQ(rig.device.readaheadMediaDiscards(), 1u);
+
+    const auto fin = rig.mdeinit(1, t);
+    ASSERT_TRUE(fin.ok());
+    EXPECT_EQ(fin.dw0, a.values.size());
+    const auto bin = rig.sys.mem().store().readVec(
+        target_addr, static_cast<std::size_t>(a.objectBytes()));
+    EXPECT_EQ(sd::IntArrayObject::fromBinary(bin), a);
+}
+
+TEST(DeviceRuntime, PipelinedCrashChargesAbortedWorkOnce)
+{
+    // The crash manifests in the first sub-buffer of the pipelined
+    // parse: the aborted work is charged once, nothing is shipped, and
+    // the instance is poisoned exactly as on the serial path.
+    Rig rig(pipelineConfig());
+    const auto a = wk::genIntArray(93, 8000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("ints", w.bytes());
+    const auto target_addr = rig.sys.allocHost(a.objectBytes());
+    ASSERT_TRUE(rig.minit(3, rig.images.intArray,
+                          co::DmaTarget{target_addr, false})
+                    .ok());
+
+    morpheus::sim::Tick t = 0;
+    {
+        morpheus::sim::FaultPlan plan;
+        plan.crashRate = 1.0;
+        morpheus::sim::FaultInjector fi(plan);
+        morpheus::sim::ScopedFaultInjector scope(&fi);
+        const auto cqe =
+            rig.mread(3, extent, 0, extent.sizeBytes, t);
+        EXPECT_EQ(cqe.status, nv::Status::kAppFault);
+        EXPECT_EQ(fi.appCrashes(), 1u);
+        t = cqe.postedAt;
+    }
+    EXPECT_EQ(rig.device.objectBytesOut(), 0u);
+
+    // Poisoned until reinstalled; the clean rerun completes exactly.
+    EXPECT_EQ(rig.mread(3, extent, 0, extent.sizeBytes, t).status,
+              nv::Status::kAppFault);
+    ASSERT_TRUE(rig.mdeinit(3, t).ok());
+    ASSERT_TRUE(rig.minit(3, rig.images.intArray,
+                          co::DmaTarget{target_addr, false})
+                    .ok());
+    const auto good = rig.mread(3, extent, 0, extent.sizeBytes, t);
+    ASSERT_TRUE(good.ok());
+    const auto fin = rig.mdeinit(3, good.postedAt);
+    ASSERT_TRUE(fin.ok());
+    EXPECT_EQ(fin.dw0, a.values.size());
+    const auto bin = rig.sys.mem().store().readVec(
+        target_addr, static_cast<std::size_t>(a.objectBytes()));
+    EXPECT_EQ(sd::IntArrayObject::fromBinary(bin), a);
+}
+
+TEST(DeviceRuntime, PipelinedMigrationDropsReadaheadBuffer)
+{
+    // A migration moves the instance between cores while a readahead
+    // buffer is live in controller DRAM: the buffer is dropped (pure
+    // timing state — re-fetched on use), never carried stale.
+    ho::SystemConfig cfg = pipelineConfig();
+    cfg.ssd.sched.placement =
+        morpheus::sched::PlacementPolicy::kLoadAware;
+    cfg.ssd.sched.migration = true;
+    Rig rig(cfg);
+    const auto a = wk::genIntArray(94, 20000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("ints", w.bytes());
+    const auto target_addr = rig.sys.allocHost(a.objectBytes());
+    const auto init = rig.minit(1, rig.images.intArray,
+                                co::DmaTarget{target_addr, false});
+    ASSERT_TRUE(init.ok());
+
+    // Both chunks submitted at the same instant: the first leaves a
+    // 64 KiB parse backlog on its core (and a live readahead buffer),
+    // so the second migrates to an idle core.
+    const morpheus::sim::Tick t0 = init.postedAt;
+    ASSERT_TRUE(rig.mread(1, extent, 0, 64 * 1024, t0).ok());
+    const auto c2 = rig.mread(1, extent, 64 * 1024, 16 * 1024, t0);
+    ASSERT_TRUE(c2.ok());
+    EXPECT_GE(rig.sys.ssd().scheduler().dispatcher().migrations(), 1u);
+    EXPECT_GE(rig.device.readaheadDropped(), 1u);
+
+    // The stream still completes bit-exactly after the drop.
+    morpheus::sim::Tick t = c2.postedAt;
+    std::uint64_t off = 80 * 1024;
+    while (off < extent.sizeBytes) {
+        const std::uint64_t len =
+            std::min<std::uint64_t>(16 * 1024, extent.sizeBytes - off);
+        const auto cqe = rig.mread(1, extent, off, len, t);
+        ASSERT_TRUE(cqe.ok());
+        t = cqe.postedAt;
+        off += len;
+    }
+    const auto fin = rig.mdeinit(1, t);
+    ASSERT_TRUE(fin.ok());
+    EXPECT_EQ(fin.dw0, a.values.size());
+    const auto bin = rig.sys.mem().store().readVec(
+        target_addr, static_cast<std::size_t>(a.objectBytes()));
+    EXPECT_EQ(sd::IntArrayObject::fromBinary(bin), a);
+}
+
+TEST(DeviceRuntime, PipelinedRunIsTraceInvariant)
+{
+    // Attaching a trace sink must not change one simulated tick of the
+    // pipelined schedule (the sub-span instrumentation only observes).
+    const auto a = wk::genIntArray(95, 12000);
+    sd::TextWriter w;
+    a.serialize(w);
+
+    auto run = [&](morpheus::obs::TraceSink *sink) {
+        Rig rig(pipelineConfig());
+        const auto extent = rig.sys.createFile("ints", w.bytes());
+        const auto target_addr = rig.sys.allocHost(a.objectBytes());
+        auto *attach =
+            sink ? new morpheus::obs::ScopedTraceSink(*sink) : nullptr;
+        EXPECT_TRUE(rig.minit(1, rig.images.intArray,
+                              co::DmaTarget{target_addr, false})
+                        .ok());
+        morpheus::sim::Tick t = 0;
+        std::uint64_t off = 0;
+        while (off < extent.sizeBytes) {
+            const std::uint64_t len =
+                std::min<std::uint64_t>(16 * 1024,
+                                        extent.sizeBytes - off);
+            const auto cqe = rig.mread(1, extent, off, len, t);
+            EXPECT_TRUE(cqe.ok());
+            t = cqe.postedAt;
+            off += len;
+        }
+        const auto fin = rig.mdeinit(1, t);
+        EXPECT_TRUE(fin.ok());
+        delete attach;
+        return fin.postedAt;
+    };
+
+    morpheus::obs::InMemoryTraceSink sink;
+    const auto untraced = run(nullptr);
+    const auto traced = run(&sink);
+    EXPECT_EQ(untraced, traced);
+    // The pipeline's sub-spans are present on the traced run.
+    EXPECT_GE(sink.count("readahead"), 1u);
+    EXPECT_GE(sink.count("parse"), 2u);
+    EXPECT_GE(sink.count("fetch_readahead"), 1u);
 }

@@ -141,6 +141,56 @@ TEST(CoreDispatcher, DsramPackingPrefersCoresWithRoom)
     EXPECT_EQ(d.placeInstance(1, 0, 0), 0u);
 }
 
+TEST(CoreDispatcher, BacklogAwarePlacementPacksByBytes)
+{
+    sched::SchedConfig cfg = loadAwareConfig();
+    cfg.backlogAwarePlacement = true;
+    sched::CoreDispatcher d(cfg, 2,
+                            [](unsigned) { return sim::Tick{0}; });
+    // A declares a 1 MB stream and lands on core 0 (index tie-break);
+    // B declares 1 KB and lands on core 1 (fewer residents).
+    ASSERT_EQ(d.placeInstance(1, 0, 0, 1 << 20), 0u);
+    ASSERT_EQ(d.placeInstance(2, 0, 0, 1 << 10), 1u);
+    // Resident-count packing would tie 1-vs-1 and send C to core 0;
+    // byte packing sees 1 MB vs 1 KB pending and picks core 1.
+    EXPECT_EQ(d.placeInstance(3, 0, 0, 1 << 10), 1u);
+    EXPECT_EQ(d.pendingBytes(0), std::uint64_t{1} << 20);
+    EXPECT_EQ(d.pendingBytes(1), std::uint64_t{2} << 10);
+}
+
+TEST(CoreDispatcher, ServedBytesDrainThePackingSignal)
+{
+    sched::SchedConfig cfg = loadAwareConfig();
+    cfg.backlogAwarePlacement = true;
+    sched::CoreDispatcher d(cfg, 2,
+                            [](unsigned) { return sim::Tick{0}; });
+    ASSERT_EQ(d.placeInstance(1, 0, 0, 1 << 20), 0u);
+    ASSERT_EQ(d.placeInstance(2, 0, 0, 512 << 10), 1u);
+    // Instance 1's stream is mostly served: core 0 now has the
+    // smaller pending-byte load, so the next declaration packs there.
+    d.noteServedBytes(1, 900 << 10);
+    EXPECT_EQ(d.pendingBytes(0), (std::uint64_t{1} << 20) - (900 << 10));
+    EXPECT_EQ(d.placeInstance(3, 0, 0, 1 << 10), 0u);
+    // Over-serving (host streamed more than declared) clamps at zero,
+    // and release clears any residue.
+    d.noteServedBytes(2, 10 << 20);
+    EXPECT_EQ(d.pendingBytes(1), 0u);
+    d.releaseInstance(1);
+    d.releaseInstance(3);
+    EXPECT_EQ(d.pendingBytes(0), 0u);
+}
+
+TEST(CoreDispatcher, BacklogAwareOffIgnoresDeclaredBytes)
+{
+    // Knob off: the declaration is tracked but does not steer
+    // placement — resident count ties break by index as before.
+    sched::CoreDispatcher d(loadAwareConfig(), 2,
+                            [](unsigned) { return sim::Tick{0}; });
+    ASSERT_EQ(d.placeInstance(1, 0, 0, 1 << 20), 0u);
+    ASSERT_EQ(d.placeInstance(2, 0, 0, 1 << 10), 1u);
+    EXPECT_EQ(d.placeInstance(3, 0, 0, 1 << 10), 0u);
+}
+
 TEST(CoreDispatcher, MigrationSkipsTargetsWithoutDsramRoom)
 {
     sched::SchedConfig cfg = loadAwareConfig();
@@ -184,6 +234,20 @@ TEST(TenantArbiter, UnlimitedAdmissionByDefault)
     }
     EXPECT_EQ(a.instancesAdmitted(), 64u);
     EXPECT_EQ(a.openInstances(), 64u);
+}
+
+TEST(TenantArbiter, DeclaredBacklogDrainsWithDataCommands)
+{
+    sched::SchedConfig cfg;
+    sched::TenantArbiter a(cfg);
+    a.admitInstance(/*tenant=*/1, /*instance=*/7, /*arrival=*/0,
+                    /*backlog_bytes=*/1 << 20);
+    EXPECT_EQ(a.declaredBacklog(7), std::uint64_t{1} << 20);
+    EXPECT_EQ(a.declaredBacklog(8), 0u);  // unknown instance
+    a.admitData(7, 256 << 10, 100);
+    EXPECT_EQ(a.declaredBacklog(7), std::uint64_t{768} << 10);
+    a.onInstanceDone(7, 1000);
+    EXPECT_EQ(a.declaredBacklog(7), 0u);
 }
 
 TEST(TenantArbiter, RejectPolicyDeniesOverQuota)
@@ -388,4 +452,47 @@ TEST(Serving, StaticPlacementStillWorksEndToEnd)
         skewedServing(sched::PlacementPolicy::kStatic, false));
     EXPECT_GT(r.completed, 0u);
     EXPECT_EQ(r.completed + r.rejected, r.submitted);
+}
+
+TEST(Serving, ClosedLoopCompletesTheQuotaDeterministically)
+{
+    wk::ServingOptions opts =
+        skewedServing(sched::PlacementPolicy::kLoadAware, true);
+    opts.closedLoop = true;
+    opts.closedLoopConcurrency = 3;
+    opts.closedLoopRequests = 24;
+
+    const wk::ServingReport a = wk::runServing(opts);
+    // Every tenant issues exactly its quota — the closed loop ignores
+    // durationSec and arrival rates — and self-throttling means no
+    // request is ever lost.
+    EXPECT_EQ(a.submitted, 3u * 24u);
+    EXPECT_EQ(a.completed + a.rejected, a.submitted);
+    EXPECT_EQ(a.lost, 0u);
+    EXPECT_GT(a.throughputPerSec, 0.0);
+    for (const auto &t : a.tenants)
+        EXPECT_EQ(t.submitted, 24u) << "tenant " << t.id;
+
+    const wk::ServingReport b = wk::runServing(opts);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_DOUBLE_EQ(a.p99Us, b.p99Us);
+}
+
+TEST(Serving, ClosedLoopConcurrencyTradesThroughputForLatency)
+{
+    // The defining closed-loop property: more in-flight requests per
+    // tenant raises throughput (until saturation) and mean latency.
+    wk::ServingOptions opts =
+        skewedServing(sched::PlacementPolicy::kLoadAware, true);
+    opts.closedLoop = true;
+    opts.closedLoopRequests = 24;
+
+    opts.closedLoopConcurrency = 1;
+    const wk::ServingReport lo = wk::runServing(opts);
+    opts.closedLoopConcurrency = 4;
+    const wk::ServingReport hi = wk::runServing(opts);
+
+    EXPECT_GT(hi.throughputPerSec, lo.throughputPerSec);
+    EXPECT_GE(hi.meanUs, lo.meanUs);
 }

@@ -44,9 +44,18 @@ usage()
         "                    [--stats-json FILE]\n"
         "                    [--fault-plan key=value,...]\n"
         "                    [--recovery]\n"
+        "                    [--pipeline] [--no-readahead]\n"
+        "                    [--no-double-buffer] [--no-coalesce]\n"
+        "                    [--readahead-bytes N]\n"
+        "                    [--max-descriptor-bytes N]\n"
         "fault plan keys: media, dma, crash, hang, drop (rates),\n"
         "dma_min, watchdog_us, seed; also read from MORPHEUS_FAULTS.\n"
-        "--recovery enables driver timeouts + bounded retries.\n");
+        "--recovery enables driver timeouts + bounded retries.\n"
+        "--pipeline enables the streaming chunk pipeline (flash\n"
+        "readahead + double-buffered parse + coalesced flush DMA);\n"
+        "the --no-* flags disable one stage, --readahead-bytes and\n"
+        "--max-descriptor-bytes bound the prefetch buffer and the\n"
+        "merged DMA descriptor size.\n");
 }
 
 int
@@ -139,6 +148,22 @@ main(int argc, char **argv)
             opts.faults = sim::FaultPlan::parse(next("--fault-plan"));
         } else if (arg == "--recovery") {
             opts.recovery.enabled = true;
+        } else if (arg == "--pipeline") {
+            opts.sys.ssd.pipeline.enabled = true;
+        } else if (arg == "--no-readahead") {
+            opts.sys.ssd.pipeline.readahead = false;
+        } else if (arg == "--no-double-buffer") {
+            opts.sys.ssd.pipeline.doubleBuffer = false;
+        } else if (arg == "--no-coalesce") {
+            opts.sys.ssd.pipeline.coalesceFlush = false;
+        } else if (arg == "--readahead-bytes") {
+            opts.sys.ssd.pipeline.readaheadBufferBytes =
+                static_cast<std::uint64_t>(
+                    std::atoll(next("--readahead-bytes")));
+        } else if (arg == "--max-descriptor-bytes") {
+            opts.sys.ssd.pipeline.maxDescriptorBytes =
+                static_cast<std::uint64_t>(
+                    std::atoll(next("--max-descriptor-bytes")));
         } else if (arg == "--trace") {
             trace_path = next("--trace");
         } else if (arg == "--stats-json") {
