@@ -139,9 +139,11 @@ main()
         headline += improvement / static_cast<double>(mixes.size());
     }
 
+    bench::BenchConfig cfg;
+    cfg.pipeline = true;
     bench::writeBenchJson("ablation_pipeline", "meanImprovement",
                           headline, "fraction",
-                          /*higher_is_better=*/true, extra);
+                          /*higher_is_better=*/true, extra, cfg);
     if (failures) {
         std::fprintf(stderr, "\n%d gate(s) FAILED\n", failures);
         return 1;

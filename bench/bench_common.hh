@@ -146,6 +146,20 @@ struct BenchMetric
     std::string unit;
 };
 
+/**
+ * Configuration provenance stamped into BENCH_*.json: a result is
+ * only comparable against a baseline produced under the same device
+ * count, placement policy, and pipeline setting, so the file records
+ * them instead of leaving the reader to guess from the bench name.
+ */
+struct BenchConfig
+{
+    unsigned ssds = 1;
+    /** "hash" / "range"; "none" when the bench does not shard. */
+    std::string shardPolicy = "none";
+    bool pipeline = false;
+};
+
 /** Git revision for BENCH_*.json: MORPHEUS_GIT_REV, then the CI's
  *  GITHUB_SHA, then "unknown" (the simulator itself never shells out). */
 inline std::string
@@ -169,7 +183,8 @@ inline void
 writeBenchJson(const std::string &bench, const std::string &metric,
                double value, const std::string &unit,
                bool higher_is_better,
-               const std::vector<BenchMetric> &extra = {})
+               const std::vector<BenchMetric> &extra = {},
+               const BenchConfig &config = {})
 {
     const std::string path = "BENCH_" + bench + ".json";
     std::ofstream os(path);
@@ -192,6 +207,10 @@ writeBenchJson(const std::string &bench, const std::string &metric,
        << (higher_is_better ? "true" : "false") << ",\n"
        << "  \"scale\": " << fmt(benchScale()) << ",\n"
        << "  \"gitRev\": \"" << benchGitRev() << "\",\n"
+       << "  \"config\": {\"ssds\": " << config.ssds
+       << ", \"shardPolicy\": \"" << config.shardPolicy
+       << "\", \"pipeline\": "
+       << (config.pipeline ? "true" : "false") << "},\n"
        << "  \"metrics\": {";
     for (std::size_t i = 0; i < extra.size(); ++i) {
         os << (i ? ",\n    " : "\n    ") << "\"" << extra[i].name

@@ -83,6 +83,7 @@ main()
                          "MB/s"});
     bench::writeBenchJson("fig03", "nvmeMeanBandwidth",
                           bench::mean(series[0]), "MB/s",
-                          /*higher_is_better=*/true, extra);
+                          /*higher_is_better=*/true, extra,
+                          bench::BenchConfig{});
     return 0;
 }

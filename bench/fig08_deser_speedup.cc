@@ -108,7 +108,8 @@ main()
                          speedups[i], "x"});
     bench::writeBenchJson("fig08", "geomeanSpeedup",
                           bench::geomean(speedups), "x",
-                          /*higher_is_better=*/true, extra);
+                          /*higher_is_better=*/true, extra,
+                          bench::BenchConfig{});
 
     return traceInvarianceCheck(*base_rows.front().app);
 }

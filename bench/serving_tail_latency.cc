@@ -205,7 +205,8 @@ main()
         headline_load_p99, "us", /*higher_is_better=*/false,
         {{"headlineStaticP99Us", headline_static_p99, "us"},
          {"completedTotal", static_cast<double>(completed_total),
-          "requests"}});
+          "requests"}},
+        bench::BenchConfig{});
 
     std::fprintf(stderr, "self-check: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;

@@ -163,7 +163,7 @@ MorpheusDeviceRuntime::drainFlushes(
                                     &dma_failed);
         if (auto *sink = obs::traceSink()) {
             obs::Span s;
-            s.track = "ssd.dma";
+            s.track = _ssd.trackPrefix() + "ssd.dma";
             s.name = "flush_dma";
             s.category = "ssd";
             s.begin = buffered;
@@ -215,7 +215,7 @@ MorpheusDeviceRuntime::maybeMigrate(Instance &inst, sim::Tick now,
     const sim::Tick state_moved = _ssd.dramTransfer(state_bytes, now);
     if (auto *sink = obs::traceSink()) {
         obs::Span s;
-        s.track = "ssd.dram";
+        s.track = _ssd.trackPrefix() + "ssd.dram";
         s.name = "dsram_move";
         s.category = "ssd";
         s.begin = now;
@@ -287,7 +287,7 @@ MorpheusDeviceRuntime::doMRead(const nvme::Command &cmd, sim::Tick start)
         inst.expectedByteOff = byte_off;
         if (auto *sink = obs::traceSink()) {
             obs::Span s;
-            s.track = "ssd.firmware";
+            s.track = _ssd.trackPrefix() + "ssd.firmware";
             s.name = "media_error";
             s.category = "ssd";
             s.begin = fetched;
@@ -335,7 +335,7 @@ MorpheusDeviceRuntime::doMRead(const nvme::Command &cmd, sim::Tick start)
             s.core = inst.coreId;
             sink->record(s);
             obs::Span k;
-            k.track = "ssd.firmware";
+            k.track = _ssd.trackPrefix() + "ssd.firmware";
             k.name = "watchdog_kill";
             k.category = "ssd";
             k.begin = deadline;
@@ -433,7 +433,7 @@ MorpheusDeviceRuntime::issueReadahead(Instance &inst,
     ra.valid = true;
     if (auto *sink = obs::traceSink()) {
         obs::Span s;
-        s.track = "ssd.dram";
+        s.track = _ssd.trackPrefix() + "ssd.dram";
         s.name = "readahead";
         s.category = "ssd";
         s.begin = earliest;
@@ -490,7 +490,7 @@ MorpheusDeviceRuntime::mreadPipelined(Instance &inst,
         inst.expectedByteOff = byte_off;
         if (auto *sink = obs::traceSink()) {
             obs::Span s;
-            s.track = "ssd.firmware";
+            s.track = _ssd.trackPrefix() + "ssd.firmware";
             s.name = "media_error";
             s.category = "ssd";
             s.begin = all_ready;
@@ -508,7 +508,7 @@ MorpheusDeviceRuntime::mreadPipelined(Instance &inst,
     }
     if (auto *sink = obs::traceSink()) {
         obs::Span s;
-        s.track = "ssd.dram";
+        s.track = _ssd.trackPrefix() + "ssd.dram";
         s.name = readahead_hit ? "fetch_readahead" : "fetch";
         s.category = "ssd";
         s.begin = start;
@@ -561,7 +561,7 @@ MorpheusDeviceRuntime::mreadPipelined(Instance &inst,
             s.core = inst.coreId;
             sink->record(s);
             obs::Span k;
-            k.track = "ssd.firmware";
+            k.track = _ssd.trackPrefix() + "ssd.firmware";
             k.name = "watchdog_kill";
             k.category = "ssd";
             k.begin = deadline;

@@ -10,8 +10,8 @@ namespace morpheus::core {
 
 MorpheusRuntime::MorpheusRuntime(host::HostSystem &sys,
                                  MorpheusDeviceRuntime &device,
-                                 NvmeP2p &p2p)
-    : _sys(sys), _device(device), _p2p(p2p)
+                                 NvmeP2p &p2p, unsigned ssd_device)
+    : _sys(sys), _device(device), _p2p(p2p), _ssdDevice(ssd_device)
 {
 }
 
@@ -47,7 +47,7 @@ MorpheusRuntime::beginInvoke(const StorageAppImage &image,
                              const DmaTarget &target, sim::Tick now,
                              const InvokeOptions &opts)
 {
-    nvme::NvmeDriver &driver = _sys.nvmeDriver();
+    nvme::NvmeDriver &driver = _sys.nvmeDriver(_ssdDevice);
     const unsigned core = opts.hostCore;
 
     InvokeSession s;
@@ -57,7 +57,7 @@ MorpheusRuntime::beginInvoke(const StorageAppImage &image,
     s.opts = opts;
     // NVMe convention: each host core drives its own queue pair, so
     // concurrent StorageApp instances never serialize on one SQ.
-    s.qid = _sys.ioQueue(core);
+    s.qid = _sys.ioQueue(_ssdDevice, core);
     s.result.start = std::max(now, stream.readyAt);
     s.now = s.result.start;
 
@@ -170,7 +170,7 @@ MorpheusRuntime::stepInvoke(InvokeSession &s)
     MORPHEUS_ASSERT(s.accepted, "stepInvoke on a refused session");
     MORPHEUS_ASSERT(!s.failed, "stepInvoke on a failed session");
     MORPHEUS_ASSERT(!s.streamDone(), "stepInvoke past the stream end");
-    nvme::NvmeDriver &driver = _sys.nvmeDriver();
+    nvme::NvmeDriver &driver = _sys.nvmeDriver(_ssdDevice);
     const bool recover = driver.recovery().enabled;
 
     std::vector<std::pair<nvme::Command, nvme::Submitted>> batch;
@@ -225,7 +225,7 @@ InvokeResult
 MorpheusRuntime::finishInvoke(InvokeSession &s)
 {
     MORPHEUS_ASSERT(s.accepted, "finishInvoke on a refused session");
-    nvme::NvmeDriver &driver = _sys.nvmeDriver();
+    nvme::NvmeDriver &driver = _sys.nvmeDriver(_ssdDevice);
 
     nvme::Command mdeinit;
     mdeinit.opcode = nvme::Opcode::kMDeinit;
@@ -257,7 +257,7 @@ MorpheusRuntime::finishInvoke(InvokeSession &s)
 InvokeResult
 MorpheusRuntime::abortInvoke(InvokeSession &s)
 {
-    nvme::NvmeDriver &driver = _sys.nvmeDriver();
+    nvme::NvmeDriver &driver = _sys.nvmeDriver(_ssdDevice);
     // Best-effort reclaim: a watchdog-killed instance answers
     // kNoSuchInstance (already freed device-side), a poisoned one runs
     // the hook-skipping teardown; either way the slot comes back.

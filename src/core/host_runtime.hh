@@ -131,8 +131,12 @@ struct InvokeSession
 class MorpheusRuntime
 {
   public:
+    /** @p ssd_device selects which fleet SSD this runtime drives (its
+     *  driver, queue pairs, and device runtime must match); 0 is the
+     *  classic single-device platform. */
     MorpheusRuntime(host::HostSystem &sys,
-                    MorpheusDeviceRuntime &device, NvmeP2p &p2p);
+                    MorpheusDeviceRuntime &device, NvmeP2p &p2p,
+                    unsigned ssd_device = 0);
 
     /**
      * ms_stream_create: permission check + block-map lookup through
@@ -197,6 +201,8 @@ class MorpheusRuntime
     host::HostSystem &_sys;
     MorpheusDeviceRuntime &_device;
     NvmeP2p &_p2p;
+    /** Fleet SSD index this runtime's commands go to. */
+    unsigned _ssdDevice = 0;
     std::uint32_t _nextInstance = 1;
 };
 

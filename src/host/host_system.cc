@@ -7,45 +7,112 @@ namespace morpheus::host {
 
 namespace {
 
-/** Queue rings live in a small reserved region of host DRAM. */
+/** Queue rings live in a small reserved region of host DRAM; each
+ *  device's rings occupy a disjoint 1 MiB stripe. */
 constexpr pcie::Addr kQueueRingBase = 1 * sim::kMiB;
+constexpr pcie::Addr kQueueRingStride = 1 * sim::kMiB;
 /** General allocations start above the ingest scratch area. */
 constexpr pcie::Addr kAllocBase = 9ULL * sim::kGiB;
+/** Fleet-only controller-memory-buffer BAR windows (P2P rebalance). */
+constexpr pcie::Addr kCmbBase = 1ULL << 44;
+constexpr std::uint64_t kCmbStride = 16 * sim::kMiB;
 
 }  // namespace
+
+ssd::SsdConfig
+HostSystem::deviceConfig(unsigned d) const
+{
+    ssd::SsdConfig cfg = d < _config.ssdConfigs.size()
+                             ? _config.ssdConfigs[d]
+                             : _config.ssd;
+    // Device 0 keeps its (normally empty) label so the single-SSD
+    // trace tracks stay bit-identical; fleet devices get one.
+    if (d > 0 && cfg.label.empty())
+        cfg.label = "dev" + std::to_string(d);
+    return cfg;
+}
 
 HostSystem::HostSystem(const SystemConfig &config)
     : _config(config),
       _hostPort(_fabric.addPort("host", config.hostLink)),
-      _ssdPort(_fabric.addPort("ssd", config.ssdLink)),
+      _ssdPorts{_fabric.addPort("ssd", config.ssdLink)},
       _gpuPort(_fabric.addPort("gpu", config.gpuLink)),
       _mem(config.mem),
       _cpu(config.cpu),
       _os(config.os, _cpu),
       _power(config.power),
-      _ssd(std::make_unique<ssd::SsdController>(_eq, _fabric, _ssdPort,
-                                                config.ssd)),
       _gpu(std::make_unique<Gpu>(_fabric, _gpuPort, config.gpu)),
-      _driver(_ssd->nvme()),
       _hostAllocTop(kAllocBase),
-      _hostAllocBase(kAllocBase),
-      _nextFileByte(0)
+      _hostAllocBase(kAllocBase)
 {
     MORPHEUS_ASSERT(_hostPort == 0,
                     "host root complex must be port 0 by convention");
+    const unsigned num_ssds = config.numSsds == 0 ? 1 : config.numSsds;
     // Host DRAM window at bus address 0.
     _fabric.mapWindow(0, _mem.config().size, _hostPort, "host-dram",
                       &_mem);
-    const unsigned queues =
-        config.ioQueues == 0 ? 1 : config.ioQueues;
-    for (unsigned q = 0; q < queues; ++q) {
-        _ioQueues.push_back(_driver.openQueue(
-            config.queueEntries,
-            kQueueRingBase + q * 64 * sim::kKiB,
-            kQueueRingBase + 512 * sim::kKiB + q * 64 * sim::kKiB));
+
+    // Extra fleet SSDs take ports after the GPU's so the classic
+    // host/ssd/gpu numbering (and every single-SSD trace) is
+    // untouched.
+    for (unsigned d = 1; d < num_ssds; ++d) {
+        const pcie::LinkConfig link = d - 1 < config.ssdLinks.size()
+                                          ? config.ssdLinks[d - 1]
+                                          : config.ssdLink;
+        _ssdPorts.push_back(
+            _fabric.addPort("ssd" + std::to_string(d), link));
     }
-    _ssdBackend = std::make_unique<NvmeBackend>(
-        _driver, _ioQueues.front(), _mem);
+
+    const unsigned queues = config.ioQueues == 0 ? 1 : config.ioQueues;
+    MORPHEUS_ASSERT(queues <= 8,
+                    "queue rings overflow their per-device stripe");
+    MORPHEUS_ASSERT(kQueueRingBase + num_ssds * kQueueRingStride <
+                        8ULL * sim::kGiB,
+                    "queue rings collide with the ingest scratch area");
+    for (unsigned d = 0; d < num_ssds; ++d) {
+        _ssds.push_back(std::make_unique<ssd::SsdController>(
+            _eq, _fabric, _ssdPorts[d], deviceConfig(d)));
+        auto driver = std::make_unique<nvme::NvmeDriver>(
+            _ssds[d]->nvme());
+        if (d > 0) {
+            // Device d's host-side tracks and trace-id block; device 0
+            // keeps base 0 / no prefix, bit-identical to pre-fleet.
+            driver->setTrackPrefix(_ssds[d]->trackPrefix());
+            driver->setTraceIdBase(static_cast<obs::TraceId>(d) << 24);
+        }
+        _drivers.push_back(std::move(driver));
+
+        const pcie::Addr ring_base =
+            kQueueRingBase + d * kQueueRingStride;
+        std::vector<std::uint16_t> dev_queues;
+        for (unsigned q = 0; q < queues; ++q) {
+            dev_queues.push_back(_drivers[d]->openQueue(
+                config.queueEntries,
+                ring_base + q * 64 * sim::kKiB,
+                ring_base + 512 * sim::kKiB + q * 64 * sim::kKiB));
+        }
+        _ioQueues.push_back(std::move(dev_queues));
+        _ssdBackends.push_back(std::make_unique<NvmeBackend>(
+            *_drivers[d], _ioQueues[d].front(), _mem));
+        _nextFileByte.push_back(0);
+    }
+
+    if (num_ssds > 1) {
+        // Controller-memory-buffer windows: a timed DMA target on each
+        // device for SSD-to-SSD shard rebalancing over the switch.
+        // Mapped only for fleets so the single-SSD address map (and
+        // every routing decision) is unchanged.
+        for (unsigned d = 0; d < num_ssds; ++d) {
+            _fabric.mapWindow(cmbBase(d), kCmbStride, _ssdPorts[d],
+                              "ssd" + std::to_string(d) + "-cmb");
+        }
+    }
+}
+
+pcie::Addr
+HostSystem::cmbBase(unsigned device) const
+{
+    return kCmbBase + device * kCmbStride;
 }
 
 pcie::Addr
@@ -68,18 +135,35 @@ FileExtent
 HostSystem::createFile(const std::string &name,
                        const std::vector<std::uint8_t> &data)
 {
+    return createFileOn(0, name, data);
+}
+
+FileExtent
+HostSystem::createFileOn(unsigned device, const std::string &name,
+                         const std::vector<std::uint8_t> &data)
+{
+    FileExtent extent = reserveExtent(device, name, data.size());
+    extent.readyAt = _ssdBackends[device]->ingest(extent.startByte, data);
+    _files[name] = extent;
+    return extent;
+}
+
+FileExtent
+HostSystem::reserveExtent(unsigned device, const std::string &name,
+                          std::uint64_t size_bytes)
+{
     MORPHEUS_ASSERT(_files.find(name) == _files.end(),
                     "file already exists: ", name);
-    const std::uint32_t page = _ssd->ftl().pageBytes();
+    MORPHEUS_ASSERT(device < numSsds(), "no such device: ", device);
+    const std::uint32_t page = _ssds[device]->ftl().pageBytes();
 
     FileExtent extent;
     extent.name = name;
-    extent.startByte = _nextFileByte;
-    extent.sizeBytes = data.size();
-    _nextFileByte +=
-        ((data.size() + page - 1) / page) * std::uint64_t(page);
-
-    extent.readyAt = _ssdBackend->ingest(extent.startByte, data);
+    extent.deviceId = device;
+    extent.startByte = _nextFileByte[device];
+    extent.sizeBytes = size_bytes;
+    _nextFileByte[device] +=
+        ((size_bytes + page - 1) / page) * std::uint64_t(page);
     _files.emplace(name, extent);
     return extent;
 }
@@ -95,13 +179,19 @@ HostSystem::file(const std::string &name) const
 std::vector<std::uint8_t>
 HostSystem::fileBytes(const FileExtent &extent) const
 {
-    return _ssd->peekBytes(extent.startByte, extent.sizeBytes);
+    return _ssds.at(extent.deviceId)
+        ->peekBytes(extent.startByte, extent.sizeBytes);
 }
 
 void
 HostSystem::registerStats(sim::stats::StatSet &set)
 {
-    _ssd->registerStats(set, "ssd");
+    // Device 0 keeps the classic "ssd" prefix; fleet devices federate
+    // under "ssd1", "ssd2", ... matching their port names.
+    for (unsigned d = 0; d < numSsds(); ++d) {
+        _ssds[d]->registerStats(
+            set, d == 0 ? "ssd" : "ssd" + std::to_string(d));
+    }
     _mem.registerStats(set, "host.mem");
     _os.registerStats(set, "host.os");
     _cpu.registerStats(set, "host.cpu");

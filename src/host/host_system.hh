@@ -36,6 +36,7 @@ struct FileExtent
     std::uint64_t startByte = 0;  ///< Device byte offset (page aligned).
     std::uint64_t sizeBytes = 0;  ///< Logical file length.
     sim::Tick readyAt = 0;        ///< Tick the ingest write finished.
+    unsigned deviceId = 0;        ///< SSD holding the extent (fleet).
 };
 
 /** The whole simulated machine. */
@@ -52,29 +53,61 @@ class HostSystem
     HostCpu &cpu() { return _cpu; }
     OsModel &os() { return _os; }
     Gpu &gpu() { return *_gpu; }
-    ssd::SsdController &ssd() { return *_ssd; }
-    nvme::NvmeDriver &nvmeDriver() { return _driver; }
     PowerModel &power() { return _power; }
 
+    /** SSD @p device (0 = the classic single device). */
+    ssd::SsdController &ssd(unsigned device = 0)
+    {
+        return *_ssds.at(device);
+    }
+    /** The NVMe driver bound to SSD @p device. */
+    nvme::NvmeDriver &nvmeDriver(unsigned device = 0)
+    {
+        return *_drivers.at(device);
+    }
+    /** Number of SSDs behind the switch. */
+    unsigned numSsds() const
+    {
+        return static_cast<unsigned>(_ssds.size());
+    }
+
     pcie::PortId hostPort() const { return _hostPort; }
-    pcie::PortId ssdPort() const { return _ssdPort; }
+    pcie::PortId ssdPort(unsigned device = 0) const
+    {
+        return _ssdPorts.at(device);
+    }
     pcie::PortId gpuPort() const { return _gpuPort; }
 
-    /** The default I/O queue pair. */
-    std::uint16_t ioQueue() const { return _ioQueues.front(); }
+    /** The default I/O queue pair (device 0). */
+    std::uint16_t ioQueue() const { return _ioQueues.front().front(); }
 
-    /** Per-core I/O queue pair (NVMe convention; wraps modulo). */
+    /** Per-core I/O queue pair on device 0 (wraps modulo). */
     std::uint16_t
     ioQueue(unsigned core) const
     {
-        return _ioQueues[core % _ioQueues.size()];
+        return ioQueue(0, core);
     }
 
-    /** Number of I/O queue pairs created. */
+    /** Per-core I/O queue pair on SSD @p device (wraps modulo). */
+    std::uint16_t
+    ioQueue(unsigned device, unsigned core) const
+    {
+        const auto &queues = _ioQueues.at(device);
+        return queues[core % queues.size()];
+    }
+
+    /** Number of I/O queue pairs created per device. */
     unsigned numIoQueues() const
     {
-        return static_cast<unsigned>(_ioQueues.size());
+        return static_cast<unsigned>(_ioQueues.front().size());
     }
+
+    /**
+     * Bus address of SSD @p device's controller memory buffer window
+     * (mapped only in fleet configurations): the DMA target another
+     * SSD writes for device-to-device shard rebalancing.
+     */
+    pcie::Addr cmbBase(unsigned device) const;
 
     /** Bump-allocate @p bytes of host DRAM. @return bus address. */
     pcie::Addr allocHost(std::uint64_t bytes);
@@ -83,11 +116,23 @@ class HostSystem
     void resetHostAllocator();
 
     /**
-     * Create a file of @p data bytes on the SSD via the normal write
+     * Create a file of @p data bytes on SSD 0 via the normal write
      * path (setup step). @return the extent descriptor.
      */
     FileExtent createFile(const std::string &name,
                           const std::vector<std::uint8_t> &data);
+
+    /** createFile() on a specific SSD (shard placement). */
+    FileExtent createFileOn(unsigned device, const std::string &name,
+                            const std::vector<std::uint8_t> &data);
+
+    /**
+     * Reserve an extent on @p device without ingesting any bytes —
+     * the caller delivers them device-side (P2P shard rebalance
+     * writes through the destination controller, not the host path).
+     */
+    FileExtent reserveExtent(unsigned device, const std::string &name,
+                             std::uint64_t size_bytes);
 
     /** Look up a previously created file. */
     const FileExtent &file(const std::string &name) const;
@@ -95,8 +140,11 @@ class HostSystem
     /** Functional read-back of a file's bytes (validation). */
     std::vector<std::uint8_t> fileBytes(const FileExtent &extent) const;
 
-    /** The SSD exposed through the StorageBackend interface. */
-    StorageBackend &ssdBackend() { return *_ssdBackend; }
+    /** SSD @p device exposed through the StorageBackend interface. */
+    StorageBackend &ssdBackend(unsigned device = 0)
+    {
+        return *_ssdBackends.at(device);
+    }
 
     /**
      * Register every component's statistics under conventional
@@ -106,27 +154,35 @@ class HostSystem
     void registerStats(sim::stats::StatSet &set);
 
   private:
+    /** Effective SsdConfig for device @p d (override or template),
+     *  with the fleet label stamped for devices >= 1. */
+    ssd::SsdConfig deviceConfig(unsigned d) const;
+
     SystemConfig _config;
     sim::EventQueue _eq;
     pcie::PcieSwitch _fabric;
 
+    /** Port order is fixed for reproducibility: host(0), ssd(1),
+     *  gpu(2), then extra fleet SSDs ssd1, ssd2, ... */
     pcie::PortId _hostPort;
-    pcie::PortId _ssdPort;
+    std::vector<pcie::PortId> _ssdPorts;
     pcie::PortId _gpuPort;
 
     HostMemory _mem;
     HostCpu _cpu;
     OsModel _os;
     PowerModel _power;
-    std::unique_ptr<ssd::SsdController> _ssd;
+    std::vector<std::unique_ptr<ssd::SsdController>> _ssds;
     std::unique_ptr<Gpu> _gpu;
-    nvme::NvmeDriver _driver;
-    std::vector<std::uint16_t> _ioQueues;
-    std::unique_ptr<NvmeBackend> _ssdBackend;
+    std::vector<std::unique_ptr<nvme::NvmeDriver>> _drivers;
+    /** [device][core] -> queue id. */
+    std::vector<std::vector<std::uint16_t>> _ioQueues;
+    std::vector<std::unique_ptr<NvmeBackend>> _ssdBackends;
 
     pcie::Addr _hostAllocTop;
     pcie::Addr _hostAllocBase;
-    std::uint64_t _nextFileByte;
+    /** Per-device file-placement cursor (page aligned). */
+    std::vector<std::uint64_t> _nextFileByte;
     std::unordered_map<std::string, FileExtent> _files;
 };
 

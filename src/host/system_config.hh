@@ -12,6 +12,8 @@
 #ifndef MORPHEUS_HOST_SYSTEM_CONFIG_HH
 #define MORPHEUS_HOST_SYSTEM_CONFIG_HH
 
+#include <vector>
+
 #include "host/cpu_model.hh"
 #include "host/gpu_model.hh"
 #include "host/host_memory.hh"
@@ -41,8 +43,27 @@ struct SystemConfig
 
     /** I/O queue depth per NVMe queue pair. */
     std::uint16_t queueEntries = 256;
-    /** Number of I/O queue pairs (NVMe convention: one per core). */
+    /** Number of I/O queue pairs per device (one per core). */
     unsigned ioQueues = 4;
+
+    /**
+     * Number of SSDs behind the switch — the shard fleet size. The
+     * default single device is bit-identical to the pre-fleet
+     * platform: same port numbering, queue rings, trace tracks, and
+     * trace ids. Devices beyond the first get ports after the GPU's,
+     * labels "dev1", "dev2", ... and their own NVMe driver + queue
+     * pairs + trace-id block.
+     */
+    unsigned numSsds = 1;
+
+    /** Per-device geometry overrides (FleetTopology fills this from
+     *  JSON). Device d uses ssdConfigs[d] when present, else the
+     *  template `ssd` above. */
+    std::vector<ssd::SsdConfig> ssdConfigs;
+
+    /** Link overrides for extra SSD ports: device d >= 1 uses
+     *  ssdLinks[d-1] when present, else `ssdLink`. */
+    std::vector<pcie::LinkConfig> ssdLinks;
 
     /** Bus address where the GPU BAR window is mapped by NVMe-P2P. */
     pcie::Addr gpuBarBase = 1ULL << 40;

@@ -122,7 +122,11 @@ struct Command
     std::uint32_t cdw15 = 0;      ///< MINIT: submitting tenant ID.
     /** Observability trace id, stamped by the driver at submission.
      *  Rides in the SQE's spare CDW2 bytes so every layer that decodes
-     *  the command can attribute its work (0 = untraced). */
+     *  the command can attribute its work (0 = untraced). In a
+     *  multi-SSD fleet each device's driver stamps ids from its own
+     *  block (device d uses d<<24 | counter, see
+     *  NvmeDriver::setTraceIdBase), so ids stay unique fleet-wide and
+     *  a merged trace never attributes one device's work to another. */
     std::uint32_t traceId = 0;
 
     /** Number of logical blocks (NVMe encodes nlb as 0-based). */

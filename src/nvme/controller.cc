@@ -107,7 +107,7 @@ NvmeController::ringDoorbell(std::uint16_t qid, sim::Tick now)
             // Front-end decode/dispatch occupancy (acquireUntil returns
             // start + commandOverhead, so the begin tick is exact).
             obs::Span dispatch;
-            dispatch.track = "nvme.frontend";
+            dispatch.track = _trackPrefix + "nvme.frontend";
             dispatch.name = "dispatch";
             dispatch.category = "nvme";
             dispatch.begin = dispatched - _config.commandOverhead;
@@ -118,7 +118,8 @@ NvmeController::ringDoorbell(std::uint16_t qid, sim::Tick now)
                 // Umbrella over the firmware's handling of the command;
                 // the device layers nest their own spans inside it.
                 obs::Span exec;
-                exec.track = "nvme.exec[" + std::to_string(qid) + "]";
+                exec.track =
+                    _trackPrefix + "nvme.exec[" + std::to_string(qid) + "]";
                 exec.name = opcodeName(cmd.opcode);
                 exec.category = "nvme";
                 exec.begin = dispatched;
@@ -143,7 +144,8 @@ NvmeController::ringDoorbell(std::uint16_t qid, sim::Tick now)
             ++_cqesDropped;
             if (auto *sink = obs::traceSink()) {
                 obs::Span d;
-                d.track = "nvme.exec[" + std::to_string(qid) + "]";
+                d.track = _trackPrefix + "nvme.exec[" +
+                          std::to_string(qid) + "]";
                 d.name = "cqe_dropped";
                 d.category = "nvme";
                 d.begin = result.done;

@@ -66,6 +66,16 @@ class NvmeController
     void setHandler(CommandHandler handler);
 
     /**
+     * Fleet runs: prefix the controller's span tracks
+     * ("dev1.nvme.frontend") so two controllers' activity doesn't
+     * interleave on one trace track. Empty = classic names (device 0).
+     */
+    void setTrackPrefix(const std::string &prefix)
+    {
+        _trackPrefix = prefix;
+    }
+
+    /**
      * Create an I/O queue pair whose rings notionally live at the host
      * bus addresses @p sq_base / @p cq_base. @return queue id (>= 1;
      * following NVMe, 0 would be the admin queue).
@@ -104,6 +114,8 @@ class NvmeController
     pcie::PcieSwitch &_fabric;
     pcie::PortId _port;
     ControllerConfig _config;
+    /** Span-track prefix ("" for device 0, "dev1." etc. in a fleet). */
+    std::string _trackPrefix;
     CommandHandler _handler;
     std::vector<std::unique_ptr<QueuePair>> _queues;
 

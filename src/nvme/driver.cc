@@ -106,7 +106,8 @@ NvmeDriver::noteReaped(std::uint16_t qid, const Completion &cqe)
     if (auto *sink = obs::traceSink()) {
         const InflightTrace &t = it->second;
         obs::Span span;
-        span.track = "host.queue[" + std::to_string(qid) + "]";
+        span.track =
+            _trackPrefix + "host.queue[" + std::to_string(qid) + "]";
         span.name = opcodeName(t.opcode);
         span.category = "nvme";
         span.begin = t.rungAt;
@@ -155,7 +156,8 @@ NvmeDriver::wait(const Submitted &token)
             ++_timeouts;
             if (auto *sink = obs::traceSink()) {
                 obs::Span s;
-                s.track = "host.queue[" + std::to_string(token.qid) + "]";
+                s.track = _trackPrefix + "host.queue[" +
+                          std::to_string(token.qid) + "]";
                 s.name = "timeout_abort";
                 s.category = "nvme";
                 s.begin = cqe.postedAt;
@@ -232,7 +234,8 @@ NvmeDriver::ioRetry(std::uint16_t qid, Command cmd, sim::Tick now)
         }
         if (auto *sink = obs::traceSink()) {
             obs::Span s;
-            s.track = "host.queue[" + std::to_string(qid) + "]";
+            s.track =
+                _trackPrefix + "host.queue[" + std::to_string(qid) + "]";
             s.name = "retry";
             s.category = "nvme";
             s.begin = cqe.postedAt;

@@ -119,6 +119,27 @@ class NvmeDriver
      *  fresh ioRetry() calls this so the retry shows up too. */
     void noteRetry() { ++_retries; }
 
+    /**
+     * Fleet runs: prefix every span track this driver emits (e.g.
+     * "dev1.host.queue[0]") so two devices' host-side queue activity
+     * never interleaves on one Perfetto track. Empty (device 0, the
+     * default) leaves the classic track names untouched.
+     */
+    void setTrackPrefix(const std::string &prefix)
+    {
+        _trackPrefix = prefix;
+    }
+    const std::string &trackPrefix() const { return _trackPrefix; }
+
+    /**
+     * Partition the trace-id space per device. Trace ids ride the
+     * SQE's spare CDW2 bytes, so ids from two drivers would collide in
+     * a fleet trace; giving driver d base d<<24 keeps every id unique
+     * device-wide (16M commands per device before wrap). Device 0's
+     * ids (base 0) are bit-identical to the single-SSD ones.
+     */
+    void setTraceIdBase(obs::TraceId base) { _nextTraceId = base + 1; }
+
     std::uint64_t completionsReaped() const { return _reaped.value(); }
     std::uint64_t retriesIssued() const { return _retries.value(); }
     std::uint64_t timeoutsSynthesized() const { return _timeouts.value(); }
@@ -128,6 +149,8 @@ class NvmeDriver
     void noteReaped(std::uint16_t qid, const Completion &cqe);
 
     NvmeController &_controller;
+    /** Span-track prefix ("" for device 0, "dev1." etc. in a fleet). */
+    std::string _trackPrefix;
     std::unordered_map<std::uint16_t, std::uint16_t> _nextCid;
     /** (qid << 16 | cid) -> completion already reaped out of order. */
     std::unordered_map<std::uint32_t, Completion> _pending;

@@ -11,9 +11,11 @@ namespace morpheus::sched {
 
 CoreDispatcher::CoreDispatcher(const SchedConfig &config,
                                unsigned num_cores, LoadProbe probe,
-                               DsramProbe dsram_probe)
+                               DsramProbe dsram_probe,
+                               std::string track_prefix)
     : _config(config), _numCores(num_cores), _probe(std::move(probe)),
-      _dsramProbe(std::move(dsram_probe)), _residents(num_cores, 0),
+      _dsramProbe(std::move(dsram_probe)),
+      _trackPrefix(std::move(track_prefix)), _residents(num_cores, 0),
       _pendingBytes(num_cores, 0)
 {
     MORPHEUS_ASSERT(num_cores > 0, "dispatcher needs at least one core");
@@ -23,12 +25,12 @@ namespace {
 
 /** Dispatcher decisions are point events on one shared track. */
 void
-recordDispatch(const char *name, sim::Tick at, std::uint32_t instance,
-               unsigned core)
+recordDispatch(const std::string &prefix, const char *name, sim::Tick at,
+               std::uint32_t instance, unsigned core)
 {
     if (auto *sink = obs::traceSink()) {
         obs::Span s;
-        s.track = "sched.dispatcher";
+        s.track = prefix + "sched.dispatcher";
         s.name = name;
         s.category = "sched";
         s.begin = at;
@@ -108,7 +110,7 @@ CoreDispatcher::placeInstance(std::uint32_t instance, sim::Tick now,
     ++_residents[core];
     _pendingBytes[core] += declared_bytes;
     ++_placements;
-    recordDispatch("place", now, instance, core);
+    recordDispatch(_trackPrefix, "place", now, instance, core);
     return core;
 }
 
@@ -158,7 +160,7 @@ CoreDispatcher::coreForChunk(std::uint32_t instance, sim::Tick now)
     _pendingBytes[best] += pending;
     _coreOf[instance] = best;
     ++_migrations;
-    recordDispatch("migrate", now, instance, best);
+    recordDispatch(_trackPrefix, "migrate", now, instance, best);
     return ChunkPlacement{best, true, current};
 }
 
@@ -176,7 +178,7 @@ CoreDispatcher::cancelMigration(std::uint32_t instance, unsigned previous,
     _pendingBytes[previous] += pending;
     _coreOf[instance] = previous;
     ++_migrationsCancelled;
-    recordDispatch("migrate_cancel", now, instance, previous);
+    recordDispatch(_trackPrefix, "migrate_cancel", now, instance, previous);
 }
 
 void

@@ -46,8 +46,12 @@ class CoreDispatcher
     /** Returns core @p idx's unreserved D-SRAM bytes. */
     using DsramProbe = std::function<std::uint32_t(unsigned)>;
 
+    /** @p track_prefix prefixes the "sched.dispatcher" trace track
+     *  ("dev1.sched.dispatcher") so fleet runs keep one track per
+     *  device; empty (the default) keeps the classic name. */
     CoreDispatcher(const SchedConfig &config, unsigned num_cores,
-                   LoadProbe probe, DsramProbe dsram_probe = {});
+                   LoadProbe probe, DsramProbe dsram_probe = {},
+                   std::string track_prefix = {});
 
     /**
      * Pick the core for a new instance (MINIT). @p dsram_needed is the
@@ -118,6 +122,7 @@ class CoreDispatcher
     const unsigned _numCores;
     LoadProbe _probe;
     DsramProbe _dsramProbe;
+    const std::string _trackPrefix;
 
     std::unordered_map<std::uint32_t, unsigned> _coreOf;
     /** Scratchpad grant each instance was placed with (packing + the

@@ -6,19 +6,20 @@ namespace morpheus::sched {
 
 namespace {
 
-/** Per-tenant scheduling track ("sched.tenant[N]"). */
+/** Per-tenant scheduling track ("sched.tenant[N]", device-prefixed). */
 std::string
-tenantTrack(std::uint32_t tenant)
+tenantTrack(const std::string &prefix, std::uint32_t tenant)
 {
-    return "sched.tenant[" + std::to_string(tenant) + "]";
+    return prefix + "sched.tenant[" + std::to_string(tenant) + "]";
 }
 
 void
-recordSchedInstant(obs::TraceSink &sink, const nvme::Command &cmd,
-                   std::uint32_t tenant, const char *name, sim::Tick at)
+recordSchedInstant(obs::TraceSink &sink, const std::string &prefix,
+                   const nvme::Command &cmd, std::uint32_t tenant,
+                   const char *name, sim::Tick at)
 {
     obs::Span s;
-    s.track = tenantTrack(tenant);
+    s.track = tenantTrack(prefix, tenant);
     s.name = name;
     s.category = "sched";
     s.begin = at;
@@ -31,12 +32,12 @@ recordSchedInstant(obs::TraceSink &sink, const nvme::Command &cmd,
 }
 
 void
-recordSchedWait(obs::TraceSink &sink, const nvme::Command &cmd,
-                std::uint32_t tenant, const char *name, sim::Tick arrival,
-                sim::Tick start)
+recordSchedWait(obs::TraceSink &sink, const std::string &prefix,
+                const nvme::Command &cmd, std::uint32_t tenant,
+                const char *name, sim::Tick arrival, sim::Tick start)
 {
     obs::Span s;
-    s.track = tenantTrack(tenant);
+    s.track = tenantTrack(prefix, tenant);
     s.name = name;
     s.category = "sched";
     s.begin = arrival;
@@ -51,10 +52,12 @@ recordSchedWait(obs::TraceSink &sink, const nvme::Command &cmd,
 
 SsdScheduler::SsdScheduler(const SchedConfig &config, unsigned num_cores,
                            CoreDispatcher::LoadProbe probe,
-                           CoreDispatcher::DsramProbe dsram_probe)
-    : _config(config), _arbiter(config),
+                           CoreDispatcher::DsramProbe dsram_probe,
+                           std::string track_prefix)
+    : _config(config), _trackPrefix(std::move(track_prefix)),
+      _arbiter(config),
       _dispatcher(config, num_cores, std::move(probe),
-                  std::move(dsram_probe))
+                  std::move(dsram_probe), _trackPrefix)
 {
 }
 
@@ -69,14 +72,14 @@ SsdScheduler::admitCommand(const nvme::Command &cmd, sim::Tick arrival)
             cmd.cdw15, cmd.instanceId, arrival, cmd.slba);
         if (auto *sink = obs::traceSink()) {
             if (d.rejected) {
-                recordSchedInstant(*sink, cmd, cmd.cdw15,
+                recordSchedInstant(*sink, _trackPrefix, cmd, cmd.cdw15,
                                    "admission_reject", arrival);
             } else if (d.retry) {
-                recordSchedInstant(*sink, cmd, cmd.cdw15,
+                recordSchedInstant(*sink, _trackPrefix, cmd, cmd.cdw15,
                                    "admission_bounce", arrival);
             } else if (d.start > arrival) {
-                recordSchedWait(*sink, cmd, cmd.cdw15, "admission_wait",
-                                arrival, d.start);
+                recordSchedWait(*sink, _trackPrefix, cmd, cmd.cdw15,
+                                "admission_wait", arrival, d.start);
             }
         }
         if (d.rejected)
@@ -95,7 +98,7 @@ SsdScheduler::admitCommand(const nvme::Command &cmd, sim::Tick arrival)
             _arbiter.admitData(cmd.instanceId, bytes, arrival);
         if (auto *sink = obs::traceSink()) {
             if (start > arrival) {
-                recordSchedWait(*sink, cmd,
+                recordSchedWait(*sink, _trackPrefix, cmd,
                                 _arbiter.tenantOf(cmd.instanceId),
                                 "drr_wait", arrival, start);
             }
@@ -117,8 +120,9 @@ SsdScheduler::onCommandDone(const nvme::Command &cmd, sim::Tick start,
             if (result.status == nvme::Status::kDsramExhausted) {
                 ++_dsramBounces;
                 if (auto *sink = obs::traceSink()) {
-                    recordSchedInstant(*sink, cmd, cmd.cdw15,
-                                       "dsram_bounce", result.done);
+                    recordSchedInstant(*sink, _trackPrefix, cmd,
+                                       cmd.cdw15, "dsram_bounce",
+                                       result.done);
                 }
             }
             // The runtime refused the instance after admission (bad

@@ -40,9 +40,13 @@ struct FrontEndDecision
 class SsdScheduler
 {
   public:
+    /** @p track_prefix prefixes the scheduler's trace tracks
+     *  ("dev1.sched.tenant[N]", "dev1.sched.dispatcher") so fleet runs
+     *  keep one track per device; empty keeps the classic names. */
     SsdScheduler(const SchedConfig &config, unsigned num_cores,
                  CoreDispatcher::LoadProbe probe,
-                 CoreDispatcher::DsramProbe dsram_probe = {});
+                 CoreDispatcher::DsramProbe dsram_probe = {},
+                 std::string track_prefix = {});
 
     const SchedConfig &config() const { return _config; }
     TenantArbiter &arbiter() { return _arbiter; }
@@ -70,6 +74,8 @@ class SsdScheduler
 
   private:
     const SchedConfig _config;
+    /** Span-track prefix ("" for device 0, "dev1." etc. in a fleet). */
+    const std::string _trackPrefix;
     TenantArbiter _arbiter;
     CoreDispatcher _dispatcher;
     /** MINITs the runtime bounced for lack of D-SRAM budget. */

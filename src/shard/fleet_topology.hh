@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fleet topology: how many SSDs sit behind the switch, how requests
+ * shard across them, and (optionally) per-device geometry — loadable
+ * from a small JSON file so device count and fan-out are runtime
+ * configuration rather than a hardcode.
+ *
+ * JSON shape (every key optional):
+ *
+ *   {
+ *     "ssds": 4,
+ *     "policy": "hash",            // or "range"
+ *     "stripeKiB": 1024,
+ *     "devices": [                 // per-device overrides, in order
+ *       {"cores": 4, "channels": 8, "diesPerChannel": 4,
+ *        "dramMiB": 2048, "label": "rack0"},
+ *       {}                         // empty = inherit the template SSD
+ *     ]
+ *   }
+ *
+ * Unknown keys are ignored (forward compatibility); malformed JSON is
+ * a fatal configuration error.
+ */
+
+#ifndef MORPHEUS_SHARD_FLEET_TOPOLOGY_HH
+#define MORPHEUS_SHARD_FLEET_TOPOLOGY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "host/system_config.hh"
+#include "shard/shard_router.hh"
+
+namespace morpheus::shard {
+
+/** Geometry overrides for one fleet device (0 = inherit template). */
+struct DeviceSpec
+{
+    unsigned cores = 0;
+    unsigned channels = 0;
+    unsigned diesPerChannel = 0;
+    std::uint64_t dramBytes = 0;
+    std::string label;
+};
+
+/** The fleet-level configuration. */
+struct FleetTopology
+{
+    unsigned numSsds = 1;
+    ShardPolicy policy = ShardPolicy::kHash;
+    std::uint64_t stripeBytes = ShardRouter::kDefaultStripeBytes;
+    /** Per-device overrides; devices beyond the list inherit the
+     *  SystemConfig's template SSD. */
+    std::vector<DeviceSpec> devices;
+
+    /** Stamp the topology into @p sys: numSsds plus one SsdConfig per
+     *  overridden device (template-derived, overrides applied). */
+    void apply(host::SystemConfig &sys) const;
+
+    /** A router configured with this topology's policy and stripe. */
+    ShardRouter makeRouter() const
+    {
+        return ShardRouter(numSsds, policy, stripeBytes);
+    }
+
+    /** Parse the JSON text above (fatal on malformed input). */
+    static FleetTopology fromJson(const std::string &text);
+
+    /** fromJson() over the contents of @p path. */
+    static FleetTopology fromFile(const std::string &path);
+};
+
+}  // namespace morpheus::shard
+
+#endif  // MORPHEUS_SHARD_FLEET_TOPOLOGY_HH

@@ -92,9 +92,14 @@ struct EmbeddedCoreConfig
 class EmbeddedCore
 {
   public:
-    EmbeddedCore(unsigned id, const EmbeddedCoreConfig &config)
+    /** @p track_prefix prefixes this core's occupancy track
+     *  ("dev1.ssd.core[0]") in fleet runs; empty keeps the classic
+     *  single-device name. */
+    EmbeddedCore(unsigned id, const EmbeddedCoreConfig &config,
+                 const std::string &track_prefix = {})
         : _id(id), _config(config),
-          _timeline("ssd.core[" + std::to_string(id) + "]")
+          _timeline(track_prefix + "ssd.core[" + std::to_string(id) +
+                    "]")
     {}
 
     unsigned id() const { return _id; }

@@ -13,17 +13,24 @@ SsdController::SsdController(sim::EventQueue &eq,
                              pcie::PcieSwitch &fabric, pcie::PortId port,
                              const SsdConfig &config)
     : _eq(eq), _fabric(fabric), _port(port), _config(config),
+      _trackPrefix(config.label.empty() ? std::string()
+                                        : config.label + "."),
       _flash(std::make_unique<flash::FlashArray>(eq, config.flash)),
       _ftl(std::make_unique<ftl::Ftl>(eq, *_flash, config.ftl)),
-      _nvme(fabric, port, config.nvme)
+      _nvme(fabric, port, config.nvme),
+      _dram(_trackPrefix + "ssd.dram")
 {
     MORPHEUS_ASSERT(config.numCores > 0, "SSD with no embedded cores");
-    for (unsigned i = 0; i < config.numCores; ++i)
-        _cores.push_back(std::make_unique<EmbeddedCore>(i, config.core));
+    _nvme.setTrackPrefix(_trackPrefix);
+    for (unsigned i = 0; i < config.numCores; ++i) {
+        _cores.push_back(
+            std::make_unique<EmbeddedCore>(i, config.core, _trackPrefix));
+    }
     _sched = std::make_unique<sched::SsdScheduler>(
         config.sched, config.numCores,
         [this](unsigned c) { return _cores[c]->timeline().freeAt(); },
-        [this](unsigned c) { return _cores[c]->dsramFree(); });
+        [this](unsigned c) { return _cores[c]->dsramFree(); },
+        _trackPrefix);
     _nvme.setHandler([this](const nvme::Command &cmd, sim::Tick start) {
         return handleCommand(cmd, start);
     });
@@ -246,7 +253,7 @@ SsdController::doRead(const nvme::Command &cmd, sim::Tick start)
         // leaves the device. The host retries (read-retry recoverable).
         if (auto *sink = obs::traceSink()) {
             obs::Span s;
-            s.track = "ssd.firmware";
+            s.track = _trackPrefix + "ssd.firmware";
             s.name = "media_error";
             s.category = "ssd";
             s.begin = buffered;

@@ -64,6 +64,12 @@ struct SsdConfig
     /** Controller DRAM (buffers + FTL tables). */
     std::uint64_t dramBytes = 2ULL * sim::kGiB;
     double dramBytesPerSec = 6.4 * sim::kGBps;  // DDR3-800 x64
+
+    /** Device label for a fleet ("dev1"): prefixes every span track
+     *  this device emits so two devices never share a trace track.
+     *  Empty (the default, and always device 0) keeps the classic
+     *  single-SSD track names bit-identical. */
+    std::string label;
 };
 
 /**
@@ -102,6 +108,10 @@ class SsdController
 
     const SsdConfig &config() const { return _config; }
     pcie::PortId port() const { return _port; }
+
+    /** Span-track prefix derived from SsdConfig::label ("dev1.", or ""
+     *  for the unlabeled / device-0 case). */
+    const std::string &trackPrefix() const { return _trackPrefix; }
 
     nvme::NvmeController &nvme() { return _nvme; }
     ftl::Ftl &ftl() { return *_ftl; }
@@ -202,12 +212,14 @@ class SsdController
     pcie::PcieSwitch &_fabric;
     pcie::PortId _port;
     SsdConfig _config;
+    /** Span-track prefix ("" for device 0, "dev1." etc. in a fleet). */
+    std::string _trackPrefix;
 
     std::unique_ptr<flash::FlashArray> _flash;
     std::unique_ptr<ftl::Ftl> _ftl;
     nvme::NvmeController _nvme;
     std::vector<std::unique_ptr<EmbeddedCore>> _cores;
-    sim::Timeline _dram{"ssd.dram"};
+    sim::Timeline _dram;
     std::unique_ptr<sched::SsdScheduler> _sched;
     MorpheusEngine *_engine = nullptr;
 

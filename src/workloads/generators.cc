@@ -200,4 +200,28 @@ genCooMatrix(std::uint64_t seed, std::uint32_t rows, std::uint32_t cols,
     return m;
 }
 
+ZipfianGenerator::ZipfianGenerator(std::uint32_t n, double s) : _s(s)
+{
+    MORPHEUS_ASSERT(n > 0, "zipfian over an empty item set");
+    MORPHEUS_ASSERT(s >= 0.0, "zipfian skew must be non-negative");
+    _cdf.resize(n);
+    double sum = 0.0;
+    for (std::uint32_t k = 0; k < n; ++k) {
+        sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+        _cdf[k] = sum;
+    }
+    for (std::uint32_t k = 0; k < n; ++k)
+        _cdf[k] /= sum;
+    _cdf.back() = 1.0;
+}
+
+std::uint32_t
+ZipfianGenerator::draw(sim::Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    const auto it = std::lower_bound(_cdf.begin(), _cdf.end(), u);
+    const auto idx = static_cast<std::uint32_t>(it - _cdf.begin());
+    return idx < size() ? idx : size() - 1;
+}
+
 }  // namespace morpheus::workloads

@@ -14,12 +14,48 @@
 #define MORPHEUS_WORKLOADS_GENERATORS_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "serde/csv.hh"
 #include "serde/formats.hh"
 #include "serde/json.hh"
 
+namespace morpheus::sim {
+class Rng;
+}
+
 namespace morpheus::workloads {
+
+/**
+ * Zipfian popularity distribution over n items: item k (0-based) is
+ * drawn with probability proportional to 1 / (k+1)^s. s = 0 degrades
+ * to uniform; s ~ 0.99 is the classic YCSB hot-spot skew. The CDF is
+ * precomputed at construction, and draw() consumes exactly one
+ * uniform double from the caller's Rng — so inserting a Zipfian
+ * choice into an existing request-generation loop shifts the stream
+ * by a fixed, predictable number of draws.
+ */
+class ZipfianGenerator
+{
+  public:
+    ZipfianGenerator(std::uint32_t n, double s);
+
+    /** Draw one item index in [0, n). Consumes one rng.nextDouble(). */
+    std::uint32_t draw(sim::Rng &rng) const;
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(_cdf.size());
+    }
+    double skew() const { return _s; }
+
+    /** P(item <= k), for tests and analytical checks. */
+    double cdf(std::uint32_t k) const { return _cdf.at(k); }
+
+  private:
+    double _s;
+    std::vector<double> _cdf;  ///< Inclusive prefix sums, back() == 1.
+};
 
 /**
  * Random directed graph with a skewed (preferential-attachment-style)

@@ -12,6 +12,7 @@
 #include "core/host_runtime.hh"
 #include "core/nvme_p2p.hh"
 #include "core/standard_apps.hh"
+#include "shard/shard_fabric.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
@@ -34,16 +35,26 @@ struct Request
     sim::Tick arrival = 0;
     unsigned tenantIdx = 0;
     unsigned classIdx = 0;  ///< Into the tenant's size classes.
+    unsigned objIdx = 0;    ///< Into the class's object instances.
 };
 
-/** A request's pre-ingested input file and object geometry. */
-struct SizeClass
+/** One pre-ingested object file a request can target. */
+struct ObjectInstance
 {
     host::FileExtent extent;
     std::uint64_t objectBytes = 0;
     /** Parse cost of the file, for the host-fallback path's CPU
      *  conversion charge (the paper's baseline model). */
     serde::ParseCost cost;
+    /** SSD holding the file (0 outside fleet runs). */
+    unsigned device = 0;
+};
+
+/** A request's size class: its object instances. Single-SSD runs keep
+ *  exactly one; fleet runs spread objectsPerClass across the SSDs. */
+struct SizeClass
+{
+    std::vector<ObjectInstance> objects;
 };
 
 /** Read-chunk size of the host-fallback path (matches the baseline
@@ -79,6 +90,7 @@ struct ActiveSession
 {
     core::InvokeSession session;
     unsigned requestIdx = 0;
+    unsigned device = 0;  ///< Which runtime the session belongs to.
 };
 
 /** Event-loop entry: what happens next and when. */
@@ -112,10 +124,19 @@ drawClass(const TenantSpec &tenant, sim::Rng &rng)
     return static_cast<unsigned>(tenant.sizeClassProb.size() - 1);
 }
 
+/** Draw the object instance within a size class: one extra Rng draw
+ *  only when there is a choice to make, so single-object runs keep the
+ *  classic draw sequence bit-identical. */
+unsigned
+drawObject(const ZipfianGenerator *zipf, sim::Rng &rng)
+{
+    return zipf != nullptr ? zipf->draw(rng) : 0;
+}
+
 /** Poisson (or on/off-modulated) arrival trace for one tenant. */
 std::vector<Request>
 genArrivals(const ServingOptions &opts, unsigned tenant_idx,
-            sim::Rng &rng)
+            const ZipfianGenerator *obj_zipf, sim::Rng &rng)
 {
     const TenantSpec &tenant = opts.tenants[tenant_idx];
     const sim::Tick horizon = static_cast<sim::Tick>(
@@ -156,6 +177,7 @@ genArrivals(const ServingOptions &opts, unsigned tenant_idx,
         r.arrival = static_cast<sim::Tick>(t_ps);
         r.tenantIdx = tenant_idx;
         r.classIdx = drawClass(tenant, rng);
+        r.objIdx = drawObject(obj_zipf, rng);
         out.push_back(r);
     }
     return out;
@@ -174,17 +196,24 @@ runServing(const ServingOptions &opts)
 {
     MORPHEUS_ASSERT(!opts.tenants.empty(), "serving without tenants");
     host::HostSystem sys(opts.sys);
-    sys.nvmeDriver().setRecovery(opts.recovery);
+    // One MorpheusRuntime per SSD; the fabric degrades to exactly the
+    // classic single-runtime construction when sys.numSsds == 1.
+    shard::ShardFabric fabric(sys, opts.shardPolicy);
+    fabric.setRecovery(opts.recovery);
     core::StandardImages images = core::StandardImages::make();
-    core::MorpheusDeviceRuntime device(sys.ssd());
-    core::NvmeP2p p2p(sys);
-    core::MorpheusRuntime runtime(sys, device, p2p);
 
-    auto &arbiter = sys.ssd().scheduler().arbiter();
     for (const TenantSpec &t : opts.tenants)
-        arbiter.setTenantWeight(t.id, t.weight);
+        fabric.setTenantWeight(t.id, t.weight);
 
-    // ---- ingest one file per (tenant, size class) --------------------
+    const unsigned num_ssds = sys.numSsds();
+    const unsigned objs_per_class = std::max(1u, opts.objectsPerClass);
+    std::optional<ZipfianGenerator> obj_zipf;
+    if (objs_per_class > 1)
+        obj_zipf.emplace(objs_per_class, opts.zipfSkew);
+    const ZipfianGenerator *zipf_ptr =
+        obj_zipf ? &*obj_zipf : nullptr;
+
+    // ---- ingest the object files per (tenant, size class) ------------
     std::vector<std::vector<SizeClass>> classes(opts.tenants.size());
     sim::Tick ingest_done = 0;
     for (unsigned ti = 0; ti < opts.tenants.size(); ++ti) {
@@ -194,19 +223,32 @@ runServing(const ServingOptions &opts)
                         "size class values/probabilities mismatch");
         classes[ti].resize(tenant.sizeClassValues.size());
         for (unsigned k = 0; k < tenant.sizeClassValues.size(); ++k) {
-            const AnyObject obj = genIntArray(
-                opts.seed + ti * 131 + k, tenant.sizeClassValues[k]);
-            const auto text = serializeObject(obj);
-            classes[ti][k].objectBytes = objectBytes(obj);
-            // Reference parse for the host-fallback conversion charge.
-            parseObject(ObjectKind::kIntArray, text.data(), text.size(),
-                        &classes[ti][k].cost);
-            classes[ti][k].extent = sys.createFile(
-                "serve.t" + std::to_string(tenant.id) + ".c" +
-                    std::to_string(k),
-                text);
-            ingest_done = std::max(ingest_done,
-                                   classes[ti][k].extent.readyAt);
+            classes[ti][k].objects.resize(objs_per_class);
+            for (unsigned o = 0; o < objs_per_class; ++o) {
+                ObjectInstance &inst = classes[ti][k].objects[o];
+                const AnyObject obj = genIntArray(
+                    opts.seed + ti * 131 + k + o * 7919,
+                    tenant.sizeClassValues[k]);
+                const auto text = serializeObject(obj);
+                inst.objectBytes = objectBytes(obj);
+                // Reference parse for the host-fallback conversion
+                // charge.
+                parseObject(ObjectKind::kIntArray, text.data(),
+                            text.size(), &inst.cost);
+                // Single-object classes keep the classic file name so
+                // single-SSD runs stay bit-identical.
+                std::string name = "serve.t" +
+                                   std::to_string(tenant.id) + ".c" +
+                                   std::to_string(k);
+                if (objs_per_class > 1)
+                    name += ".o" + std::to_string(o);
+                if (num_ssds > 1)
+                    inst.device = fabric.router().shardForKey(name);
+                inst.extent =
+                    sys.createFileOn(inst.device, name, text);
+                ingest_done =
+                    std::max(ingest_done, inst.extent.readyAt);
+            }
         }
     }
 
@@ -224,13 +266,14 @@ runServing(const ServingOptions &opts)
                 Request r;
                 r.tenantIdx = ti;
                 r.classIdx = drawClass(opts.tenants[ti], rng);
+                r.objIdx = drawObject(zipf_ptr, rng);
                 requests.push_back(r);
             }
         }
     } else {
         for (unsigned ti = 0; ti < opts.tenants.size(); ++ti) {
             sim::Rng rng(opts.seed * 1000003u + opts.tenants[ti].id);
-            auto trace = genArrivals(opts, ti, rng);
+            auto trace = genArrivals(opts, ti, zipf_ptr, rng);
             requests.insert(requests.end(), trace.begin(), trace.end());
         }
         // Arrivals start after ingest so admission sees a settled
@@ -329,7 +372,8 @@ runServing(const ServingOptions &opts)
     // at 100% while the device path is faulting.
     auto fallback_request = [&](unsigned req_idx, sim::Tick when) {
         const Request &req = requests[req_idx];
-        const SizeClass &cls = classes[req.tenantIdx][req.classIdx];
+        const ObjectInstance &inst =
+            classes[req.tenantIdx][req.classIdx].objects[req.objIdx];
         const unsigned core =
             req.tenantIdx % sys.cpu().config().cores;
         host::OsModel &os = sys.os();
@@ -337,19 +381,19 @@ runServing(const ServingOptions &opts)
 
         // Raw staging buffer X and the object buffer Y.
         const pcie::Addr buf_x = sys.allocHost(kFallbackChunkBytes);
-        sys.allocHost(cls.objectBytes);
+        sys.allocHost(inst.objectBytes);
         const sim::Tick opened = os.syscall(core, when);  // open()
         sim::Tick cpu_cursor = os.pageFaults(
-            core, os.faultsForBytes(cls.objectBytes), opened);
+            core, os.faultsForBytes(inst.objectBytes), opened);
 
-        const std::uint64_t file_bytes = cls.extent.sizeBytes;
-        const double total_convert = cpu.convertCycles(cls.cost);
+        const std::uint64_t file_bytes = inst.extent.sizeBytes;
+        const double total_convert = cpu.convertCycles(inst.cost);
         std::uint64_t offset = 0;
         while (offset < file_bytes) {
             const std::uint64_t len = std::min<std::uint64_t>(
                 kFallbackChunkBytes, file_bytes - offset);
-            const sim::Tick io_done = sys.ssdBackend().read(
-                cls.extent.startByte + offset, len, buf_x, when);
+            const sim::Tick io_done = sys.ssdBackend(inst.device).read(
+                inst.extent.startByte + offset, len, buf_x, when);
             const sim::Tick ready = std::max(cpu_cursor, io_done);
             const sim::Tick fs_done =
                 os.blockingReadOverhead(core, len, ready);
@@ -358,7 +402,7 @@ runServing(const ServingOptions &opts)
                 static_cast<double>(file_bytes);
             cpu_cursor = cpu.execute(core, convert, fs_done);
             sys.mem().cpuAccess(
-                len, cls.objectBytes * len / file_bytes, fs_done);
+                len, inst.objectBytes * len / file_bytes, fs_done);
             offset += len;
         }
         recordBreakerInstant("fallback",
@@ -367,7 +411,7 @@ runServing(const ServingOptions &opts)
         out.completed = true;
         out.fellBack = true;
         out.latency = cpu_cursor - req.arrival;
-        out.servedBytes = cls.objectBytes;
+        out.servedBytes = inst.objectBytes;
         last_done = std::max(last_done, cpu_cursor);
         release_parked(cpu_cursor);
         issue_next(req.tenantIdx, cpu_cursor);
@@ -403,7 +447,9 @@ runServing(const ServingOptions &opts)
     auto start_request = [&](unsigned req_idx, sim::Tick when) {
         const Request &req = requests[req_idx];
         const TenantSpec &tenant = opts.tenants[req.tenantIdx];
-        const SizeClass &cls = classes[req.tenantIdx][req.classIdx];
+        const ObjectInstance &inst =
+            classes[req.tenantIdx][req.classIdx].objects[req.objIdx];
+        core::MorpheusRuntime &runtime = fabric.runtime(inst.device);
 
         Breaker &br = breakers[req.tenantIdx];
         if (br.open) {
@@ -425,9 +471,9 @@ runServing(const ServingOptions &opts)
         iopts.flushThreshold = opts.flushThreshold;
         iopts.tenantId = tenant.id;
         const core::DmaTarget target =
-            runtime.hostTarget(cls.objectBytes);
+            runtime.hostTarget(inst.objectBytes);
         const core::MsStream stream =
-            runtime.streamCreate(cls.extent, when, iopts.hostCore);
+            runtime.streamCreate(inst.extent, when, iopts.hostCore);
 
         core::InvokeSession s = runtime.beginInvoke(
             image, stream, target, when, iopts);
@@ -463,10 +509,12 @@ runServing(const ServingOptions &opts)
         if (!free_slots.empty()) {
             slot = free_slots.back();
             free_slots.pop_back();
-            active[slot] = ActiveSession{std::move(s), req_idx};
+            active[slot] =
+                ActiveSession{std::move(s), req_idx, inst.device};
         } else {
             slot = static_cast<unsigned>(active.size());
-            active.push_back(ActiveSession{std::move(s), req_idx});
+            active.push_back(
+                ActiveSession{std::move(s), req_idx, inst.device});
         }
         events.push(Event{active[slot].session.now, seq++, Event::kStep,
                           slot});
@@ -480,6 +528,7 @@ runServing(const ServingOptions &opts)
             continue;
         }
         ActiveSession &as = active[ev.idx];
+        core::MorpheusRuntime &runtime = fabric.runtime(as.device);
         if (!as.session.streamDone() && !as.session.failed) {
             const sim::Tick next = runtime.stepInvoke(as.session);
             if (!as.session.streamDone() && !as.session.failed) {
@@ -595,10 +644,49 @@ runServing(const ServingOptions &opts)
                   (static_cast<double>(report.makespan) /
                    static_cast<double>(sim::kPsPerSec))
             : 0.0;
-    report.migrations = sys.ssd().scheduler().dispatcher().migrations();
-    report.drrDelays = arbiter.dataDelays();
-    report.driverRetries = sys.nvmeDriver().retriesIssued();
-    report.driverTimeouts = sys.nvmeDriver().timeoutsSynthesized();
+    for (unsigned d = 0; d < num_ssds; ++d) {
+        report.migrations +=
+            sys.ssd(d).scheduler().dispatcher().migrations();
+        report.drrDelays +=
+            sys.ssd(d).scheduler().arbiter().dataDelays();
+        report.driverRetries += sys.nvmeDriver(d).retriesIssued();
+        report.driverTimeouts +=
+            sys.nvmeDriver(d).timeoutsSynthesized();
+    }
+
+    // ---- per-shard view (fleet runs only) ----------------------------
+    if (num_ssds > 1) {
+        std::vector<sim::stats::Histogram> shard_lat;
+        shard_lat.reserve(num_ssds);
+        for (unsigned d = 0; d < num_ssds; ++d)
+            shard_lat.emplace_back(0.0, kLatHiUs, kLatBuckets);
+        report.shards.resize(num_ssds);
+        for (unsigned d = 0; d < num_ssds; ++d)
+            report.shards[d].device = d;
+        for (unsigned i = 0; i < requests.size(); ++i) {
+            const Request &req = requests[i];
+            const ObjectInstance &inst =
+                classes[req.tenantIdx][req.classIdx]
+                    .objects[req.objIdx];
+            ShardReport &sr = report.shards[inst.device];
+            ++sr.requests;
+            if (!outcomes[i].completed)
+                continue;
+            ++sr.completed;
+            sr.servedBytes += outcomes[i].servedBytes;
+            shard_lat[inst.device].sample(
+                ticksToUs(outcomes[i].latency));
+        }
+        for (unsigned d = 0; d < num_ssds; ++d) {
+            ShardReport &sr = report.shards[d];
+            const sim::stats::Histogram &lat = shard_lat[d];
+            sr.meanUs = lat.mean();
+            sr.maxUs = lat.max();
+            sr.p50Us = lat.samples() ? lat.quantile(0.50) : 0.0;
+            sr.p95Us = lat.samples() ? lat.quantile(0.95) : 0.0;
+            sr.p99Us = lat.samples() ? lat.quantile(0.99) : 0.0;
+        }
+    }
 
     // ---- federate metrics (values must be snapshotted before `sys`
     //      and the device stats die with this scope) -------------------
@@ -606,7 +694,13 @@ runServing(const ServingOptions &opts)
         obs::MetricsRegistry &reg = *opts.metrics;
         sim::stats::StatSet set;
         sys.registerStats(set);
-        device.registerStats(set, "morpheus");
+        // Device 0 keeps the classic "morpheus" prefix; fleet devices
+        // federate under "morpheus1", "morpheus2", ...
+        for (unsigned d = 0; d < num_ssds; ++d) {
+            fabric.deviceRuntime(d).registerStats(
+                set,
+                d == 0 ? "morpheus" : "morpheus" + std::to_string(d));
+        }
         reg.absorb(set, "sys.");
         for (const TenantReport &tr : report.tenants) {
             const std::string p =
@@ -643,6 +737,27 @@ runServing(const ServingOptions &opts)
         reg.setScalar("serving.jain_fairness", report.jainFairness);
         reg.setScalar("serving.throughput_per_sec",
                       report.throughputPerSec);
+        if (num_ssds > 1) {
+            for (const ShardReport &sr : report.shards) {
+                const std::string p =
+                    "shard." + std::to_string(sr.device) + ".";
+                reg.setCounter(p + "requests", sr.requests);
+                reg.setCounter(p + "completed", sr.completed);
+                reg.setCounter(p + "servedBytes", sr.servedBytes);
+                reg.setScalar(p + "mean_us", sr.meanUs);
+                reg.setScalar(p + "p50_us", sr.p50Us);
+                reg.setScalar(p + "p95_us", sr.p95Us);
+                reg.setScalar(p + "p99_us", sr.p99Us);
+            }
+            reg.setCounter("fleet.devices", num_ssds);
+            reg.setCounter("fleet.completed", report.completed);
+            reg.setScalar("fleet.mean_us", report.meanUs);
+            reg.setScalar("fleet.p50_us", report.p50Us);
+            reg.setScalar("fleet.p95_us", report.p95Us);
+            reg.setScalar("fleet.p99_us", report.p99Us);
+            reg.setScalar("fleet.throughput_per_sec",
+                          report.throughputPerSec);
+        }
     }
     return report;
 }

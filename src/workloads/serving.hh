@@ -30,6 +30,7 @@
 #include "host/system_config.hh"
 #include "nvme/driver.hh"
 #include "obs/metrics.hh"
+#include "shard/shard_router.hh"
 #include "sim/fault.hh"
 
 namespace morpheus::workloads {
@@ -85,8 +86,25 @@ struct ServingOptions
      *  threshold equal to the grant flushes at grant-full, keeping the
      *  unpartitioned flush cadence while the budget is enforced. */
     std::uint32_t flushThreshold = 0;
-    /** Platform, including ssd.sched (the policies under test). */
+    /** Platform, including ssd.sched (the policies under test) and
+     *  sys.numSsds (> 1 turns on fleet serving). */
     host::SystemConfig sys{};
+
+    /**
+     * Fleet serving: distinct object files per (tenant, size class),
+     * placed across the SSDs by shardPolicy. 1 (the default) keeps the
+     * classic one-object-per-class request stream — and the Rng draw
+     * sequence — bit-identical to pre-fleet runs.
+     */
+    unsigned objectsPerClass = 1;
+
+    /** Zipfian skew of per-class object popularity (0 = uniform); with
+     *  hashed placement a skewed object mix concentrates load on the
+     *  shards owning the hot objects. Ignored if objectsPerClass <= 1. */
+    double zipfSkew = 0.0;
+
+    /** Placement of object files across the fleet (sys.numSsds > 1). */
+    shard::ShardPolicy shardPolicy = shard::ShardPolicy::kHash;
 
     /**
      * Fault-injection plan, installed (scoped) around the measured
@@ -151,10 +169,26 @@ struct TenantReport
     double maxUs = 0.0;
 };
 
+/** Per-device outcome of a fleet run (sys.numSsds > 1). */
+struct ShardReport
+{
+    unsigned device = 0;
+    std::uint64_t requests = 0;   ///< Device-path requests routed here.
+    std::uint64_t completed = 0;  ///< ...that completed on the device.
+    std::uint64_t servedBytes = 0;
+    double meanUs = 0.0;
+    double p50Us = 0.0;
+    double p95Us = 0.0;
+    double p99Us = 0.0;
+    double maxUs = 0.0;
+};
+
 /** Whole-experiment outcome. */
 struct ServingReport
 {
     std::vector<TenantReport> tenants;
+    /** One entry per SSD in fleet runs; empty for single-SSD runs. */
+    std::vector<ShardReport> shards;
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
     std::uint64_t rejected = 0;

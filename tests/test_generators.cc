@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "serde/writer.hh"
+#include "sim/rng.hh"
 #include "workloads/generators.hh"
 
 namespace sd = morpheus::serde;
@@ -117,4 +120,50 @@ TEST(Generators, TextSizesScaleWithElementCount)
     wk::genIntArray(9, 1000).serialize(w1);
     wk::genIntArray(9, 2000).serialize(w2);
     EXPECT_GT(w2.size(), w1.size() * 3 / 2);
+}
+
+TEST(Zipfian, CdfIsMonotoneAndEndsAtOne)
+{
+    const wk::ZipfianGenerator z(64, 0.99);
+    EXPECT_EQ(z.size(), 64u);
+    double prev = 0.0;
+    for (std::uint32_t k = 0; k < z.size(); ++k) {
+        EXPECT_GT(z.cdf(k), prev);
+        prev = z.cdf(k);
+    }
+    EXPECT_DOUBLE_EQ(z.cdf(z.size() - 1), 1.0);
+}
+
+TEST(Zipfian, ZeroSkewIsUniform)
+{
+    const wk::ZipfianGenerator z(10, 0.0);
+    for (std::uint32_t k = 0; k < 10; ++k)
+        EXPECT_NEAR(z.cdf(k), (k + 1) / 10.0, 1e-12);
+}
+
+TEST(Zipfian, SkewConcentratesMassOnLowRanks)
+{
+    const wk::ZipfianGenerator z(100, 0.99);
+    // Head-heavy: the first 10 of 100 ranks carry well over their
+    // uniform 10% share.
+    EXPECT_GT(z.cdf(9), 0.4);
+    morpheus::sim::Rng rng(7);
+    std::vector<unsigned> hist(100, 0);
+    for (unsigned i = 0; i < 4000; ++i)
+        ++hist[z.draw(rng)];
+    EXPECT_GT(hist[0], hist[50]);
+}
+
+TEST(Zipfian, DrawIsDeterministicAndConsumesOneUniform)
+{
+    const wk::ZipfianGenerator z(32, 1.1);
+    morpheus::sim::Rng a(42), b(42);
+    for (unsigned i = 0; i < 100; ++i)
+        EXPECT_EQ(z.draw(a), z.draw(b));
+    // Exactly one nextDouble() per draw: after N draws both streams
+    // sit at the same point as a plain N-double burn.
+    morpheus::sim::Rng c(42);
+    for (unsigned i = 0; i < 100; ++i)
+        c.nextDouble();
+    EXPECT_EQ(a.nextDouble(), c.nextDouble());
 }

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "pcie/pcie.hh"
@@ -204,4 +206,137 @@ TEST(PcieSwitch, ConcurrentDmasToDistinctPortsOverlap)
     const ms::Tick b = f.sw.dmaWrite(f.host, (1ULL << 32), mb, 0);
     // b is not queued behind a (different links).
     EXPECT_LT(b, a + ms::transferTicks(mb, 1e9));
+}
+
+namespace {
+
+/** A fleet-shaped fabric: host + four SSD endpoints, each SSD with a
+ *  BAR window (the shard fabric's CMB layout). */
+struct FleetFabric
+{
+    pc::PcieSwitch sw;
+    pc::PortId host;
+    std::vector<pc::PortId> ssds;
+    VecTarget host_mem{1 << 20};
+    std::vector<std::unique_ptr<VecTarget>> cmbs;
+
+    static constexpr pc::Addr kBar = 1ULL << 40;
+    static constexpr std::uint64_t kBarStride = 1 << 20;
+
+    FleetFabric()
+    {
+        host = sw.addPort("host", pc::LinkConfig{3, 16});
+        for (unsigned d = 0; d < 4; ++d) {
+            ssds.push_back(sw.addPort("ssd" + std::to_string(d),
+                                      pc::LinkConfig{3, 4}));
+            cmbs.push_back(std::make_unique<VecTarget>(1 << 20));
+        }
+        sw.mapWindow(0, 1 << 20, host, "host-dram", &host_mem);
+        for (unsigned d = 0; d < 4; ++d) {
+            sw.mapWindow(kBar + d * kBarStride, kBarStride, ssds[d],
+                         "ssd" + std::to_string(d) + "-cmb",
+                         cmbs[d].get());
+        }
+    }
+};
+
+}  // namespace
+
+TEST(PcieFleet, BarWindowsRouteToDistinctDevices)
+{
+    FleetFabric f;
+    for (unsigned d = 0; d < 4; ++d) {
+        EXPECT_EQ(f.sw.routeAddr(FleetFabric::kBar +
+                                 d * FleetFabric::kBarStride + 0x40),
+                  f.ssds[d]);
+    }
+    EXPECT_EQ(f.sw.routeAddr(0x100), f.host);
+}
+
+TEST(PcieFleet, ConcurrentUplinksOverlapOnWideHostLink)
+{
+    FleetFabric f;
+    const std::uint64_t mb = 4000000;
+    const ms::Tick alone = f.sw.dmaWrite(f.ssds[0], 0x0, mb, 0);
+
+    FleetFabric g;
+    const ms::Tick a = g.sw.dmaWrite(g.ssds[0], 0x0, mb, 0);
+    const ms::Tick b = g.sw.dmaWrite(g.ssds[1], 0x1000, mb, 0);
+    // Each SSD pushed its payload up its own x4 link; the x16 host
+    // link absorbs both streams, so neither transfer is delayed by
+    // the other — the overlap fleet scaling relies on.
+    EXPECT_EQ(g.sw.link(g.ssds[0]).bytesToSwitch(), mb);
+    EXPECT_EQ(g.sw.link(g.ssds[1]).bytesToSwitch(), mb);
+    EXPECT_EQ(a, alone);
+    EXPECT_EQ(b, alone);
+    EXPECT_EQ(g.sw.link(g.host).bytesToDevice(), 2 * mb);
+}
+
+TEST(PcieFleet, NarrowHostLinkSerializesConcurrentUplinks)
+{
+    // Same two concurrent SSD -> host streams, but the host port is
+    // only x4: aggregate demand exceeds the shared hop, so the second
+    // transfer finishes later than it would alone.
+    const std::uint64_t mb = 4000000;
+    VecTarget dram{1 << 20};
+    const auto build = [&dram](pc::PcieSwitch &sw,
+                               std::vector<pc::PortId> &ssds) {
+        const pc::PortId host =
+            sw.addPort("host", pc::LinkConfig{3, 4});
+        for (unsigned d = 0; d < 2; ++d)
+            ssds.push_back(sw.addPort("ssd" + std::to_string(d),
+                                      pc::LinkConfig{3, 4}));
+        sw.mapWindow(0, 1 << 20, host, "host-dram", &dram);
+        return host;
+    };
+
+    pc::PcieSwitch solo;
+    std::vector<pc::PortId> solo_ssds;
+    build(solo, solo_ssds);
+    const ms::Tick alone = solo.dmaWrite(solo_ssds[0], 0x0, mb, 0);
+
+    pc::PcieSwitch sw;
+    std::vector<pc::PortId> ssds;
+    const pc::PortId host = build(sw, ssds);
+    const ms::Tick a = sw.dmaWrite(ssds[0], 0x0, mb, 0);
+    const ms::Tick b = sw.dmaWrite(ssds[1], 0x1000, mb, 0);
+    EXPECT_EQ(a, alone);
+    EXPECT_GT(b, alone);
+    EXPECT_EQ(sw.link(host).bytesToDevice(), 2 * mb);
+}
+
+TEST(PcieFleet, SsdToSsdDmaIsP2pAndSkipsHostLink)
+{
+    FleetFabric f;
+    const std::vector<std::uint8_t> payload(8192, 0xC3);
+    f.sw.dmaWriteData(f.ssds[2],
+                      FleetFabric::kBar + 3 * FleetFabric::kBarStride,
+                      payload.data(), payload.size(), 0);
+    EXPECT_EQ(f.sw.link(f.host).totalBytes(), 0u);
+    EXPECT_EQ(f.sw.p2pBytes(), payload.size());
+    EXPECT_EQ(f.cmbs[3]->_mem[0], 0xC3);
+    EXPECT_EQ(f.cmbs[2]->_mem[0], 0);
+}
+
+TEST(PcieFleet, FanOutContentionAccountsAllPorts)
+{
+    FleetFabric f;
+    const std::uint64_t chunk = 1000000;
+    // Host scatters one chunk to every SSD BAR: the host uplink
+    // serializes the four sends; each SSD downlink sees one chunk.
+    ms::Tick last = 0;
+    for (unsigned d = 0; d < 4; ++d) {
+        last = std::max(
+            last, f.sw.dmaWrite(f.host,
+                                FleetFabric::kBar +
+                                    d * FleetFabric::kBarStride,
+                                chunk, 0));
+    }
+    EXPECT_EQ(f.sw.link(f.host).bytesToSwitch(), 4 * chunk);
+    for (unsigned d = 0; d < 4; ++d)
+        EXPECT_EQ(f.sw.link(f.ssds[d]).bytesToDevice(), chunk);
+    // The four serialized host-uplink sends bound the finish time.
+    const pc::LinkConfig x16{3, 16};
+    EXPECT_GE(last, 4 * ms::transferTicks(chunk, x16.bytesPerSec()));
+    EXPECT_EQ(f.sw.fabricBytes(), 4 * chunk);
 }

@@ -25,6 +25,7 @@
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "shard/fleet_topology.hh"
 #include "workloads/runner.hh"
 
 using namespace morpheus;
@@ -48,6 +49,8 @@ usage()
         "                    [--no-double-buffer] [--no-coalesce]\n"
         "                    [--readahead-bytes N]\n"
         "                    [--max-descriptor-bytes N]\n"
+        "                    [--ssds N] [--shard-policy hash|range]\n"
+        "                    [--fleet-topology FILE.json]\n"
         "fault plan keys: media, dma, crash, hang, drop (rates),\n"
         "dma_min, watchdog_us, seed; also read from MORPHEUS_FAULTS.\n"
         "--recovery enables driver timeouts + bounded retries.\n"
@@ -55,7 +58,12 @@ usage()
         "readahead + double-buffered parse + coalesced flush DMA);\n"
         "the --no-* flags disable one stage, --readahead-bytes and\n"
         "--max-descriptor-bytes bound the prefetch buffer and the\n"
-        "merged DMA descriptor size.\n");
+        "merged DMA descriptor size.\n"
+        "--ssds puts N SSDs behind the switch (the app still runs on\n"
+        "device 0; object placement across the fleet is exercised by\n"
+        "the serving benches). --fleet-topology loads per-device\n"
+        "geometry from JSON, --shard-policy picks hash or range\n"
+        "placement for it.\n");
 }
 
 int
@@ -94,6 +102,7 @@ main(int argc, char **argv)
     // MORPHEUS_FAULTS seeds the plan; --fault-plan overrides it.
     opts.faults = sim::FaultPlan::fromEnv();
     bool dump_stats = false;
+    shard::ShardPolicy shard_policy = shard::ShardPolicy::kHash;
     std::string trace_path;
     std::string stats_json_path;
     // (collectStats set below once flags are parsed)
@@ -164,6 +173,19 @@ main(int argc, char **argv)
             opts.sys.ssd.pipeline.maxDescriptorBytes =
                 static_cast<std::uint64_t>(
                     std::atoll(next("--max-descriptor-bytes")));
+        } else if (arg == "--ssds") {
+            opts.sys.numSsds = static_cast<unsigned>(
+                std::atoi(next("--ssds")));
+        } else if (arg == "--shard-policy") {
+            // Validated here; placement is applied where files are
+            // actually sharded (the serving/fleet drivers).
+            shard_policy =
+                shard::shardPolicyFromString(next("--shard-policy"));
+        } else if (arg == "--fleet-topology") {
+            shard::FleetTopology topo =
+                shard::FleetTopology::fromFile(next("--fleet-topology"));
+            topo.policy = shard_policy;
+            topo.apply(opts.sys);
         } else if (arg == "--trace") {
             trace_path = next("--trace");
         } else if (arg == "--stats-json") {
