@@ -158,6 +158,12 @@ struct BenchConfig
     /** "hash" / "range"; "none" when the bench does not shard. */
     std::string shardPolicy = "none";
     bool pipeline = false;
+    /** Object-cache provenance: a cached result is only comparable
+     *  against a baseline with the same cache posture. */
+    bool cacheEnabled = false;
+    std::uint64_t cacheBytes = 0;
+    /** "lru" / "fifo" / "frequency"; "none" while disabled. */
+    std::string cachePolicy = "none";
 };
 
 /** Git revision for BENCH_*.json: MORPHEUS_GIT_REV, then the CI's
@@ -210,7 +216,11 @@ writeBenchJson(const std::string &bench, const std::string &metric,
        << "  \"config\": {\"ssds\": " << config.ssds
        << ", \"shardPolicy\": \"" << config.shardPolicy
        << "\", \"pipeline\": "
-       << (config.pipeline ? "true" : "false") << "},\n"
+       << (config.pipeline ? "true" : "false")
+       << ", \"cacheEnabled\": "
+       << (config.cacheEnabled ? "true" : "false")
+       << ", \"cacheBytes\": " << config.cacheBytes
+       << ", \"cachePolicy\": \"" << config.cachePolicy << "\"},\n"
        << "  \"metrics\": {";
     for (std::size_t i = 0; i < extra.size(); ++i) {
         os << (i ? ",\n    " : "\n    ") << "\"" << extra[i].name

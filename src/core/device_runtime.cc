@@ -40,6 +40,29 @@ MorpheusDeviceRuntime::takeDeliveredBytes(std::uint32_t instance_id)
     return bytes;
 }
 
+bool
+MorpheusDeviceRuntime::takeServedFromCache(std::uint32_t instance_id)
+{
+    const auto it = _cacheServed.find(instance_id);
+    if (it == _cacheServed.end())
+        return false;
+    const bool served = it->second;
+    _cacheServed.erase(it);
+    return served;
+}
+
+ssd::ObjectCacheKey
+MorpheusDeviceRuntime::cacheKeyFor(const Instance &inst) const
+{
+    ssd::ObjectCacheKey key;
+    key.nsid = inst.streamNsid;
+    key.rawBegin = inst.streamOrigin;
+    key.rawLen = inst.declaredStreamBytes;
+    key.applet = inst.setup.image->name;
+    key.appletVersion = inst.setup.image->version;
+    return key;
+}
+
 nvme::CommandResult
 MorpheusDeviceRuntime::execute(const nvme::Command &cmd, sim::Tick start)
 {
@@ -119,11 +142,27 @@ MorpheusDeviceRuntime::doMInit(const nvme::Command &cmd, sim::Tick start)
                      fetched, "install",
                      {cmd.traceId, cmd.cdw15, cmd.instanceId, code_bytes});
 
+    ssd::ObjectCache &cache = _ssd.objectCache();
+    if (cache.enabled()) {
+        // Applet re-install at a different code version: any object it
+        // parsed under the old version may embed stale semantics.
+        const auto ver = _appletVersions.find(setup.image->name);
+        if (ver != _appletVersions.end() &&
+            ver->second != setup.image->version)
+            cache.invalidateApplet(setup.image->name);
+        _appletVersions[setup.image->name] = setup.image->version;
+    }
+
     Instance inst;
     inst.id = cmd.instanceId;
     inst.tenant = cmd.cdw15;
     inst.setup = setup;
     inst.app = setup.image->factory(cmd.cdw14);
+    // MINIT declares the stream length in-band (SLBA carries bytes,
+    // not blocks): with the first MREAD's origin it identifies the raw
+    // range a cached object was parsed from. 0 = unknown, uncacheable.
+    inst.declaredStreamBytes = cmd.slba;
+    inst.streamNsid = cmd.nsid;
     const std::uint32_t dsram =
         granted ? granted : core.config().dsramBytes;
     const std::uint32_t threshold = std::max<std::uint32_t>(
@@ -178,6 +217,14 @@ MorpheusDeviceRuntime::drainFlushes(
         inst.dmaCursor += seg.size();
         _objectBytes += seg.size();
         _delivered[inst.id] += seg.size();
+        // Candidate for the object cache: the payload is accumulated
+        // in DMA order, so on a clean full-stream MDEINIT it is the
+        // exact byte sequence a later hit must replay.
+        if (_ssd.objectCache().enabled() && inst.cacheable &&
+            !inst.cacheServed) {
+            inst.cachePayload.insert(inst.cachePayload.end(),
+                                     seg.begin(), seg.end());
+        }
         done = std::max(done, dma);
     }
     return done;
@@ -269,6 +316,61 @@ MorpheusDeviceRuntime::doMRead(const nvme::Command &cmd, sim::Tick start)
     if (inst.expectedByteOff != kUnpinned &&
         byte_off != inst.expectedByteOff)
         return {start, nvme::Status::kSequenceError, 0};
+
+    if (inst.cacheServed) {
+        // The whole object already left the device on the stream's
+        // first chunk; the remaining MREADs of the host's fixed chunk
+        // schedule complete immediately, touching neither flash nor an
+        // embedded core.
+        inst.expectedByteOff = byte_off + valid;
+        return {start, nvme::Status::kSuccess, 0};
+    }
+    ssd::ObjectCache &cache = _ssd.objectCache();
+    if (cache.enabled() && inst.expectedByteOff == kUnpinned) {
+        // First chunk pins the stream origin — now the raw range is
+        // known and the cache can answer.
+        inst.streamOrigin = byte_off;
+        if (inst.declaredStreamBytes > 0) {
+            const ssd::ObjectCache::Entry *hit =
+                cache.lookup(cacheKeyFor(inst));
+            if (hit != nullptr) {
+                // Serve the parsed object straight from controller
+                // DRAM: one pass through the DRAM port and out over
+                // PCIe. No flash fetch, no ParseCost, no core slot.
+                const sim::Tick buffered =
+                    _ssd.dramTransfer(hit->payload.size(), start);
+                sim::Tick dma = _ssd.fabric().dmaWriteData(
+                    _ssd.port(), inst.dmaCursor, hit->payload.data(),
+                    hit->payload.size(), buffered);
+                bool dma_failed = false;
+                dma = _ssd.retryOutboundDma(inst.dmaCursor,
+                                            hit->payload.size(), dma,
+                                            &dma_failed);
+                if (auto *sink = obs::traceSink()) {
+                    obs::Span s;
+                    s.track = _ssd.trackPrefix() + "ssd.dma";
+                    s.name = "cache_hit";
+                    s.category = "ssd";
+                    s.begin = start;
+                    s.end = dma;
+                    s.trace = cmd.traceId;
+                    s.tenant = inst.tenant;
+                    s.instance = inst.id;
+                    s.core = inst.coreId;
+                    s.bytes = hit->payload.size();
+                    sink->record(s);
+                }
+                inst.dmaCursor += hit->payload.size();
+                _objectBytes += hit->payload.size();
+                _delivered[inst.id] += hit->payload.size();
+                inst.cacheServed = true;
+                inst.cachedReturnValue = hit->returnValue;
+                _cacheServed[inst.id] = true;
+                inst.expectedByteOff = byte_off + valid;
+                return {dma, nvme::Status::kSuccess, 0};
+            }
+        }
+    }
     _rawBytesIn += valid;
 
     if (_ssd.config().pipeline.enabled)
@@ -673,6 +775,12 @@ MorpheusDeviceRuntime::doMWrite(const nvme::Command &cmd, sim::Tick start)
     const std::uint64_t valid =
         cmd.cdw13 ? cmd.cdw13 : cmd.dataBytes();
 
+    // A serializing stream is not a pure parse of a flash range: its
+    // MDEINIT return value and delivered bytes don't describe a
+    // replayable object, so the instance drops out of cache candidacy.
+    inst.cacheable = false;
+    inst.cachePayload.clear();
+
     // Binary objects arrive from the host (prp1); the app serializes
     // them to text, which lands on flash at slba.
     std::vector<std::uint8_t> data(valid);
@@ -738,6 +846,8 @@ MorpheusDeviceRuntime::doMWrite(const nvme::Command &cmd, sim::Tick start)
             coalesceSegments(std::move(segments), pl.maxDescriptorBytes);
         _flushSegmentsCoalesced += raw - segments.size();
     }
+    const std::uint64_t landed_begin =
+        inst.writeSlba * nvme::kBlockBytes + inst.writeCursor;
     for (auto &seg : segments) {
         const std::uint64_t dst =
             inst.writeSlba * nvme::kBlockBytes + inst.writeCursor;
@@ -745,6 +855,15 @@ MorpheusDeviceRuntime::doMWrite(const nvme::Command &cmd, sim::Tick start)
         inst.writeCursor += seg.size();
         _objectBytes += seg.size();
         _delivered[inst.id] += seg.size();
+    }
+    // The serialized text overwrote raw bytes: cached objects parsed
+    // from any overlapping range are stale. End-exclusive — an MWRITE
+    // that merely touches a cached range leaves it alone.
+    if (_ssd.objectCache().enabled()) {
+        const std::uint64_t landed_end =
+            inst.writeSlba * nvme::kBlockBytes + inst.writeCursor;
+        _ssd.objectCache().invalidateRange(cmd.nsid, landed_begin,
+                                           landed_end);
     }
     return {done, nvme::Status::kSuccess, 0};
 }
@@ -772,6 +891,21 @@ MorpheusDeviceRuntime::doMDeinit(const nvme::Command &cmd,
             core.releaseDsram(inst.dsramGranted);
         _instances.erase(it);
         return {done, nvme::Status::kSuccess, 0};
+    }
+
+    if (inst.cacheServed) {
+        // The object was replayed from the cache: the app never saw a
+        // byte, so its finish hooks have nothing to run over. Teardown
+        // is pure firmware work — no embedded-core occupancy — and the
+        // completion carries the return value cached with the object.
+        const sim::Tick done = start + 1 * sim::kPsPerUs;
+        ssd::EmbeddedCore &core = _ssd.core(inst.coreId);
+        core.unloadImage(inst.codeBytes);
+        if (inst.dsramGranted)
+            core.releaseDsram(inst.dsramGranted);
+        const std::uint32_t rv = inst.cachedReturnValue;
+        _instances.erase(it);
+        return {done, nvme::Status::kSuccess, rv};
     }
 
     // The stream is over: let the app consume any carried final token,
@@ -802,6 +936,21 @@ MorpheusDeviceRuntime::doMDeinit(const nvme::Command &cmd,
         drainFlushes(inst, std::move(flushes), parsed, cmd.traceId);
 
     const std::uint32_t rv = inst.app->returnValue();
+
+    // Populate the cache: only a clean stream that covered the whole
+    // declared range, exactly once, end to end. Crashed (poisoned),
+    // watchdog-killed, serializing (MWRITE), or short streams never
+    // insert — a partial object must not be replayable.
+    ssd::ObjectCache &cache = _ssd.objectCache();
+    constexpr std::uint64_t kUnpinned = ~std::uint64_t{0};
+    if (cache.enabled() && inst.cacheable &&
+        inst.streamOrigin != kUnpinned && inst.declaredStreamBytes > 0 &&
+        inst.expectedByteOff ==
+            inst.streamOrigin + inst.declaredStreamBytes) {
+        cache.insert(cacheKeyFor(inst), std::move(inst.cachePayload),
+                     rv);
+    }
+
     core.unloadImage(inst.codeBytes);
     if (inst.dsramGranted)
         core.releaseDsram(inst.dsramGranted);
@@ -849,6 +998,7 @@ MorpheusDeviceRuntime::registerStats(sim::stats::StatSet &set,
                         &_subBuffersParsed);
     set.registerCounter(prefix + ".pipeline.flushSegmentsCoalesced",
                         &_flushSegmentsCoalesced);
+    _ssd.objectCache().registerStats(set, prefix + ".cache");
 }
 
 }  // namespace morpheus::core

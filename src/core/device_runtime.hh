@@ -67,6 +67,10 @@ class MorpheusDeviceRuntime : public ssd::MorpheusEngine
     /** Bytes of application objects DMAed out so far. */
     std::uint64_t objectBytesOut() const { return _objectBytes.value(); }
 
+    /** Raw stream bytes fetched from flash so far (cache hits are
+     *  served from DRAM and do not move this). */
+    std::uint64_t rawBytesIn() const { return _rawBytesIn.value(); }
+
     /**
      * Object bytes delivered on behalf of @p instance_id, consumed:
      * the counter resets to zero. Survives the instance's MDEINIT so
@@ -75,6 +79,12 @@ class MorpheusDeviceRuntime : public ssd::MorpheusEngine
      * delta is not.
      */
     std::uint64_t takeDeliveredBytes(std::uint32_t instance_id);
+
+    /** Whether @p instance_id's stream was served from the object
+     *  cache, consumed (same lifetime contract as
+     *  takeDeliveredBytes): the host runtime collects it after
+     *  MDEINIT to surface per-request hit flags. */
+    bool takeServedFromCache(std::uint32_t instance_id);
 
     /** Number of live instances (for tests). */
     std::size_t liveInstances() const { return _instances.size(); }
@@ -140,6 +150,26 @@ class MorpheusDeviceRuntime : public ssd::MorpheusEngine
          *  data command bounces with kAppFault; MDEINIT tears the
          *  instance down without running the app's finish hooks. */
         bool poisoned = false;
+        /**
+         * Object-cache state (DESIGN.md §13), all inert unless
+         * SsdConfig::cache.enabled. The declared stream length (MINIT
+         * SLBA) plus the first MREAD's origin identify the raw range;
+         * a first-chunk cache hit flips cacheServed and the whole
+         * parsed object is DMAed at once (later chunks of the stream
+         * complete trivially, MDEINIT returns the cached value without
+         * running the app). On a miss the outbound flush segments
+         * accumulate in cachePayload; a clean MDEINIT that covered the
+         * full declared range inserts them. MWRITE makes the instance
+         * uncacheable (its stream is not a pure parse), and a crash /
+         * watchdog kill drops the pending payload with the instance.
+         */
+        std::uint64_t declaredStreamBytes = 0;
+        std::uint64_t streamOrigin = ~std::uint64_t{0};
+        std::uint32_t streamNsid = 1;
+        bool cacheServed = false;
+        std::uint32_t cachedReturnValue = 0;
+        bool cacheable = true;
+        std::vector<std::uint8_t> cachePayload;
         /**
          * Streaming-pipeline readahead (DESIGN.md §11): timing of the
          * next chunk's prefetched flash pages. Pure schedule state —
@@ -227,11 +257,20 @@ class MorpheusDeviceRuntime : public ssd::MorpheusEngine
      */
     void watchdogKill(std::uint32_t instance_id);
 
+    /** Cache key for @p inst's pinned stream (cache enabled only). */
+    ssd::ObjectCacheKey cacheKeyFor(const Instance &inst) const;
+
     ssd::SsdController &_ssd;
     std::unordered_map<std::uint32_t, InstanceSetup> _staged;
     std::unordered_map<std::uint32_t, Instance> _instances;
     /** Per-instance delivered bytes (outlives the instance entry). */
     std::unordered_map<std::uint32_t, std::uint64_t> _delivered;
+    /** Instances whose stream was cache-served (outlives the entry;
+     *  consumed by takeServedFromCache). */
+    std::unordered_map<std::uint32_t, bool> _cacheServed;
+    /** Last installed code version per applet name: a re-install at a
+     *  different version invalidates the applet's cached objects. */
+    std::unordered_map<std::string, std::uint32_t> _appletVersions;
 
     sim::stats::Counter _minits;
     sim::stats::Counter _mreads;

@@ -251,6 +251,7 @@ MorpheusRuntime::finishInvoke(InvokeSession &s)
 
     s.result.done = s.now;
     s.result.objectBytes = _device.takeDeliveredBytes(s.instance);
+    s.result.servedFromCache = _device.takeServedFromCache(s.instance);
     return s.result;
 }
 
@@ -269,6 +270,7 @@ MorpheusRuntime::abortInvoke(InvokeSession &s)
     s.result.failed = true;
     s.result.done = s.now;
     s.result.objectBytes = _device.takeDeliveredBytes(s.instance);
+    s.result.servedFromCache = _device.takeServedFromCache(s.instance);
     return s.result;
 }
 

@@ -68,6 +68,10 @@ struct InvokeResult
     std::uint64_t objectBytes = 0;   ///< DMAed to the target.
     std::uint64_t mreadCommands = 0;
     std::uint64_t hostWakeups = 0;   ///< Blocking waits by the host.
+    /** The stream was answered by the device's object cache: the
+     *  parsed object was replayed from controller DRAM, no flash
+     *  fetch or ParseCost was paid. */
+    bool servedFromCache = false;
     /** False when the scheduler front end refused the MINIT. */
     bool accepted = true;
     /** The invocation died mid-stream on a device fault the driver's

@@ -223,6 +223,10 @@ struct StorageAppImage
     std::string name;
     std::uint32_t textBytes = 0;  ///< Code size checked against I-SRAM.
     StorageAppFactory factory;
+    /** Applet code version: part of the object-cache key, and a
+     *  re-install at a different version invalidates every cached
+     *  object the applet produced (its semantics may have changed). */
+    std::uint32_t version = 0;
 };
 
 }  // namespace morpheus::core

@@ -116,7 +116,7 @@ ShardFabric::fleetInvoke(const core::StorageAppImage &image,
 {
     FleetInvokeResult fleet;
     fleet.perDevice.resize(numDevices());
-    bool first = true;
+    std::vector<bool> participated(numDevices(), false);
     const unsigned cores = _sys.cpu().config().cores;
     for (unsigned d = 0; d < numDevices(); ++d) {
         const host::FileExtent &ext = f.extents[d];
@@ -124,6 +124,7 @@ ShardFabric::fleetInvoke(const core::StorageAppImage &image,
             fleet.perDevice[d].accepted = false;
             continue;
         }
+        participated[d] = true;
         // The MINIT applet install is replicated per device (each
         // shard gets its own instance); streams then fan out and
         // overlap — the devices' flash, cores, and links are disjoint,
@@ -137,9 +138,34 @@ ShardFabric::fleetInvoke(const core::StorageAppImage &image,
         // few binary bytes per text char; 4x + a page is conservative.
         const core::DmaTarget target =
             rt.hostTarget(4 * ext.sizeBytes + 4096);
-        const core::InvokeResult r =
+        fleet.perDevice[d] =
             rt.invoke(image, stream, target, now, dev_opts);
-        fleet.perDevice[d] = r;
+        // Fleet-level recovery mirrors runner.cc: a shard invocation
+        // that died on an injected fault (or bounced at admission) is
+        // replayed whole — a fresh MINIT instance restreams the shard
+        // from byte 0 and OVERWRITES the device's slot. Only the final
+        // attempt's bytes/commands/wakeups survive into the merge, so
+        // retries never double-count fleet totals. Bounded so a
+        // rate-1.0 fault plan can't loop forever.
+        for (unsigned replay = 0;
+             (fleet.perDevice[d].failed ||
+              !fleet.perDevice[d].accepted) &&
+             _sys.nvmeDriver(d).recovery().enabled && replay < 8;
+             ++replay) {
+            const sim::Tick at = fleet.perDevice[d].done;
+            const core::MsStream again =
+                rt.streamCreate(ext, at, dev_opts.hostCore);
+            fleet.perDevice[d] =
+                rt.invoke(image, again, target, at, dev_opts);
+            ++fleet.replays;
+        }
+    }
+    // Merge once, from each participating device's final attempt only.
+    bool first = true;
+    for (unsigned d = 0; d < numDevices(); ++d) {
+        if (!participated[d])
+            continue;
+        const core::InvokeResult &r = fleet.perDevice[d];
         fleet.accepted = fleet.accepted && r.accepted;
         fleet.failed = fleet.failed || r.failed;
         if (first) {
@@ -152,10 +178,10 @@ ShardFabric::fleetInvoke(const core::StorageAppImage &image,
             fleet.merged.objectBytes += r.objectBytes;
             fleet.merged.mreadCommands += r.mreadCommands;
             fleet.merged.hostWakeups += r.hostWakeups;
-            fleet.merged.accepted = fleet.accepted;
-            fleet.merged.failed = fleet.failed;
         }
     }
+    fleet.merged.accepted = fleet.accepted;
+    fleet.merged.failed = fleet.failed;
     return fleet;
 }
 

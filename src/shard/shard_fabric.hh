@@ -50,6 +50,11 @@ struct FleetInvokeResult
     bool accepted = true;
     /** Some participating device failed mid-stream. */
     bool failed = false;
+    /** Whole-shard replays issued by fleet-level recovery. Each replay
+     *  overwrites its device's entry in perDevice, so merged totals
+     *  count every shard exactly once no matter how many attempts it
+     *  took. */
+    std::uint64_t replays = 0;
 };
 
 /** Drives the SSD fleet inside a HostSystem. */

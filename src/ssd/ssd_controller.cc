@@ -31,6 +31,14 @@ SsdController::SsdController(sim::EventQueue &eq,
         [this](unsigned c) { return _cores[c]->timeline().freeAt(); },
         [this](unsigned c) { return _cores[c]->dsramFree(); },
         _trackPrefix);
+    // The object cache and the pipeline's readahead buffer share one
+    // controller-DRAM budget: whatever the readahead reserves comes
+    // out of the cache's capacity, so the two never double-book.
+    const std::uint64_t reserved =
+        config.pipeline.enabled && config.pipeline.readahead
+            ? config.pipeline.readaheadBufferBytes
+            : 0;
+    _cache = std::make_unique<ObjectCache>(config.cache, reserved);
     _nvme.setHandler([this](const nvme::Command &cmd, sim::Tick start) {
         return handleCommand(cmd, start);
     });
@@ -298,6 +306,10 @@ SsdController::doWrite(const nvme::Command &cmd, sim::Tick start)
         return {fetched, nvme::Status::kTransientTransferError, 0};
     }
     const sim::Tick done = storeFromDram(off, data, fetched);
+    // A standard write lands new raw bytes: any cached object parsed
+    // from an overlapping range is stale now.
+    if (_cache->enabled())
+        _cache->invalidateRange(cmd.nsid, off, off + len);
     return {done, nvme::Status::kSuccess, 0};
 }
 
@@ -330,6 +342,10 @@ SsdController::doDsm(const nvme::Command &cmd, sim::Tick start)
             first, static_cast<std::uint32_t>(last_exclusive - first),
             start);
     }
+    // TRIM deallocates the backing range: cached objects over it are
+    // invalidated along with the mapping.
+    if (_cache->enabled())
+        _cache->invalidateRange(cmd.nsid, off, off + len);
     return {done, nvme::Status::kSuccess, 0};
 }
 

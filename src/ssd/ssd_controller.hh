@@ -23,6 +23,7 @@
 #include "pcie/pcie.hh"
 #include "sched/ssd_scheduler.hh"
 #include "ssd/embedded_core.hh"
+#include "ssd/object_cache.hh"
 
 namespace morpheus::ssd {
 
@@ -60,6 +61,11 @@ struct SsdConfig
     unsigned numCores = 4;
     sched::SchedConfig sched;
     PipelineConfig pipeline;
+    /** Deserialized-object cache in controller DRAM (DESIGN.md §13).
+     *  Shares one DRAM budget with the pipeline's readahead buffer:
+     *  the effective cache capacity is budgetBytes minus the readahead
+     *  reservation, never both in full. */
+    ObjectCacheConfig cache;
 
     /** Controller DRAM (buffers + FTL tables). */
     std::uint64_t dramBytes = 2ULL * sim::kGiB;
@@ -130,6 +136,11 @@ class SsdController
 
     /** The multi-tenant command scheduler (admission + placement). */
     sched::SsdScheduler &scheduler() { return *_sched; }
+
+    /** The deserialized-object cache (controller DRAM). Present even
+     *  when disabled, so callers can query counters uniformly. */
+    ObjectCache &objectCache() { return *_cache; }
+    const ObjectCache &objectCache() const { return *_cache; }
     unsigned numCores() const
     {
         return static_cast<unsigned>(_cores.size());
@@ -221,6 +232,7 @@ class SsdController
     std::vector<std::unique_ptr<EmbeddedCore>> _cores;
     sim::Timeline _dram;
     std::unique_ptr<sched::SsdScheduler> _sched;
+    std::unique_ptr<ObjectCache> _cache;
     MorpheusEngine *_engine = nullptr;
 
     sim::stats::Counter _readCommands;

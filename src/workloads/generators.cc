@@ -216,12 +216,17 @@ ZipfianGenerator::ZipfianGenerator(std::uint32_t n, double s) : _s(s)
 }
 
 std::uint32_t
-ZipfianGenerator::draw(sim::Rng &rng) const
+ZipfianGenerator::indexForUniform(double u) const
 {
-    const double u = rng.nextDouble();
     const auto it = std::lower_bound(_cdf.begin(), _cdf.end(), u);
     const auto idx = static_cast<std::uint32_t>(it - _cdf.begin());
     return idx < size() ? idx : size() - 1;
+}
+
+std::uint32_t
+ZipfianGenerator::draw(sim::Rng &rng) const
+{
+    return indexForUniform(rng.nextDouble());
 }
 
 }  // namespace morpheus::workloads

@@ -43,6 +43,15 @@ class ZipfianGenerator
     /** Draw one item index in [0, n). Consumes one rng.nextDouble(). */
     std::uint32_t draw(sim::Rng &rng) const;
 
+    /**
+     * The pure search behind draw(): map a uniform deviate u in [0, 1]
+     * to an item index in [0, n). Float prefix sums can leave
+     * cdf(n-1) < 1 before the constructor pins it; this function is
+     * the single place the u == 1.0 and u > cdf(n-1) boundaries are
+     * clamped, so tests can pin them without an Rng.
+     */
+    std::uint32_t indexForUniform(double u) const;
+
     std::uint32_t size() const
     {
         return static_cast<std::uint32_t>(_cdf.size());

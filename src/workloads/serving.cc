@@ -349,6 +349,7 @@ runServing(const ServingOptions &opts)
         std::uint64_t retries = 0;
         std::uint64_t dsramBounces = 0;
         std::uint64_t deviceFailures = 0;
+        bool servedFromCache = false;
         sim::Tick latency = 0;
         std::uint64_t servedBytes = 0;
     };
@@ -558,6 +559,7 @@ runServing(const ServingOptions &opts)
         br.consecutive = 0;
         Outcome &out = outcomes[req_idx];
         out.completed = true;
+        out.servedFromCache = result.servedFromCache;
         out.latency = result.done - requests[req_idx].arrival;
         out.servedBytes = result.objectBytes;
         last_done = std::max(last_done, result.done);
@@ -599,11 +601,17 @@ runServing(const ServingOptions &opts)
                 continue;
             }
             ++tr.completed;
+            if (outcomes[i].servedFromCache)
+                ++tr.cacheHits;
             tr.servedBytes += outcomes[i].servedBytes;
             const double us = ticksToUs(outcomes[i].latency);
             lat.sample(us);
             all_lat.sample(us);
         }
+        tr.cacheHitRate =
+            tr.completed ? static_cast<double>(tr.cacheHits) /
+                               static_cast<double>(tr.completed)
+                         : 0.0;
         tr.meanUs = lat.mean();
         tr.maxUs = lat.max();
         tr.p50Us = lat.samples() ? lat.quantile(0.50) : 0.0;
@@ -615,6 +623,7 @@ runServing(const ServingOptions &opts)
         report.deviceFailures += tr.deviceFailures;
         report.fallbacks += tr.fallbacks;
         report.lost += tr.lost;
+        report.cacheHits += tr.cacheHits;
         fairness_x.push_back(static_cast<double>(tr.servedBytes) /
                              tenant.weight);
         report.tenants.push_back(tr);
@@ -713,6 +722,8 @@ runServing(const ServingOptions &opts)
             reg.setCounter(p + "deviceFailures", tr.deviceFailures);
             reg.setCounter(p + "fallbacks", tr.fallbacks);
             reg.setCounter(p + "lost", tr.lost);
+            reg.setCounter(p + "cacheHits", tr.cacheHits);
+            reg.setScalar(p + "cache_hit_rate", tr.cacheHitRate);
             reg.setCounter(p + "servedBytes", tr.servedBytes);
             reg.setScalar(p + "mean_us", tr.meanUs);
             reg.setScalar(p + "p50_us", tr.p50Us);
@@ -725,6 +736,7 @@ runServing(const ServingOptions &opts)
         reg.setCounter("serving.deviceFailures", report.deviceFailures);
         reg.setCounter("serving.fallbacks", report.fallbacks);
         reg.setCounter("serving.lost", report.lost);
+        reg.setCounter("serving.cacheHits", report.cacheHits);
         reg.setCounter("serving.driverRetries", report.driverRetries);
         reg.setCounter("serving.driverTimeouts", report.driverTimeouts);
         reg.setCounter("serving.migrations", report.migrations);

@@ -161,6 +161,10 @@ struct TenantReport
     /** Requests neither completed nor terminally rejected (recovery
      *  and fallback both off while faults fire). */
     std::uint64_t lost = 0;
+    /** Device-path completions answered by the object cache. */
+    std::uint64_t cacheHits = 0;
+    /** cacheHits / completed (0 when nothing completed). */
+    double cacheHitRate = 0.0;
     std::uint64_t servedBytes = 0;
     double meanUs = 0.0;
     double p50Us = 0.0;
@@ -195,6 +199,8 @@ struct ServingReport
     std::uint64_t deviceFailures = 0;
     std::uint64_t fallbacks = 0;
     std::uint64_t lost = 0;
+    /** Completions served from the device object cache (all tenants). */
+    std::uint64_t cacheHits = 0;
     /** Host-side driver recovery activity during the run. */
     std::uint64_t driverRetries = 0;
     std::uint64_t driverTimeouts = 0;

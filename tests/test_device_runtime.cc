@@ -43,11 +43,14 @@ struct Rig
         return sys.nvmeDriver().io(sys.ioQueue(), cmd, now);
     }
 
-    /** Stage + MINIT an instance. @return completion. */
+    /** Stage + MINIT an instance. @p stream_bytes declares the raw
+     *  stream length in-band (MINIT SLBA, bytes) — 0 leaves the
+     *  instance uncacheable, as before. @return completion. */
     nv::Completion
     minit(std::uint32_t instance, const co::StorageAppImage &image,
           co::DmaTarget target, std::uint32_t arg = 0,
-          std::uint32_t flush_threshold = 0, std::uint32_t dsram = 0)
+          std::uint32_t flush_threshold = 0, std::uint32_t dsram = 0,
+          std::uint64_t stream_bytes = 0)
     {
         co::InstanceSetup setup;
         setup.image = &image;
@@ -61,9 +64,29 @@ struct Rig
         c.instanceId = instance;
         c.prp1 = sys.allocHost(image.textBytes);
         c.prp2 = dsram;
+        c.slba = stream_bytes;
         c.cdw13 = image.textBytes;
         c.cdw14 = arg;
         return io(c);
+    }
+
+    /** Stream the whole extent in @p chunk-byte MREADs, then MDEINIT.
+     *  @return the MDEINIT completion (asserts every chunk's ok). */
+    nv::Completion
+    streamAll(std::uint32_t instance, const ho::FileExtent &extent,
+              morpheus::sim::Tick t = 0,
+              std::uint64_t chunk = 16 * 1024)
+    {
+        std::uint64_t off = 0;
+        while (off < extent.sizeBytes) {
+            const std::uint64_t valid =
+                std::min(chunk, extent.sizeBytes - off);
+            const auto cqe = mread(instance, extent, off, valid, t);
+            EXPECT_TRUE(cqe.ok());
+            t = cqe.postedAt;
+            off += valid;
+        }
+        return mdeinit(instance, t);
     }
 
     nv::Completion
@@ -1138,4 +1161,384 @@ TEST(DeviceRuntime, PipelinedRunIsTraceInvariant)
     EXPECT_GE(sink.count("readahead"), 1u);
     EXPECT_GE(sink.count("parse"), 2u);
     EXPECT_GE(sink.count("fetch_readahead"), 1u);
+}
+
+// ---- deserialized-object cache (DESIGN.md §13) ----------------------
+
+namespace {
+
+/** Platform with the object cache on (defaults: 64 MiB LRU). */
+ho::SystemConfig
+cacheConfig()
+{
+    ho::SystemConfig cfg;
+    cfg.ssd.cache.enabled = true;
+    return cfg;
+}
+
+morpheus::ssd::ObjectCacheKey
+unitKey(std::uint64_t begin, std::uint64_t len,
+        const char *applet = "app")
+{
+    morpheus::ssd::ObjectCacheKey k;
+    k.rawBegin = begin;
+    k.rawLen = len;
+    k.applet = applet;
+    return k;
+}
+
+}  // namespace
+
+TEST(ObjectCacheUnit, AdjacentRangesDoNotInvalidate)
+{
+    morpheus::ssd::ObjectCacheConfig cfg;
+    cfg.enabled = true;
+    morpheus::ssd::ObjectCache cache(cfg, 0);
+    cache.insert(unitKey(4096, 4096), std::vector<std::uint8_t>(64),
+                 7);
+    ASSERT_EQ(cache.entries(), 1u);
+
+    // End-exclusive, FileExtent-consistent: a write ending exactly at
+    // rawBegin or starting exactly at rawBegin + rawLen only touches.
+    cache.invalidateRange(1, 0, 4096);      // [..., 4096) ends at begin
+    cache.invalidateRange(1, 8192, 12288);  // starts at end
+    cache.invalidateRange(1, 4000, 4000);   // zero-length
+    cache.invalidateRange(2, 4096, 8192);   // other namespace
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_EQ(cache.invalidations(), 0u);
+
+    // One byte into the range from either side must drop it.
+    cache.invalidateRange(1, 8191, 8192);  // last cached byte
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.invalidations(), 1u);
+
+    cache.insert(unitKey(4096, 4096), std::vector<std::uint8_t>(64),
+                 7);
+    cache.invalidateRange(1, 0, 4097);  // first cached byte
+    EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(ObjectCacheUnit, EvictionPolicies)
+{
+    using Policy = morpheus::ssd::ObjectCacheConfig::Policy;
+    const std::vector<std::uint8_t> blob(100);
+
+    // LRU: victim is the least recently *used* entry.
+    {
+        morpheus::ssd::ObjectCacheConfig cfg;
+        cfg.enabled = true;
+        cfg.budgetBytes = 250;
+        cfg.policy = Policy::kLru;
+        morpheus::ssd::ObjectCache c(cfg, 0);
+        c.insert(unitKey(0, 10), blob, 0);
+        c.insert(unitKey(100, 10), blob, 0);
+        ASSERT_NE(c.lookup(unitKey(0, 10)), nullptr);  // refresh key 0
+        c.insert(unitKey(200, 10), blob, 0);           // evicts key 100
+        EXPECT_EQ(c.evictions(), 1u);
+        EXPECT_NE(c.lookup(unitKey(0, 10)), nullptr);
+        EXPECT_EQ(c.lookup(unitKey(100, 10)), nullptr);
+    }
+    // FIFO: victim is the oldest insert, recency is ignored.
+    {
+        morpheus::ssd::ObjectCacheConfig cfg;
+        cfg.enabled = true;
+        cfg.budgetBytes = 250;
+        cfg.policy = Policy::kFifo;
+        morpheus::ssd::ObjectCache c(cfg, 0);
+        c.insert(unitKey(0, 10), blob, 0);
+        c.insert(unitKey(100, 10), blob, 0);
+        ASSERT_NE(c.lookup(unitKey(0, 10)), nullptr);  // no effect
+        c.insert(unitKey(200, 10), blob, 0);           // evicts key 0
+        EXPECT_EQ(c.lookup(unitKey(0, 10)), nullptr);
+        EXPECT_NE(c.lookup(unitKey(100, 10)), nullptr);
+    }
+    // Frequency: victim is the least-hit entry.
+    {
+        morpheus::ssd::ObjectCacheConfig cfg;
+        cfg.enabled = true;
+        cfg.budgetBytes = 250;
+        cfg.policy = Policy::kFrequency;
+        morpheus::ssd::ObjectCache c(cfg, 0);
+        c.insert(unitKey(0, 10), blob, 0);
+        c.insert(unitKey(100, 10), blob, 0);
+        c.lookup(unitKey(100, 10));
+        c.lookup(unitKey(100, 10));
+        c.lookup(unitKey(0, 10));
+        c.insert(unitKey(200, 10), blob, 0);  // evicts key 0 (1 < 2)
+        EXPECT_EQ(c.lookup(unitKey(0, 10)), nullptr);
+        EXPECT_NE(c.lookup(unitKey(100, 10)), nullptr);
+    }
+}
+
+TEST(ObjectCacheUnit, BudgetSharedWithReadaheadReservation)
+{
+    morpheus::ssd::ObjectCacheConfig cfg;
+    cfg.enabled = true;
+    cfg.budgetBytes = 1024 * 1024;
+
+    // The readahead reservation comes off the top...
+    morpheus::ssd::ObjectCache carved(cfg, 256 * 1024);
+    EXPECT_EQ(carved.capacityBytes(), 768u * 1024u);
+    // ...and can consume the whole budget, leaving a zero-capacity
+    // cache that rejects every insert instead of double-booking DRAM.
+    morpheus::ssd::ObjectCache starved(cfg, 2 * 1024 * 1024);
+    EXPECT_EQ(starved.capacityBytes(), 0u);
+    starved.insert(unitKey(0, 10), std::vector<std::uint8_t>(1), 0);
+    EXPECT_EQ(starved.entries(), 0u);
+    EXPECT_EQ(starved.rejectedTooLarge(), 1u);
+
+    // Oversized payloads are rejected, not force-evicted through.
+    morpheus::ssd::ObjectCache small(cfg, 0);
+    small.insert(unitKey(0, 10),
+                 std::vector<std::uint8_t>(2 * 1024 * 1024), 0);
+    EXPECT_EQ(small.entries(), 0u);
+    EXPECT_EQ(small.rejectedTooLarge(), 1u);
+}
+
+TEST(DeviceRuntime, ObjectCacheHitReplaysExactBytesWithoutFlash)
+{
+    Rig rig{cacheConfig()};
+    const auto a = wk::genIntArray(51, 20000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("ints", w.bytes());
+    auto &cache = rig.sys.ssd().objectCache();
+
+    // First stream: a miss that parses normally and populates.
+    const auto t1 = rig.sys.allocHost(a.objectBytes());
+    ASSERT_TRUE(rig.minit(1, rig.images.intArray,
+                          co::DmaTarget{t1, false}, 0, 0, 0,
+                          extent.sizeBytes)
+                    .ok());
+    const auto fin1 = rig.streamAll(1, extent);
+    ASSERT_TRUE(fin1.ok());
+    EXPECT_EQ(fin1.dw0, a.values.size());
+    EXPECT_EQ(cache.insertions(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_FALSE(rig.device.takeServedFromCache(1));
+
+    // Second stream of the same raw range: served from DRAM — the
+    // flash byte counter must not move, and the delivered bytes must
+    // be identical to the parsed object.
+    const std::uint64_t raw_before = rig.device.rawBytesIn();
+    const auto t2 = rig.sys.allocHost(a.objectBytes());
+    ASSERT_TRUE(rig.minit(2, rig.images.intArray,
+                          co::DmaTarget{t2, false}, 0, 0, 0,
+                          extent.sizeBytes)
+                    .ok());
+    const auto fin2 = rig.streamAll(2, extent);
+    ASSERT_TRUE(fin2.ok());
+    EXPECT_EQ(fin2.dw0, a.values.size());
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(rig.device.rawBytesIn(), raw_before);
+    EXPECT_TRUE(rig.device.takeServedFromCache(2));
+    EXPECT_FALSE(rig.device.takeServedFromCache(2));  // consumed
+
+    const auto bin1 = rig.sys.mem().store().readVec(
+        t1, static_cast<std::size_t>(a.objectBytes()));
+    const auto bin2 = rig.sys.mem().store().readVec(
+        t2, static_cast<std::size_t>(a.objectBytes()));
+    EXPECT_EQ(bin1, bin2);
+    EXPECT_EQ(sd::IntArrayObject::fromBinary(bin2), a);
+    EXPECT_EQ(rig.device.liveInstances(), 0u);
+}
+
+TEST(DeviceRuntime, ObjectCacheOverlappingWriteDropsStaleBytes)
+{
+    Rig rig{cacheConfig()};
+    const auto a = wk::genIntArray(52, 20000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("ints", w.bytes());
+    auto &cache = rig.sys.ssd().objectCache();
+
+    const auto t1 = rig.sys.allocHost(a.objectBytes());
+    ASSERT_TRUE(rig.minit(1, rig.images.intArray,
+                          co::DmaTarget{t1, false}, 0, 0, 0,
+                          extent.sizeBytes)
+                    .ok());
+    ASSERT_TRUE(rig.streamAll(1, extent).ok());
+    ASSERT_EQ(cache.entries(), 1u);
+
+    // Overwrite the extent's first block with the same text, one value
+    // digit flipped (past the first line, which carries the element
+    // count): a standard NVMe write overlapping the cached raw range
+    // (end-exclusive) must drop the entry.
+    auto block = rig.sys.ssd().peekBytes(extent.startByte, 512);
+    bool past_count = false;
+    for (auto &b : block) {
+        if (b == '\n') {
+            past_count = true;
+            continue;
+        }
+        if (past_count && b >= '0' && b <= '9') {
+            b = (b == '9') ? '1' : static_cast<std::uint8_t>(b + 1);
+            break;
+        }
+    }
+    const auto src = rig.sys.allocHost(block.size());
+    rig.sys.mem().store().writeVec(src, block);
+    nv::Command wr;
+    wr.opcode = nv::Opcode::kWrite;
+    wr.prp1 = src;
+    wr.slba = extent.startByte / nv::kBlockBytes;
+    wr.nlb = 0;  // one block
+    ASSERT_TRUE(rig.io(wr).ok());
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.invalidations(), 1u);
+
+    // Re-stream: a miss that re-parses the CURRENT flash bytes — the
+    // delivered object must reflect the flipped digit, not the cached
+    // pre-write object.
+    const auto t2 = rig.sys.allocHost(a.objectBytes());
+    ASSERT_TRUE(rig.minit(2, rig.images.intArray,
+                          co::DmaTarget{t2, false}, 0, 0, 0,
+                          extent.sizeBytes)
+                    .ok());
+    const auto fin = rig.streamAll(2, extent);
+    ASSERT_TRUE(fin.ok());
+    EXPECT_EQ(cache.hits(), 0u);
+
+    const auto text = rig.sys.ssd().peekBytes(extent.startByte,
+                                              extent.sizeBytes);
+    sd::TextScanner s(text.data(), text.size());
+    std::vector<std::int64_t> expect;
+    std::int64_t v = 0;
+    ASSERT_TRUE(s.nextInt64(&v));  // skip the count line
+    while (expect.size() < a.values.size() && s.nextInt64(&v))
+        expect.push_back(v);
+    const auto bin = rig.sys.mem().store().readVec(
+        t2, static_cast<std::size_t>(a.objectBytes()));
+    EXPECT_EQ(sd::IntArrayObject::fromBinary(bin).values, expect);
+    EXPECT_NE(expect, a.values);  // the write really changed a value
+}
+
+TEST(DeviceRuntime, ObjectCacheCrashedInstanceNeverPopulates)
+{
+    Rig rig{cacheConfig()};
+    const auto a = wk::genIntArray(53, 20000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("ints", w.bytes());
+    auto &cache = rig.sys.ssd().objectCache();
+
+    const auto t1 = rig.sys.allocHost(a.objectBytes());
+    ASSERT_TRUE(rig.minit(1, rig.images.intArray,
+                          co::DmaTarget{t1, false}, 0, 0, 0,
+                          extent.sizeBytes)
+                    .ok());
+    {
+        // Every processed chunk crashes the app: the first MREAD
+        // poisons the instance mid-stream.
+        morpheus::sim::FaultPlan plan;
+        plan.crashRate = 1.0;
+        morpheus::sim::FaultInjector fi(plan);
+        morpheus::sim::ScopedFaultInjector scope(&fi);
+        const auto cqe = rig.mread(1, extent, 0, 16 * 1024);
+        EXPECT_EQ(cqe.status, nv::Status::kAppFault);
+    }
+    // Poisoned teardown must not insert the partial object.
+    ASSERT_TRUE(rig.mdeinit(1).ok());
+    EXPECT_EQ(cache.insertions(), 0u);
+    EXPECT_EQ(cache.entries(), 0u);
+
+    // A clean rerun both works and is the first insertion.
+    const auto t2 = rig.sys.allocHost(a.objectBytes());
+    ASSERT_TRUE(rig.minit(2, rig.images.intArray,
+                          co::DmaTarget{t2, false}, 0, 0, 0,
+                          extent.sizeBytes)
+                    .ok());
+    const auto fin = rig.streamAll(2, extent);
+    ASSERT_TRUE(fin.ok());
+    EXPECT_EQ(fin.dw0, a.values.size());
+    EXPECT_EQ(cache.insertions(), 1u);
+}
+
+TEST(DeviceRuntime, ObjectCacheAbandonedMediaFaultNeverPopulates)
+{
+    Rig rig{cacheConfig()};
+    const auto a = wk::genIntArray(54, 20000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("ints", w.bytes());
+    auto &cache = rig.sys.ssd().objectCache();
+
+    const auto t1 = rig.sys.allocHost(a.objectBytes());
+    ASSERT_TRUE(rig.minit(1, rig.images.intArray,
+                          co::DmaTarget{t1, false}, 0, 0, 0,
+                          extent.sizeBytes)
+                    .ok());
+    // First chunk parses clean; the second dies on an uncorrectable
+    // flash page and the host gives up on the stream.
+    const auto first = rig.mread(1, extent, 0, 16 * 1024);
+    ASSERT_TRUE(first.ok());
+    {
+        morpheus::sim::FaultPlan plan;
+        plan.mediaRate = 1.0;
+        morpheus::sim::FaultInjector fi(plan);
+        morpheus::sim::ScopedFaultInjector scope(&fi);
+        const auto cqe =
+            rig.mread(1, extent, 16 * 1024, 16 * 1024, first.postedAt);
+        EXPECT_EQ(cqe.status, nv::Status::kMediaError);
+    }
+    // Abandoning MDEINIT sees a short stream: no insert, ever.
+    ASSERT_TRUE(rig.mdeinit(1, first.postedAt + 1).ok());
+    EXPECT_EQ(cache.insertions(), 0u);
+    EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(DeviceRuntime, ObjectCacheAppletReinstallInvalidates)
+{
+    Rig rig{cacheConfig()};
+    const auto a = wk::genIntArray(55, 10000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto extent = rig.sys.createFile("ints", w.bytes());
+    auto &cache = rig.sys.ssd().objectCache();
+
+    const auto t1 = rig.sys.allocHost(a.objectBytes());
+    ASSERT_TRUE(rig.minit(1, rig.images.intArray,
+                          co::DmaTarget{t1, false}, 0, 0, 0,
+                          extent.sizeBytes)
+                    .ok());
+    ASSERT_TRUE(rig.streamAll(1, extent).ok());
+    ASSERT_EQ(cache.entries(), 1u);
+
+    // Re-install the same applet at a new code version: retained
+    // objects may embed stale semantics and must drop.
+    co::StorageAppImage v2 = rig.images.intArray;
+    v2.version = 2;
+    const auto t2 = rig.sys.allocHost(a.objectBytes());
+    ASSERT_TRUE(rig.minit(2, v2, co::DmaTarget{t2, false}, 0, 0, 0,
+                          extent.sizeBytes)
+                    .ok());
+    EXPECT_EQ(cache.entries(), 0u);
+    // And the keyed version means the new instance misses, re-parses,
+    // and re-populates under its own version.
+    const auto fin = rig.streamAll(2, extent);
+    ASSERT_TRUE(fin.ok());
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.insertions(), 2u);  // re-parse re-populated
+    EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(DeviceRuntime, ObjectCacheSharesBudgetWithPipelineReadahead)
+{
+    // End to end: with the streaming pipeline's readahead on, the
+    // controller's cache capacity is the budget minus the readahead
+    // buffer — one DRAM pool, never double-booked.
+    ho::SystemConfig cfg = cacheConfig();
+    cfg.ssd.pipeline.enabled = true;
+    cfg.ssd.cache.budgetBytes = 1024 * 1024;
+    Rig rig{cfg};
+    EXPECT_EQ(rig.sys.ssd().objectCache().capacityBytes(),
+              1024u * 1024u -
+                  cfg.ssd.pipeline.readaheadBufferBytes);
+
+    // Pipeline off: the cache keeps the whole budget.
+    ho::SystemConfig flat = cacheConfig();
+    flat.ssd.cache.budgetBytes = 1024 * 1024;
+    Rig rig2{flat};
+    EXPECT_EQ(rig2.sys.ssd().objectCache().capacityBytes(),
+              1024u * 1024u);
 }

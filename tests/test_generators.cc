@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "serde/writer.hh"
@@ -152,6 +153,43 @@ TEST(Zipfian, SkewConcentratesMassOnLowRanks)
     for (unsigned i = 0; i < 4000; ++i)
         ++hist[z.draw(rng)];
     EXPECT_GT(hist[0], hist[50]);
+}
+
+TEST(Zipfian, IndexForUniformClampsUpperBoundary)
+{
+    // Float prefix sums can leave cdf(n-1) fractionally below 1; the
+    // constructor pins back() to exactly 1.0 and indexForUniform clamps
+    // past-the-end hits, so no deviate in [0, 1] can index out of range.
+    const wk::ZipfianGenerator z(1000, 0.99);
+    EXPECT_DOUBLE_EQ(z.cdf(z.size() - 1), 1.0);
+    EXPECT_EQ(z.indexForUniform(1.0), z.size() - 1);
+    EXPECT_EQ(z.indexForUniform(std::nextafter(1.0, 0.0)), z.size() - 1);
+    // Even a (theoretically impossible) u above 1 must clamp, not run
+    // off the CDF.
+    EXPECT_EQ(z.indexForUniform(std::nextafter(1.0, 2.0)), z.size() - 1);
+}
+
+TEST(Zipfian, IndexForUniformLowerBoundaryAndSingleton)
+{
+    const wk::ZipfianGenerator z(8, 1.2);
+    EXPECT_EQ(z.indexForUniform(0.0), 0u);
+    // u exactly on an interior CDF point selects that item, the next
+    // representable value above it the following item.
+    const double edge = z.cdf(2);
+    EXPECT_EQ(z.indexForUniform(edge), 2u);
+    EXPECT_EQ(z.indexForUniform(std::nextafter(edge, 2.0)), 3u);
+
+    const wk::ZipfianGenerator one(1, 0.99);
+    EXPECT_EQ(one.indexForUniform(0.0), 0u);
+    EXPECT_EQ(one.indexForUniform(1.0), 0u);
+}
+
+TEST(Zipfian, DrawMatchesIndexForUniform)
+{
+    const wk::ZipfianGenerator z(64, 0.8);
+    morpheus::sim::Rng a(3), b(3);
+    for (unsigned i = 0; i < 200; ++i)
+        EXPECT_EQ(z.draw(a), z.indexForUniform(b.nextDouble()));
 }
 
 TEST(Zipfian, DrawIsDeterministicAndConsumesOneUniform)

@@ -16,8 +16,10 @@
 #include "core/standard_apps.hh"
 #include "obs/trace.hh"
 #include "serde/formats.hh"
+#include "serde/writer.hh"
 #include "shard/fleet_topology.hh"
 #include "shard/shard_fabric.hh"
+#include "sim/fault.hh"
 #include "workloads/generators.hh"
 #include "workloads/serving.hh"
 
@@ -108,6 +110,63 @@ TEST(ShardRouter, SingleShardDegeneratesToIdentity)
     EXPECT_EQ(slices[0].globalOffset, 500u);
     EXPECT_EQ(slices[0].localOffset, 500u);
     EXPECT_EQ(slices[0].bytes, 100000u);
+}
+
+TEST(ShardRouter, SplitRangeZeroLengthYieldsNoSlices)
+{
+    sh::ShardRouter r(4, sh::ShardPolicy::kRange, 4096);
+    EXPECT_TRUE(r.splitRange(1, 0, 0).empty());
+    EXPECT_TRUE(r.splitRange(1, 4096, 0).empty());   // on a boundary
+    EXPECT_TRUE(r.splitRange(1, 12345, 0).empty());  // mid-stripe
+}
+
+TEST(ShardRouter, SplitRangeEndingOnStripeBoundaryEmitsNoEmptySlice)
+{
+    // A range whose end lands exactly on a stripe boundary must not
+    // spill a zero-byte slice into the next stripe (the classic
+    // off-by-one from computing last_stripe = end / stripeBytes).
+    sh::ShardRouter r(3, sh::ShardPolicy::kRange, 4096);
+    const auto slices = r.splitRange(1, 0, 3 * 4096);
+    ASSERT_EQ(slices.size(), 3u);
+    std::uint64_t covered = 0;
+    for (const sh::ShardSlice &s : slices) {
+        EXPECT_GT(s.bytes, 0u);
+        covered += s.bytes;
+    }
+    EXPECT_EQ(covered, 3u * 4096u);
+    EXPECT_EQ(slices.back().globalOffset + slices.back().bytes,
+              3u * 4096u);
+}
+
+TEST(ShardRouter, SplitRangeStartingOnStripeBoundary)
+{
+    sh::ShardRouter r(2, sh::ShardPolicy::kRange, 4096);
+    const auto slices = r.splitRange(1, 4096, 4096);
+    ASSERT_EQ(slices.size(), 1u);
+    EXPECT_EQ(slices[0].device, 1u);  // round robin: stripe 1 -> dev 1
+    EXPECT_EQ(slices[0].globalOffset, 4096u);
+    EXPECT_EQ(slices[0].bytes, 4096u);
+    // Stripe 1 is device 1's first stripe, so it starts at local 0.
+    EXPECT_EQ(slices[0].localOffset, 0u);
+}
+
+TEST(ShardRouter, SplitRangeSingleByteAtStripeEnd)
+{
+    // The last byte of a stripe: exactly one slice, one byte, in the
+    // owning stripe — not bleeding into the next one.
+    sh::ShardRouter r(2, sh::ShardPolicy::kRange, 4096);
+    const auto slices = r.splitRange(1, 4095, 1);
+    ASSERT_EQ(slices.size(), 1u);
+    EXPECT_EQ(slices[0].device, 0u);
+    EXPECT_EQ(slices[0].globalOffset, 4095u);
+    EXPECT_EQ(slices[0].localOffset, 4095u);
+    EXPECT_EQ(slices[0].bytes, 1u);
+
+    // And the first byte of the next stripe belongs to the next device.
+    const auto next = r.splitRange(1, 4096, 1);
+    ASSERT_EQ(next.size(), 1u);
+    EXPECT_EQ(next[0].device, 1u);
+    EXPECT_EQ(next[0].localOffset, 0u);
 }
 
 TEST(ShardRouter, Fnv1aMatchesReferenceVector)
@@ -295,6 +354,72 @@ TEST(ShardFabric, FleetInvokeMergesPerDeviceResults)
     EXPECT_EQ(r.merged.objectBytes, bytes);
     EXPECT_EQ(r.merged.mreadCommands, mreads);
     EXPECT_GT(r.merged.objectBytes, 0u);
+}
+
+TEST(ShardFabric, FleetInvokeRetriesAttributeOnce)
+{
+    // Reference: the same workload on a clean fleet.
+    std::uint64_t clean_bytes = 0, clean_rv = 0;
+    {
+        ho::HostSystem sys(fleetConfig(2));
+        sh::ShardFabric fabric(sys, sh::ShardPolicy::kRange, 64 * 1024);
+        co::StandardImages images = co::StandardImages::make();
+        const auto a = wk::genIntArray(7, 60000);
+        sd::TextWriter w;
+        a.serialize(w);
+        const sh::ShardedFile f = fabric.ingestSharded("ints", w.bytes());
+        sim::Tick ready = 0;
+        for (const auto &ext : f.extents)
+            ready = std::max(ready, ext.readyAt);
+        const sh::FleetInvokeResult r =
+            fabric.fleetInvoke(images.intArray, f, ready);
+        ASSERT_TRUE(r.accepted);
+        ASSERT_FALSE(r.failed);
+        EXPECT_EQ(r.replays, 0u);
+        clean_bytes = r.merged.objectBytes;
+        clean_rv = r.merged.returnValue;
+        ASSERT_GT(clean_bytes, 0u);
+    }
+
+    // Same workload under injected StorageApp crashes with driver
+    // recovery on: fleet-level replays reissue whole shards, each
+    // replay OVERWRITING its device's slot — merged totals must match
+    // the clean run exactly, never accumulate across attempts.
+    ho::HostSystem sys(fleetConfig(2));
+    sh::ShardFabric fabric(sys, sh::ShardPolicy::kRange, 64 * 1024);
+    morpheus::nvme::DriverRecoveryConfig rec;
+    rec.enabled = true;
+    fabric.setRecovery(rec);
+    co::StandardImages images = co::StandardImages::make();
+    const auto a = wk::genIntArray(7, 60000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const sh::ShardedFile f = fabric.ingestSharded("ints", w.bytes());
+    sim::Tick ready = 0;
+    for (const auto &ext : f.extents)
+        ready = std::max(ready, ext.readyAt);
+
+    sh::FleetInvokeResult r;
+    {
+        morpheus::sim::FaultPlan plan;
+        plan.crashRate = 0.25;  // per processed chunk
+        plan.seed = 11;
+        morpheus::sim::FaultInjector fi(plan);
+        morpheus::sim::ScopedFaultInjector scope(&fi);
+        r = fabric.fleetInvoke(images.intArray, f, ready);
+        EXPECT_GE(fi.appCrashes(), 1u);
+    }
+    ASSERT_TRUE(r.accepted);
+    ASSERT_FALSE(r.failed);
+    EXPECT_GT(r.replays, 0u);
+    // Attribute-once: despite the retries, the merged totals are the
+    // final attempts' alone.
+    EXPECT_EQ(r.merged.objectBytes, clean_bytes);
+    EXPECT_EQ(r.merged.returnValue, clean_rv);
+    std::uint64_t bytes = 0;
+    for (unsigned d = 0; d < 2; ++d)
+        bytes += r.perDevice[d].objectBytes;
+    EXPECT_EQ(bytes, clean_bytes);
 }
 
 TEST(ShardFabric, RebalanceMovesExtentPeerToPeer)

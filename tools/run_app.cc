@@ -51,6 +51,8 @@ usage()
         "                    [--max-descriptor-bytes N]\n"
         "                    [--ssds N] [--shard-policy hash|range]\n"
         "                    [--fleet-topology FILE.json]\n"
+        "                    [--cache] [--cache-bytes N]\n"
+        "                    [--cache-policy lru|fifo|frequency]\n"
         "fault plan keys: media, dma, crash, hang, drop (rates),\n"
         "dma_min, watchdog_us, seed; also read from MORPHEUS_FAULTS.\n"
         "--recovery enables driver timeouts + bounded retries.\n"
@@ -63,7 +65,11 @@ usage()
         "device 0; object placement across the fleet is exercised by\n"
         "the serving benches). --fleet-topology loads per-device\n"
         "geometry from JSON, --shard-policy picks hash or range\n"
-        "placement for it.\n");
+        "placement for it.\n"
+        "--cache enables the deserialized-object cache in controller\n"
+        "DRAM; --cache-bytes sets its budget (shared with the\n"
+        "readahead buffer, default 64 MiB), --cache-policy the\n"
+        "eviction policy.\n");
 }
 
 int
@@ -173,6 +179,20 @@ main(int argc, char **argv)
             opts.sys.ssd.pipeline.maxDescriptorBytes =
                 static_cast<std::uint64_t>(
                     std::atoll(next("--max-descriptor-bytes")));
+        } else if (arg == "--cache") {
+            opts.sys.ssd.cache.enabled = true;
+        } else if (arg == "--cache-bytes") {
+            opts.sys.ssd.cache.budgetBytes =
+                static_cast<std::uint64_t>(
+                    std::atoll(next("--cache-bytes")));
+        } else if (arg == "--cache-policy") {
+            const char *name = next("--cache-policy");
+            if (!ssd::cachePolicyFromName(name,
+                                          &opts.sys.ssd.cache.policy)) {
+                std::fprintf(stderr, "unknown cache policy: %s\n",
+                             name);
+                return 2;
+            }
         } else if (arg == "--ssds") {
             opts.sys.numSsds = static_cast<unsigned>(
                 std::atoi(next("--ssds")));
