@@ -8,6 +8,46 @@
 
 namespace morpheus::core {
 
+namespace {
+
+/**
+ * Collects the trace ids a session's driver interactions consume: the
+ * sim is single-threaded, so every id in [nextTraceId() at entry,
+ * nextTraceId() at exit) was stamped on this session's commands —
+ * including driver-internal retries. The destructor runs at every
+ * return point. No-op (and container-free) without a sink, preserving
+ * the zero-cost-when-disabled guarantee.
+ */
+class TraceIdScope
+{
+  public:
+    TraceIdScope(const nvme::NvmeDriver &driver, InvokeSession &session)
+        : _driver(driver), _session(session),
+          _enabled(obs::traceSink() != nullptr),
+          _first(_enabled ? driver.nextTraceId() : 0)
+    {
+    }
+
+    ~TraceIdScope()
+    {
+        if (!_enabled)
+            return;
+        for (obs::TraceId id = _first; id != _driver.nextTraceId(); ++id)
+            _session.traceIds.push_back(id);
+    }
+
+    TraceIdScope(const TraceIdScope &) = delete;
+    TraceIdScope &operator=(const TraceIdScope &) = delete;
+
+  private:
+    const nvme::NvmeDriver &_driver;
+    InvokeSession &_session;
+    bool _enabled;
+    obs::TraceId _first;
+};
+
+}  // namespace
+
 MorpheusRuntime::MorpheusRuntime(host::HostSystem &sys,
                                  MorpheusDeviceRuntime &device,
                                  NvmeP2p &p2p, unsigned ssd_device)
@@ -46,6 +86,26 @@ MorpheusRuntime::beginInvoke(const StorageAppImage &image,
                              const MsStream &stream,
                              const DmaTarget &target, sim::Tick now,
                              const InvokeOptions &opts)
+{
+    // Bracket the impl with the driver's trace-id counter: RAII on the
+    // local session would race NRVO (the ids could land in a moved-from
+    // object), so the wrapper collects explicitly on the returned one.
+    const nvme::NvmeDriver &driver = _sys.nvmeDriver(_ssdDevice);
+    const bool traced = obs::traceSink() != nullptr;
+    const obs::TraceId first = traced ? driver.nextTraceId() : 0;
+    InvokeSession s = beginInvokeImpl(image, stream, target, now, opts);
+    if (traced) {
+        for (obs::TraceId id = first; id != driver.nextTraceId(); ++id)
+            s.traceIds.push_back(id);
+    }
+    return s;
+}
+
+InvokeSession
+MorpheusRuntime::beginInvokeImpl(const StorageAppImage &image,
+                                 const MsStream &stream,
+                                 const DmaTarget &target, sim::Tick now,
+                                 const InvokeOptions &opts)
 {
     nvme::NvmeDriver &driver = _sys.nvmeDriver(_ssdDevice);
     const unsigned core = opts.hostCore;
@@ -171,6 +231,7 @@ MorpheusRuntime::stepInvoke(InvokeSession &s)
     MORPHEUS_ASSERT(!s.failed, "stepInvoke on a failed session");
     MORPHEUS_ASSERT(!s.streamDone(), "stepInvoke past the stream end");
     nvme::NvmeDriver &driver = _sys.nvmeDriver(_ssdDevice);
+    const TraceIdScope trace_scope(driver, s);
     const bool recover = driver.recovery().enabled;
 
     std::vector<std::pair<nvme::Command, nvme::Submitted>> batch;
@@ -226,6 +287,7 @@ MorpheusRuntime::finishInvoke(InvokeSession &s)
 {
     MORPHEUS_ASSERT(s.accepted, "finishInvoke on a refused session");
     nvme::NvmeDriver &driver = _sys.nvmeDriver(_ssdDevice);
+    const TraceIdScope trace_scope(driver, s);
 
     nvme::Command mdeinit;
     mdeinit.opcode = nvme::Opcode::kMDeinit;
@@ -259,6 +321,7 @@ InvokeResult
 MorpheusRuntime::abortInvoke(InvokeSession &s)
 {
     nvme::NvmeDriver &driver = _sys.nvmeDriver(_ssdDevice);
+    const TraceIdScope trace_scope(driver, s);
     // Best-effort reclaim: a watchdog-killed instance answers
     // kNoSuchInstance (already freed device-side), a poisoned one runs
     // the hook-skipping teardown; either way the slot comes back.

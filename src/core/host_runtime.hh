@@ -22,11 +22,13 @@
 #define MORPHEUS_CORE_HOST_RUNTIME_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "core/device_runtime.hh"
 #include "core/nvme_p2p.hh"
 #include "core/storage_app.hh"
 #include "host/host_system.hh"
+#include "obs/trace.hh"
 
 namespace morpheus::core {
 
@@ -116,6 +118,12 @@ struct InvokeSession
     /** Status that killed the stream (kSuccess while healthy). */
     nvme::Status failStatus = nvme::Status::kSuccess;
 
+    /** Trace ids of every command this session submitted — MINIT,
+     *  MREADs, MDEINIT, including retries. Populated only while a
+     *  trace sink is attached (empty otherwise), for flight-recorder
+     *  collection and critical-path attribution. */
+    std::vector<obs::TraceId> traceIds;
+
     std::uint64_t offset = 0;      ///< Next stream byte to issue.
     std::uint64_t chunkBytes = 0;
     std::uint64_t fileStartBlock = 0;
@@ -202,6 +210,12 @@ class MorpheusRuntime
     std::uint32_t instancesIssued() const { return _nextInstance; }
 
   private:
+    /** beginInvoke body; the public wrapper collects trace ids. */
+    InvokeSession beginInvokeImpl(const StorageAppImage &image,
+                                  const MsStream &stream,
+                                  const DmaTarget &target, sim::Tick now,
+                                  const InvokeOptions &opts);
+
     host::HostSystem &_sys;
     MorpheusDeviceRuntime &_device;
     NvmeP2p &_p2p;

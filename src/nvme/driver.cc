@@ -67,7 +67,7 @@ NvmeDriver::submit(std::uint16_t qid, Command cmd)
     }
     if (_recovery.enabled)
         _unrungIssued[qid].push_back(key(qid, cmd.cid));
-    return Submitted{qid, cmd.cid};
+    return Submitted{qid, cmd.cid, cmd.traceId};
 }
 
 sim::Tick

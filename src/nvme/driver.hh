@@ -29,6 +29,8 @@ struct Submitted
 {
     std::uint16_t qid = 0;
     std::uint16_t cid = 0;
+    /** Trace id the driver stamped on this command. */
+    obs::TraceId traceId = 0;
 };
 
 /**
@@ -139,6 +141,11 @@ class NvmeDriver
      * ids (base 0) are bit-identical to the single-SSD ones.
      */
     void setTraceIdBase(obs::TraceId base) { _nextTraceId = base + 1; }
+
+    /** The id the next submit() will stamp. [before, after) brackets
+     *  around driver calls give sessions the exact id range a
+     *  high-level operation consumed (the sim is single-threaded). */
+    obs::TraceId nextTraceId() const { return _nextTraceId; }
 
     std::uint64_t completionsReaped() const { return _reaped.value(); }
     std::uint64_t retriesIssued() const { return _retries.value(); }

@@ -1,0 +1,153 @@
+#include "obs/flight_recorder.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace morpheus::obs {
+
+namespace {
+
+/** Deterministic span order for collected/exported traces. */
+bool
+spanLess(const Span &a, const Span &b)
+{
+    if (a.begin != b.begin)
+        return a.begin < b.begin;
+    if (a.end != b.end)
+        return a.end < b.end;
+    if (a.track != b.track)
+        return a.track < b.track;
+    return a.name < b.name;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(const FlightRecorderConfig &cfg) : _cfg(cfg)
+{
+    MORPHEUS_ASSERT(_cfg.ringCapacity > 0,
+                    "flight recorder ring needs capacity");
+    _ring.reserve(_cfg.ringCapacity);
+}
+
+void
+FlightRecorder::unindexSlot(std::uint32_t slot)
+{
+    const TraceId old_id = _ring[slot].trace;
+    if (old_id == 0)
+        return;
+    auto it = _index.find(old_id);
+    if (it == _index.end())
+        return;
+    auto &slots = it->second;
+    slots.erase(std::remove(slots.begin(), slots.end(), slot),
+                slots.end());
+    if (slots.empty())
+        _index.erase(it);
+}
+
+void
+FlightRecorder::record(const Span &span)
+{
+    if (_cfg.downstream)
+        _cfg.downstream->record(span);
+
+    const auto slot =
+        static_cast<std::uint32_t>(_head % _cfg.ringCapacity);
+    if (_ring.size() < _cfg.ringCapacity) {
+        _ring.push_back(span);
+    } else {
+        unindexSlot(slot);
+        _ring[slot] = span;
+    }
+    if (span.trace != 0)
+        _index[span.trace].push_back(slot);
+    ++_head;
+}
+
+std::vector<Span>
+FlightRecorder::collect(const std::vector<TraceId> &ids) const
+{
+    std::vector<Span> out;
+    for (const TraceId id : ids) {
+        const auto it = _index.find(id);
+        if (it == _index.end())
+            continue;
+        for (const std::uint32_t slot : it->second)
+            out.push_back(_ring[slot]);
+    }
+    std::sort(out.begin(), out.end(), spanLess);
+    return out;
+}
+
+void
+FlightRecorder::offer(const RequestMeta &meta, std::vector<Span> spans)
+{
+    if (meta.failed) {
+        // Failures are rare and always interesting: keep the first
+        // maxFailed in arrival order, a deterministic policy.
+        if (_failed.size() < _cfg.maxFailed)
+            _failed.push_back({meta, std::move(spans)});
+        return;
+    }
+    if (_cfg.slowestK == 0)
+        return;
+    if (_slowest.size() < _cfg.slowestK) {
+        _slowest.push_back({meta, std::move(spans)});
+        return;
+    }
+    // Evict the current fastest if this request is slower. Ties keep
+    // the incumbent (earlier requestId), again deterministic.
+    auto fastest = std::min_element(
+        _slowest.begin(), _slowest.end(),
+        [](const RetainedTrace &a, const RetainedTrace &b) {
+            if (a.meta.latency() != b.meta.latency())
+                return a.meta.latency() < b.meta.latency();
+            return a.meta.requestId > b.meta.requestId;
+        });
+    if (meta.latency() > fastest->meta.latency())
+        *fastest = {meta, std::move(spans)};
+}
+
+std::vector<RetainedTrace>
+FlightRecorder::retained() const
+{
+    std::vector<RetainedTrace> out = _failed;
+    std::vector<RetainedTrace> slow = _slowest;
+    std::sort(slow.begin(), slow.end(),
+              [](const RetainedTrace &a, const RetainedTrace &b) {
+                  if (a.meta.latency() != b.meta.latency())
+                      return a.meta.latency() > b.meta.latency();
+                  return a.meta.requestId < b.meta.requestId;
+              });
+    out.insert(out.end(), slow.begin(), slow.end());
+    return out;
+}
+
+void
+FlightRecorder::writeChromeJson(std::ostream &os) const
+{
+    std::vector<Span> all;
+    for (const RetainedTrace &rt : retained()) {
+        // Synthetic umbrella so each retained request reads as one
+        // slice on a dedicated track at the top of the Perfetto view.
+        Span nav;
+        nav.track = "recorder.requests";
+        nav.name = "req " + std::to_string(rt.meta.requestId) +
+                   " tenant" + std::to_string(rt.meta.tenant) +
+                   (rt.meta.failed ? " FAILED" : "");
+        nav.category = "recorder";
+        nav.begin = rt.meta.begin;
+        nav.end = rt.meta.end;
+        nav.tenant = rt.meta.tenant;
+        all.push_back(std::move(nav));
+        all.insert(all.end(), rt.spans.begin(), rt.spans.end());
+    }
+    // Merge + resort: requests may interleave in time, and duplicate
+    // spans (shared umbrellas) render harmlessly.
+    std::sort(all.begin(), all.end(), spanLess);
+    writeChromeTrace(os, all);
+}
+
+}  // namespace morpheus::obs

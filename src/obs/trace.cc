@@ -96,11 +96,20 @@ jsonEscape(const std::string &in)
     return out;
 }
 
-/** Sim ticks (picoseconds) to trace-event microseconds. */
-double
+/**
+ * Render sim ticks (picoseconds) as exact decimal trace-event
+ * microseconds. One tick is 10^-6 µs, so "<t/1e6>.<t%1e6:06>" is the
+ * exact value — unlike %.6f on a double, which rounds once the whole
+ * part grows past 2^53 femto-precision and used to drop sub-µs digits.
+ */
+std::string
 ticksToTraceUs(sim::Tick t)
 {
-    return static_cast<double>(t) / 1e6;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%llu.%06llu",
+                  static_cast<unsigned long long>(t / 1'000'000),
+                  static_cast<unsigned long long>(t % 1'000'000));
+    return buf;
 }
 
 void
@@ -132,13 +141,19 @@ writeArgs(std::ostream &os, const Span &s)
 }  // namespace
 
 void
-ChromeTraceSink::write(std::ostream &os) const
+writeChromeTrace(std::ostream &os, const std::vector<Span> &spans)
 {
+    // An empty trace is still a valid, loadable document.
+    if (spans.empty()) {
+        os << "{\"traceEvents\":[]}\n";
+        return;
+    }
+
     // Tracks become "threads" of one process; tids are assigned in
     // first-seen order so the output is deterministic in record order.
     std::map<std::string, int> tids;
     std::vector<const std::string *> track_order;
-    for (const Span &s : _spans) {
+    for (const Span &s : spans) {
         if (tids.emplace(s.track, static_cast<int>(tids.size()) + 1)
                 .second) {
             track_order.push_back(&s.track);
@@ -164,30 +179,30 @@ ChromeTraceSink::write(std::ostream &os) const
            << jsonEscape(*track) << "\"}}";
     }
 
-    char ts_buf[64];
-    for (const Span &s : _spans) {
+    for (const Span &s : spans) {
         sep();
         const int tid = tids[s.track];
-        // %.6f on microseconds keeps full picosecond resolution.
-        std::snprintf(ts_buf, sizeof(ts_buf), "%.6f",
-                      ticksToTraceUs(s.begin));
         os << "{\"ph\":\"" << (s.instant ? "i" : "X") << "\",\"pid\":1,"
            << "\"tid\":" << tid << ",\"name\":\"" << jsonEscape(s.name)
            << "\",\"cat\":\""
            << (s.category && *s.category ? s.category : "sim")
-           << "\",\"ts\":" << ts_buf;
+           << "\",\"ts\":" << ticksToTraceUs(s.begin);
         if (s.instant) {
             os << ",\"s\":\"t\"";
         } else {
-            std::snprintf(ts_buf, sizeof(ts_buf), "%.6f",
-                          ticksToTraceUs(s.duration()));
-            os << ",\"dur\":" << ts_buf;
+            os << ",\"dur\":" << ticksToTraceUs(s.duration());
         }
         os << ",";
         writeArgs(os, s);
         os << "}";
     }
     os << "\n]}\n";
+}
+
+void
+ChromeTraceSink::write(std::ostream &os) const
+{
+    writeChromeTrace(os, _spans);
 }
 
 }  // namespace morpheus::obs

@@ -150,11 +150,20 @@ class InMemoryTraceSink : public TraceSink
 };
 
 /**
+ * Serialize @p spans as one Chrome trace-event JSON document: "M"
+ * thread_name metadata labels one track per first-seen Span::track,
+ * "X" complete events carry ts/dur in microseconds (sim ticks are
+ * picoseconds, rendered as exact decimal microseconds — never rounded
+ * or truncated), and instants become "i" events. An empty span list
+ * produces the valid empty document {"traceEvents":[]}. Loadable in
+ * Perfetto and chrome://tracing. Shared by ChromeTraceSink and the
+ * FlightRecorder's slow-trace export.
+ */
+void writeChromeTrace(std::ostream &os, const std::vector<Span> &spans);
+
+/**
  * Chrome trace-event JSON backend. Buffers spans; write() emits a
- * {"traceEvents": [...]} document: "M" thread_name metadata labels one
- * track per first-seen Span::track, "X" complete events carry ts/dur
- * in microseconds (sim ticks are picoseconds), and instants become "i"
- * events. Loadable in Perfetto and chrome://tracing.
+ * {"traceEvents": [...]} document via writeChromeTrace().
  */
 class ChromeTraceSink : public TraceSink
 {

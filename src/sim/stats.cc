@@ -48,9 +48,22 @@ Histogram::quantile(double q) const
         return _acc.min();
     }
     for (std::size_t i = 0; i < _counts.size(); ++i) {
-        seen += _counts[i];
-        if (seen >= target)
-            return _lo + (static_cast<double>(i) + 0.5) * _width;
+        const std::uint64_t in_bucket = _counts[i];
+        if (seen + in_bucket >= target) {
+            // Rank interpolation inside the landing bucket: the k-th of
+            // its n samples sits k/n of the way through the bucket
+            // (k = target - seen in [1, n]), instead of every rank
+            // collapsing onto the midpoint. The exact observed extremes
+            // clamp the estimate so a quantile can never leave the
+            // sampled range.
+            const double frac =
+                static_cast<double>(target - seen) /
+                static_cast<double>(in_bucket);
+            const double v =
+                _lo + (static_cast<double>(i) + frac) * _width;
+            return std::min(std::max(v, _acc.min()), _acc.max());
+        }
+        seen += in_bucket;
     }
     // The quantile falls among the overflow samples above the last
     // bucket; the exact largest sample bounds them all.

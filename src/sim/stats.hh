@@ -91,7 +91,9 @@ class Histogram
     double max() const { return _acc.max(); }
     unsigned buckets() const { return static_cast<unsigned>(_counts.size()); }
 
-    /** Approximate quantile (bucket midpoint interpolation). */
+    /** Approximate quantile: rank interpolation within the landing
+     *  bucket, clamped to the exact observed min/max (so the deep tail
+     *  reports the true extreme, never a bucket edge). */
     double quantile(double q) const;
 
     void reset();

@@ -1,7 +1,9 @@
 #include "workloads/serving.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -12,6 +14,9 @@
 #include "core/host_runtime.hh"
 #include "core/nvme_p2p.hh"
 #include "core/standard_apps.hh"
+#include "obs/critical_path.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/timeline.hh"
 #include "shard/shard_fabric.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
@@ -24,10 +29,59 @@ namespace morpheus::workloads {
 
 namespace {
 
-/** Latency histograms: 10 us buckets up to 100 ms; the tail beyond
- *  that is resolved by the exact max tracked by the accumulator. */
-constexpr double kLatHiUs = 100000.0;
-constexpr unsigned kLatBuckets = 10000;
+/** Exact latency tails: every completed request's latency is kept and
+ *  quantiles are true ceil-rank order statistics — the same pick the
+ *  per-stage summarizer makes for its p99 exemplar, so a tenant's
+ *  stage decomposition sums to its reported p99 exactly even when an
+ *  overloaded run stretches the tail arbitrarily (a fixed-range
+ *  histogram degraded to max() there). */
+struct LatencyTally
+{
+    void sample(double us)
+    {
+        _v.push_back(us);
+        _sorted = false;
+    }
+    std::uint64_t samples() const { return _v.size(); }
+    double mean() const
+    {
+        if (_v.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (const double x : _v)
+            sum += x;
+        return sum / static_cast<double>(_v.size());
+    }
+    double max() const
+    {
+        ensureSorted();
+        return _v.empty() ? 0.0 : _v.back();
+    }
+    double quantile(double q) const
+    {
+        if (_v.empty())
+            return 0.0;
+        ensureSorted();
+        const auto rank = std::min<std::size_t>(
+            _v.size() - 1,
+            std::max<std::size_t>(
+                1, static_cast<std::size_t>(std::ceil(
+                       q * static_cast<double>(_v.size())))) -
+                1);
+        return _v[rank];
+    }
+
+  private:
+    void ensureSorted() const
+    {
+        if (!_sorted) {
+            std::sort(_v.begin(), _v.end());
+            _sorted = true;
+        }
+    }
+    mutable std::vector<double> _v;
+    mutable bool _sorted = true;
+};
 
 /** One generated request of the open-loop trace. */
 struct Request
@@ -301,6 +355,25 @@ runServing(const ServingOptions &opts)
         fault_scope.emplace(&*injector);
     }
 
+    // ---- observability: flight recorder + attribution + timeline -----
+    // The recorder becomes THE trace sink for the measured loop (tee-ing
+    // to its downstream). A breakdown without an explicit recorder gets
+    // a private one whose downstream is whatever sink was already
+    // attached, so existing trace consumers keep seeing every span.
+    // Everything here observes simulated time without perturbing it:
+    // the run's results stay bit-identical with all of it enabled.
+    std::optional<obs::FlightRecorder> local_recorder;
+    obs::FlightRecorder *recorder = opts.flightRecorder;
+    if (recorder == nullptr && opts.breakdown) {
+        obs::FlightRecorderConfig frc;
+        frc.downstream = obs::traceSink();
+        local_recorder.emplace(frc);
+        recorder = &*local_recorder;
+    }
+    std::optional<obs::ScopedTraceSink> recorder_scope;
+    if (recorder != nullptr)
+        recorder_scope.emplace(*recorder);
+
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
         events;
     std::uint64_t seq = 0;
@@ -357,6 +430,85 @@ runServing(const ServingOptions &opts)
     std::vector<Breaker> breakers(opts.tenants.size());
     sim::Tick last_done = ingest_done;
 
+    // Per-request observability state (sized only with a recorder, so
+    // the uninstrumented path allocates nothing).
+    std::vector<std::vector<obs::TraceId>> req_traces;
+    std::vector<obs::Attribution> req_attr;
+    std::vector<char> req_attributed;
+    std::vector<sim::Tick> park_begin;
+    if (recorder != nullptr) {
+        req_traces.resize(requests.size());
+        req_attr.resize(requests.size());
+        req_attributed.assign(requests.size(), 0);
+        park_begin.assign(requests.size(), 0);
+    }
+
+    // Running terminal-outcome counters for timeline sampling.
+    obs::Timeline *tl = opts.timeline;
+    std::vector<std::uint64_t> tenant_done_run(opts.tenants.size(), 0);
+    std::uint64_t completed_run = 0, rejected_run = 0, lost_run = 0,
+                  fallbacks_run = 0;
+
+    // Accumulate the trace ids a request's driver commands consumed
+    // (across every bounce/retry attempt).
+    auto note_traces = [&](unsigned req_idx,
+                           const std::vector<obs::TraceId> &ids) {
+        if (recorder == nullptr)
+            return;
+        req_traces[req_idx].insert(req_traces[req_idx].end(),
+                                   ids.begin(), ids.end());
+    };
+
+    // Synthetic host-side backoff span: the wait between a bounce and
+    // the re-submission is real latency the device never sees; naming
+    // it keeps the critical-path attribution gap-free.
+    auto record_retry_wait = [&](unsigned req_idx, sim::Tick begin,
+                                 sim::Tick end) {
+        if (recorder == nullptr || end <= begin ||
+            req_traces[req_idx].empty()) {
+            return;
+        }
+        obs::Span s;
+        s.track = "host.serving";
+        s.name = "retry_wait";
+        s.category = "serving";
+        s.begin = begin;
+        s.end = end;
+        s.tenant = opts.tenants[requests[req_idx].tenantIdx].id;
+        s.trace = req_traces[req_idx].back();
+        recorder->record(s);
+    };
+
+    // Terminal outcome: pull the request's spans out of the ring,
+    // derive the stage decomposition for completed requests, and offer
+    // the full trace for slowest-K / failed retention.
+    auto finish_observability = [&](unsigned req_idx, bool failed,
+                                    sim::Tick done) {
+        if (recorder == nullptr)
+            return;
+        const Request &req = requests[req_idx];
+        const Outcome &out = outcomes[req_idx];
+        std::vector<obs::Span> spans =
+            recorder->collect(req_traces[req_idx]);
+        const sim::Tick end =
+            out.completed ? req.arrival + out.latency : done;
+        if (!failed && out.completed) {
+            req_attr[req_idx] =
+                obs::attributeSpans(spans, req.arrival, end);
+            req_attributed[req_idx] = 1;
+        }
+        obs::RequestMeta meta;
+        meta.requestId = req_idx;
+        meta.tenant = opts.tenants[req.tenantIdx].id;
+        meta.begin = req.arrival;
+        meta.end = end;
+        // Requests that saw a device failure (including the ones that
+        // tripped the breaker and were rescued by the host path) are
+        // always retention-worthy.
+        meta.failed = failed || out.deviceFailures > 0;
+        recorder->offer(meta, std::move(spans));
+    };
+
     // Re-enqueue everything parked as fresh arrivals at @p when: a
     // completion is the retry signal a hint-less busy status asks the
     // host to wait for (hinted bounces are timed through the heap
@@ -364,8 +516,11 @@ runServing(const ServingOptions &opts)
     auto release_parked = [&](sim::Tick when) {
         std::vector<unsigned> waiting;
         waiting.swap(parked);
-        for (unsigned req_idx : waiting)
+        for (unsigned req_idx : waiting) {
+            if (recorder != nullptr)
+                record_retry_wait(req_idx, park_begin[req_idx], when);
             events.push(Event{when, seq++, Event::kArrival, req_idx});
+        }
     };
 
     // The paper's baseline path (Fig 1): host read()s the raw text in
@@ -414,6 +569,10 @@ runServing(const ServingOptions &opts)
         out.latency = cpu_cursor - req.arrival;
         out.servedBytes = inst.objectBytes;
         last_done = std::max(last_done, cpu_cursor);
+        ++completed_run;
+        ++fallbacks_run;
+        ++tenant_done_run[req.tenantIdx];
+        finish_observability(req_idx, /*failed=*/false, cpu_cursor);
         release_parked(cpu_cursor);
         issue_next(req.tenantIdx, cpu_cursor);
     };
@@ -441,6 +600,8 @@ runServing(const ServingOptions &opts)
             // The recovery-off ablation: the request is lost (neither
             // completed nor rejected) — still a terminal outcome for
             // the closed loop's in-flight accounting.
+            ++lost_run;
+            finish_observability(req_idx, /*failed=*/true, when);
             issue_next(req.tenantIdx, when);
         }
     };
@@ -479,6 +640,7 @@ runServing(const ServingOptions &opts)
         core::InvokeSession s = runtime.beginInvoke(
             image, stream, target, when, iopts);
         if (!s.accepted) {
+            note_traces(req_idx, s.traceIds);
             if (s.failed) {
                 // MINIT died on an injected fault with the retry
                 // budget spent: a device failure, not a bounce.
@@ -492,16 +654,23 @@ runServing(const ServingOptions &opts)
                 if (s.retryAfterUs > 0) {
                     // Honor the completion's retry-after hint instead
                     // of waiting for an unrelated completion.
-                    events.push(Event{
+                    const sim::Tick resume =
                         s.result.done +
-                            sim::Tick(s.retryAfterUs) * sim::kPsPerUs,
-                        seq++, Event::kArrival, req_idx});
+                        sim::Tick(s.retryAfterUs) * sim::kPsPerUs;
+                    record_retry_wait(req_idx, s.result.done, resume);
+                    events.push(
+                        Event{resume, seq++, Event::kArrival, req_idx});
                 } else {
+                    if (recorder != nullptr)
+                        park_begin[req_idx] = s.result.done;
                     parked.push_back(req_idx);
                 }
             } else {
                 outcomes[req_idx].rejected = true;
                 last_done = std::max(last_done, s.result.done);
+                ++rejected_run;
+                finish_observability(req_idx, /*failed=*/true,
+                                     s.result.done);
                 issue_next(req.tenantIdx, s.result.done);
             }
             return;
@@ -521,9 +690,71 @@ runServing(const ServingOptions &opts)
                           slot});
     };
 
+    // Timeline schema + cadence anchored at the first arrival.
+    if (tl != nullptr) {
+        std::vector<std::string> cols{
+            "inflight",        "parked",          "completed",
+            "rejected",        "lost",            "fallbacks",
+            "backlog_bytes",   "dsram_used_bytes", "cache_hits",
+            "cache_misses",    "driver_retries",  "driver_timeouts",
+            "faults"};
+        for (const TenantSpec &t : opts.tenants)
+            cols.push_back("tenant" + std::to_string(t.id) +
+                           "_completed");
+        tl->setColumns(std::move(cols));
+        tl->start(opts.closedLoop || requests.empty()
+                      ? ingest_done
+                      : requests.front().arrival);
+    }
+    // One gauge row: loop state + device occupancy/cache/fault reads.
+    auto sample_row = [&]() {
+        std::vector<double> v;
+        v.push_back(
+            static_cast<double>(active.size() - free_slots.size()));
+        v.push_back(static_cast<double>(parked.size()));
+        v.push_back(static_cast<double>(completed_run));
+        v.push_back(static_cast<double>(rejected_run));
+        v.push_back(static_cast<double>(lost_run));
+        v.push_back(static_cast<double>(fallbacks_run));
+        std::uint64_t backlog = 0, dsram = 0, hits = 0, misses = 0,
+                      retries = 0, timeouts = 0;
+        for (unsigned d = 0; d < num_ssds; ++d) {
+            auto &ssd = sys.ssd(d);
+            for (unsigned c = 0; c < ssd.numCores(); ++c) {
+                backlog += ssd.scheduler().dispatcher().pendingBytes(c);
+                dsram += ssd.core(c).dsramUsed();
+            }
+            hits += ssd.objectCache().hits();
+            misses += ssd.objectCache().misses();
+            retries += sys.nvmeDriver(d).retriesIssued();
+            timeouts += sys.nvmeDriver(d).timeoutsSynthesized();
+        }
+        v.push_back(static_cast<double>(backlog));
+        v.push_back(static_cast<double>(dsram));
+        v.push_back(static_cast<double>(hits));
+        v.push_back(static_cast<double>(misses));
+        v.push_back(static_cast<double>(retries));
+        v.push_back(static_cast<double>(timeouts));
+        v.push_back(injector ? static_cast<double>(
+                                   injector->mediaErrors() +
+                                   injector->dmaFaults() +
+                                   injector->appCrashes() +
+                                   injector->appHangs())
+                             : 0.0);
+        for (std::uint64_t t : tenant_done_run)
+            v.push_back(static_cast<double>(t));
+        return v;
+    };
+
     while (!events.empty()) {
         const Event ev = events.top();
         events.pop();
+        if (tl != nullptr) {
+            // Catch the cadence up to this event: rows land at exact
+            // interval boundaries with the state as of the boundary.
+            while (tl->due(ev.time))
+                tl->record(sample_row());
+        }
         if (ev.kind == Event::kArrival) {
             start_request(ev.idx, ev.time);
             continue;
@@ -541,6 +772,7 @@ runServing(const ServingOptions &opts)
         const core::InvokeResult result =
             as.session.failed ? runtime.abortInvoke(as.session)
                               : runtime.finishInvoke(as.session);
+        note_traces(req_idx, as.session.traceIds);
         free_slots.push_back(ev.idx);
         Breaker &br = breakers[requests[req_idx].tenantIdx];
         if (result.failed) {
@@ -563,26 +795,85 @@ runServing(const ServingOptions &opts)
         out.latency = result.done - requests[req_idx].arrival;
         out.servedBytes = result.objectBytes;
         last_done = std::max(last_done, result.done);
+        ++completed_run;
+        ++tenant_done_run[requests[req_idx].tenantIdx];
+        finish_observability(req_idx, /*failed=*/false, result.done);
         release_parked(result.done);
         issue_next(requests[req_idx].tenantIdx, result.done);
     }
     MORPHEUS_ASSERT(parked.empty(),
                     "parked requests with no active session left");
+    if (tl != nullptr) {
+        // Close the series with one row at or past the last event so
+        // the final counter state is visible in the export.
+        while (tl->due(last_done))
+            tl->record(sample_row());
+        tl->record(sample_row());
+    }
+    // Detach the recorder before teardown; retained traces and the
+    // per-request attributions survive in `recorder`/`req_attr`.
+    recorder_scope.reset();
 
     // ---- aggregate ----------------------------------------------------
     ServingReport report;
-    sim::stats::Histogram all_lat(0.0, kLatHiUs, kLatBuckets);
+    LatencyTally all_lat;
     std::vector<double> fairness_x;
     sim::Tick first_arrival =
         opts.closedLoop || requests.empty() ? ingest_done
                                             : requests.front().arrival;
+
+    // Derive the per-stage summary over @p idx (attributed request
+    // indices): mean stage ticks and the p99-ranked request's exact
+    // decomposition (which sums to that request's latency).
+    auto summarizeStages = [&](std::vector<unsigned> idx,
+                               std::array<double, obs::kNumStages> *mean,
+                               std::array<double, obs::kNumStages> *p99,
+                               std::uint64_t *count) {
+        *count = idx.size();
+        if (idx.empty())
+            return;
+        obs::Attribution sum;
+        for (const unsigned i : idx)
+            sum += req_attr[i];
+        for (std::size_t s = 0; s < obs::kNumStages; ++s) {
+            (*mean)[s] = ticksToUs(sum.ticks[s]) /
+                         static_cast<double>(idx.size());
+        }
+        std::sort(idx.begin(), idx.end(),
+                  [&](unsigned a, unsigned b) {
+                      if (outcomes[a].latency != outcomes[b].latency)
+                          return outcomes[a].latency <
+                                 outcomes[b].latency;
+                      return a < b;
+                  });
+        const auto rank = std::min<std::size_t>(
+            idx.size() - 1,
+            static_cast<std::size_t>(std::ceil(
+                0.99 * static_cast<double>(idx.size()))) -
+                1);
+        const obs::Attribution &a = req_attr[idx[rank]];
+        for (std::size_t s = 0; s < obs::kNumStages; ++s)
+            (*p99)[s] = ticksToUs(a.ticks[s]);
+    };
+    std::vector<unsigned> all_attr_idx;
 
     for (unsigned ti = 0; ti < opts.tenants.size(); ++ti) {
         const TenantSpec &tenant = opts.tenants[ti];
         TenantReport tr;
         tr.id = tenant.id;
         tr.weight = tenant.weight;
-        sim::stats::Histogram lat(0.0, kLatHiUs, kLatBuckets);
+        if (opts.slo.enabled) {
+            tr.sloTargetUs = tenant.sloTargetUs > 0.0
+                                 ? tenant.sloTargetUs
+                                 : opts.slo.targetUs;
+        }
+        // Burn windows: window -> (completions, violations), keyed by
+        // completion time relative to the first arrival.
+        std::map<std::uint64_t,
+                 std::pair<std::uint64_t, std::uint64_t>>
+            slo_windows;
+        std::vector<unsigned> attr_idx;
+        LatencyTally lat;
         for (unsigned i = 0; i < requests.size(); ++i) {
             if (requests[i].tenantIdx != ti)
                 continue;
@@ -607,7 +898,43 @@ runServing(const ServingOptions &opts)
             const double us = ticksToUs(outcomes[i].latency);
             lat.sample(us);
             all_lat.sample(us);
+            if (recorder != nullptr && req_attributed[i]) {
+                attr_idx.push_back(i);
+                all_attr_idx.push_back(i);
+            }
+            if (opts.slo.enabled && opts.slo.windowUs > 0.0) {
+                const sim::Tick done =
+                    requests[i].arrival + outcomes[i].latency;
+                const double rel_us = ticksToUs(
+                    done > first_arrival ? done - first_arrival : 0);
+                auto &[cnt, viol] = slo_windows[static_cast<
+                    std::uint64_t>(rel_us / opts.slo.windowUs)];
+                ++cnt;
+                if (us > tr.sloTargetUs) {
+                    ++viol;
+                    ++tr.sloViolations;
+                }
+            }
         }
+        if (opts.slo.enabled) {
+            for (const auto &[w, cv] : slo_windows) {
+                const double frac =
+                    static_cast<double>(cv.second) /
+                    static_cast<double>(cv.first);
+                if (frac > 1.0 - opts.slo.objective)
+                    ++tr.sloBadWindows;
+                else
+                    ++tr.sloGoodWindows;
+            }
+            if (tr.completed > 0 && opts.slo.objective < 1.0) {
+                tr.sloBurnRate =
+                    (static_cast<double>(tr.sloViolations) /
+                     static_cast<double>(tr.completed)) /
+                    (1.0 - opts.slo.objective);
+            }
+        }
+        summarizeStages(std::move(attr_idx), &tr.stageMeanUs,
+                        &tr.stageP99Us, &tr.attributed);
         tr.cacheHitRate =
             tr.completed ? static_cast<double>(tr.cacheHits) /
                                static_cast<double>(tr.completed)
@@ -617,6 +944,7 @@ runServing(const ServingOptions &opts)
         tr.p50Us = lat.samples() ? lat.quantile(0.50) : 0.0;
         tr.p95Us = lat.samples() ? lat.quantile(0.95) : 0.0;
         tr.p99Us = lat.samples() ? lat.quantile(0.99) : 0.0;
+        tr.p999Us = lat.samples() ? lat.quantile(0.999) : 0.0;
         report.submitted += tr.submitted;
         report.completed += tr.completed;
         report.rejected += tr.rejected;
@@ -634,6 +962,9 @@ runServing(const ServingOptions &opts)
     report.p50Us = all_lat.samples() ? all_lat.quantile(0.50) : 0.0;
     report.p95Us = all_lat.samples() ? all_lat.quantile(0.95) : 0.0;
     report.p99Us = all_lat.samples() ? all_lat.quantile(0.99) : 0.0;
+    report.p999Us = all_lat.samples() ? all_lat.quantile(0.999) : 0.0;
+    summarizeStages(std::move(all_attr_idx), &report.stageMeanUs,
+                    &report.stageP99Us, &report.attributed);
 
     double sum = 0.0, sum_sq = 0.0;
     for (double x : fairness_x) {
@@ -665,10 +996,7 @@ runServing(const ServingOptions &opts)
 
     // ---- per-shard view (fleet runs only) ----------------------------
     if (num_ssds > 1) {
-        std::vector<sim::stats::Histogram> shard_lat;
-        shard_lat.reserve(num_ssds);
-        for (unsigned d = 0; d < num_ssds; ++d)
-            shard_lat.emplace_back(0.0, kLatHiUs, kLatBuckets);
+        std::vector<LatencyTally> shard_lat(num_ssds);
         report.shards.resize(num_ssds);
         for (unsigned d = 0; d < num_ssds; ++d)
             report.shards[d].device = d;
@@ -688,12 +1016,21 @@ runServing(const ServingOptions &opts)
         }
         for (unsigned d = 0; d < num_ssds; ++d) {
             ShardReport &sr = report.shards[d];
-            const sim::stats::Histogram &lat = shard_lat[d];
+            const LatencyTally &lat = shard_lat[d];
             sr.meanUs = lat.mean();
             sr.maxUs = lat.max();
             sr.p50Us = lat.samples() ? lat.quantile(0.50) : 0.0;
             sr.p95Us = lat.samples() ? lat.quantile(0.95) : 0.0;
             sr.p99Us = lat.samples() ? lat.quantile(0.99) : 0.0;
+            sr.p999Us = lat.samples() ? lat.quantile(0.999) : 0.0;
+        }
+        // Name the straggler: the shard whose tail holds everyone back.
+        double worst = -1.0;
+        for (const ShardReport &sr : report.shards) {
+            if (sr.p99Us > worst) {
+                worst = sr.p99Us;
+                report.stragglerShard = sr.device;
+            }
         }
     }
 
@@ -729,6 +1066,27 @@ runServing(const ServingOptions &opts)
             reg.setScalar(p + "p50_us", tr.p50Us);
             reg.setScalar(p + "p95_us", tr.p95Us);
             reg.setScalar(p + "p99_us", tr.p99Us);
+            reg.setScalar(p + "p999_us", tr.p999Us);
+            reg.setScalar(p + "max_us", tr.maxUs);
+            if (opts.slo.enabled) {
+                reg.setScalar(p + "slo.target_us", tr.sloTargetUs);
+                reg.setCounter(p + "slo.violations", tr.sloViolations);
+                reg.setCounter(p + "slo.good_windows",
+                               tr.sloGoodWindows);
+                reg.setCounter(p + "slo.bad_windows", tr.sloBadWindows);
+                reg.setScalar(p + "slo.burn_rate", tr.sloBurnRate);
+            }
+            if (tr.attributed > 0) {
+                for (std::size_t s = 0; s < obs::kNumStages; ++s) {
+                    const std::string stage = obs::stageName(
+                        static_cast<obs::Stage>(s));
+                    reg.setScalar(
+                        p + "breakdown." + stage + "_mean_us",
+                        tr.stageMeanUs[s]);
+                    reg.setScalar(p + "breakdown." + stage + "_p99_us",
+                                  tr.stageP99Us[s]);
+                }
+            }
         }
         reg.setCounter("serving.submitted", report.submitted);
         reg.setCounter("serving.completed", report.completed);
@@ -746,9 +1104,23 @@ runServing(const ServingOptions &opts)
         reg.setScalar("serving.p50_us", report.p50Us);
         reg.setScalar("serving.p95_us", report.p95Us);
         reg.setScalar("serving.p99_us", report.p99Us);
+        reg.setScalar("serving.p999_us", report.p999Us);
+        reg.setScalar("serving.max_us", report.maxUs);
         reg.setScalar("serving.jain_fairness", report.jainFairness);
         reg.setScalar("serving.throughput_per_sec",
                       report.throughputPerSec);
+        if (report.attributed > 0) {
+            reg.setCounter("serving.attributed", report.attributed);
+            for (std::size_t s = 0; s < obs::kNumStages; ++s) {
+                const std::string stage =
+                    obs::stageName(static_cast<obs::Stage>(s));
+                reg.setScalar(
+                    "serving.breakdown." + stage + "_mean_us",
+                    report.stageMeanUs[s]);
+                reg.setScalar("serving.breakdown." + stage + "_p99_us",
+                              report.stageP99Us[s]);
+            }
+        }
         if (num_ssds > 1) {
             for (const ShardReport &sr : report.shards) {
                 const std::string p =
@@ -760,13 +1132,17 @@ runServing(const ServingOptions &opts)
                 reg.setScalar(p + "p50_us", sr.p50Us);
                 reg.setScalar(p + "p95_us", sr.p95Us);
                 reg.setScalar(p + "p99_us", sr.p99Us);
+                reg.setScalar(p + "p999_us", sr.p999Us);
             }
+            reg.setCounter("serving.straggler_shard",
+                           report.stragglerShard);
             reg.setCounter("fleet.devices", num_ssds);
             reg.setCounter("fleet.completed", report.completed);
             reg.setScalar("fleet.mean_us", report.meanUs);
             reg.setScalar("fleet.p50_us", report.p50Us);
             reg.setScalar("fleet.p95_us", report.p95Us);
             reg.setScalar("fleet.p99_us", report.p99Us);
+            reg.setScalar("fleet.p999_us", report.p999Us);
             reg.setScalar("fleet.throughput_per_sec",
                           report.throughputPerSec);
         }

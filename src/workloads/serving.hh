@@ -24,12 +24,16 @@
 #ifndef MORPHEUS_WORKLOADS_SERVING_HH
 #define MORPHEUS_WORKLOADS_SERVING_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "host/system_config.hh"
 #include "nvme/driver.hh"
+#include "obs/critical_path.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
+#include "obs/timeline.hh"
 #include "shard/shard_router.hh"
 #include "sim/fault.hh"
 
@@ -47,6 +51,23 @@ struct TenantSpec
     std::vector<std::uint32_t> sizeClassValues{2000, 8000, 32000};
     /** ...and their draw probabilities (normalized internally). */
     std::vector<double> sizeClassProb{0.70, 0.25, 0.05};
+    /** Per-tenant SLO latency target in microseconds; 0 inherits
+     *  SloOptions::targetUs (latency classes: an interactive tenant
+     *  can carry a tighter target than a batch one). */
+    double sloTargetUs = 0.0;
+};
+
+/** Per-tenant latency-SLO tracking (burn-rate accounting). */
+struct SloOptions
+{
+    bool enabled = false;
+    /** Default latency target (µs) for tenants without their own. */
+    double targetUs = 2000.0;
+    /** Fraction of requests that must meet the target (e.g. 0.99). */
+    double objective = 0.99;
+    /** Burn-rate window in simulated microseconds (the "minute" of
+     *  good/bad-minute accounting, scaled to sim horizons). */
+    double windowUs = 5000.0;
 };
 
 /** Serving-experiment knobs. */
@@ -140,6 +161,36 @@ struct ServingOptions
      * is torn down.
      */
     obs::MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Tail-based flight recorder. When set, runServing() attaches it
+     * as the trace sink around the measured event loop (tee-ing to its
+     * configured downstream, so an already-attached full-trace sink
+     * still sees everything), collects each request's spans at its
+     * terminal outcome, and offers them for slowest-K / failed
+     * retention. Purely observational: sim results stay bit-identical.
+     */
+    obs::FlightRecorder *flightRecorder = nullptr;
+
+    /**
+     * Critical-path attribution: decompose each completed request's
+     * latency into pipeline stages and report per-tenant stage
+     * breakdowns. Needs span data; when no flightRecorder is given, a
+     * private recorder is attached for the duration of the run.
+     */
+    bool breakdown = false;
+
+    /**
+     * Time-series telemetry. When set, the event loop samples gauges
+     * (in-flight, backlog bytes, D-SRAM occupancy, cache hits, fault
+     * and retry counters, per-tenant throughput) into it on the
+     * timeline's simulated-time cadence. runServing() defines the
+     * columns and starts the cadence at the first arrival.
+     */
+    obs::Timeline *timeline = nullptr;
+
+    /** Per-tenant latency-SLO burn tracking (see SloOptions). */
+    SloOptions slo{};
 };
 
 /** Per-tenant outcome. */
@@ -170,7 +221,28 @@ struct TenantReport
     double p50Us = 0.0;
     double p95Us = 0.0;
     double p99Us = 0.0;
+    double p999Us = 0.0;
     double maxUs = 0.0;
+
+    // --- critical-path breakdown (opts.breakdown) --------------------
+    /** Completed requests with a span-derived stage decomposition. */
+    std::uint64_t attributed = 0;
+    /** Mean µs per stage over attributed requests (index by
+     *  obs::Stage; sums to ~meanUs). */
+    std::array<double, obs::kNumStages> stageMeanUs{};
+    /** Stage decomposition of the p99-ranked attributed request —
+     *  sums exactly to that request's latency, i.e. to p99Us within
+     *  the histogram's bucket error. */
+    std::array<double, obs::kNumStages> stageP99Us{};
+
+    // --- SLO burn tracking (opts.slo.enabled) ------------------------
+    double sloTargetUs = 0.0;     ///< Effective target for this tenant.
+    std::uint64_t sloViolations = 0;  ///< Completions over the target.
+    std::uint64_t sloGoodWindows = 0;
+    std::uint64_t sloBadWindows = 0;  ///< Violation fraction > budget.
+    /** (violations/completed) / (1 - objective); > 1 burns error
+     *  budget faster than the objective allows. */
+    double sloBurnRate = 0.0;
 };
 
 /** Per-device outcome of a fleet run (sys.numSsds > 1). */
@@ -184,6 +256,7 @@ struct ShardReport
     double p50Us = 0.0;
     double p95Us = 0.0;
     double p99Us = 0.0;
+    double p999Us = 0.0;
     double maxUs = 0.0;
 };
 
@@ -208,6 +281,7 @@ struct ServingReport
     double p50Us = 0.0;
     double p95Us = 0.0;
     double p99Us = 0.0;
+    double p999Us = 0.0;
     double maxUs = 0.0;
     /** Jain index over servedBytes/weight (1.0 = perfectly fair). */
     double jainFairness = 0.0;
@@ -215,6 +289,14 @@ struct ServingReport
     sim::Tick makespan = 0;
     std::uint64_t migrations = 0;
     std::uint64_t drrDelays = 0;
+
+    /** All-tenant critical-path breakdown (opts.breakdown). */
+    std::uint64_t attributed = 0;
+    std::array<double, obs::kNumStages> stageMeanUs{};
+    /** Decomposition of the overall p99-ranked attributed request. */
+    std::array<double, obs::kNumStages> stageP99Us{};
+    /** Fleet runs: device whose shard p99 is worst (0 otherwise). */
+    unsigned stragglerShard = 0;
 };
 
 /** Run one serving experiment — open-loop Poisson by default,

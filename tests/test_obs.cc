@@ -8,14 +8,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <unordered_set>
 
 #include "core/device_runtime.hh"
+#include "core/host_runtime.hh"
+#include "core/nvme_p2p.hh"
 #include "core/standard_apps.hh"
 #include "host/host_system.hh"
+#include "obs/critical_path.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "serde/writer.hh"
+#include "shard/shard_fabric.hh"
 #include "workloads/generators.hh"
 
 namespace co = morpheus::core;
@@ -356,6 +362,318 @@ TEST(ChromeTraceSink, EmitsWellFormedTraceEvents)
 
     // Balanced document, closed list.
     EXPECT_EQ(out.substr(out.size() - 4), "\n]}\n");
+}
+
+TEST(ChromeTraceSink, EmptySinkEmitsValidEmptyDocument)
+{
+    ob::ChromeTraceSink sink;
+    std::ostringstream os;
+    sink.write(os);
+    EXPECT_EQ(os.str(), "{\"traceEvents\":[]}\n");
+
+    // The free function agrees on the degenerate case.
+    std::ostringstream os2;
+    ob::writeChromeTrace(os2, {});
+    EXPECT_EQ(os2.str(), "{\"traceEvents\":[]}\n");
+}
+
+TEST(ChromeTraceSink, SubMicrosecondSpanKeepsExactDecimals)
+{
+    // A span entirely inside the first microsecond: ts and dur must
+    // render the picosecond digits exactly, never rounding to 0 or
+    // collapsing to scientific notation.
+    ob::ChromeTraceSink sink;
+    ob::Span s;
+    s.track = "ssd.dma";
+    s.name = "flush_dma";
+    s.category = "ssd";
+    s.begin = 250;      // 0.000250 us
+    s.end = 999'750;    // 0.999750 us
+    sink.record(s);
+
+    std::ostringstream os;
+    sink.write(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"ts\":0.000250,\"dur\":0.999500"),
+              std::string::npos);
+    EXPECT_EQ(out.find("e-"), std::string::npos);
+}
+
+TEST(ChromeTraceSink, DuplicateTraceIdsAcrossDevicesKeepTheirTracks)
+{
+    // Fleet runs partition trace ids by device, but an untrusted or
+    // legacy trace can repeat an id on two devices' tracks. The
+    // serialization must keep both spans under their own thread_name
+    // metadata rather than merging them.
+    ob::ChromeTraceSink sink;
+    ob::Span a;
+    a.track = "host.queue[1]";
+    a.name = "MREAD";
+    a.category = "nvme";
+    a.begin = 1'000'000;
+    a.end = 3'000'000;
+    a.trace = 42;
+    sink.record(a);
+    ob::Span b = a;
+    b.track = "dev1.host.queue[1]";
+    sink.record(b);
+
+    std::ostringstream os;
+    sink.write(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"args\":{\"name\":\"host.queue[1]\"}"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"args\":{\"name\":\"dev1.host.queue[1]\"}"),
+              std::string::npos);
+    // Two X events survived, on distinct tids.
+    std::size_t xs = 0;
+    for (std::size_t pos = out.find("\"ph\":\"X\"");
+         pos != std::string::npos;
+         pos = out.find("\"ph\":\"X\"", pos + 1))
+        ++xs;
+    EXPECT_EQ(xs, 2u);
+}
+
+// ------------------------------------- critical-path attribution shapes
+//
+// The invariant under test: for ANY request shape, attributeSpans over
+// the request's end-to-end window accounts every tick to exactly one
+// stage — the stage ticks sum to the window, no gaps, no double
+// counting.
+
+namespace {
+
+/** Full host-runtime rig (sessions, DMA targets, fleet-capable). */
+struct RuntimeRig
+{
+    ho::HostSystem sys;
+    co::MorpheusDeviceRuntime device;
+    co::NvmeP2p p2p;
+    co::MorpheusRuntime runtime;
+    co::StandardImages images = co::StandardImages::make();
+
+    explicit RuntimeRig(const ho::SystemConfig &cfg = {})
+        : sys(cfg), device(sys.ssd()), p2p(sys),
+          runtime(sys, device, p2p)
+    {
+    }
+
+    ho::FileExtent
+    intFile(std::uint64_t seed, std::uint64_t count)
+    {
+        const auto a = wk::genIntArray(seed, count);
+        sd::TextWriter w;
+        a.serialize(w);
+        return sys.createFile("ints", w.bytes());
+    }
+};
+
+/** Spans belonging to any of the given trace ids. */
+std::vector<ob::Span>
+spansOf(const ob::InMemoryTraceSink &sink,
+        const std::vector<ob::TraceId> &ids)
+{
+    const std::unordered_set<ob::TraceId> set(ids.begin(), ids.end());
+    std::vector<ob::Span> out;
+    for (const ob::Span &s : sink.spans()) {
+        if (set.count(s.trace))
+            out.push_back(s);
+    }
+    return out;
+}
+
+}  // namespace
+
+TEST(CriticalPath, PlainInvokeAttributionCoversWindowExactly)
+{
+    RuntimeRig rig;
+    const auto file = rig.intFile(91, 8000);
+    ob::InMemoryTraceSink sink;
+    const ob::ScopedTraceSink attach(sink);
+
+    const auto stream = rig.runtime.streamCreate(file, file.readyAt);
+    const auto target = rig.runtime.hostTarget(1 << 20);
+    const auto res = rig.runtime.invoke(rig.images.intArray, stream,
+                                        target, stream.readyAt);
+
+    const ob::Attribution attr =
+        ob::attributeSpans(sink.spans(), res.start, res.done);
+    EXPECT_EQ(attr.total(), res.done - res.start);
+    EXPECT_GT(attr[ob::Stage::kParse], 0u);
+    EXPECT_EQ(attr[ob::Stage::kCacheHit], 0u);
+    EXPECT_EQ(attr[ob::Stage::kRetry], 0u);
+}
+
+TEST(CriticalPath, CacheHitShapeSwapsParseForCacheHit)
+{
+    ho::SystemConfig cfg;
+    cfg.ssd.cache.enabled = true;
+    RuntimeRig rig(cfg);
+    const auto file = rig.intFile(92, 8000);
+    ob::InMemoryTraceSink sink;
+    const ob::ScopedTraceSink attach(sink);
+
+    const auto stream = rig.runtime.streamCreate(file, file.readyAt);
+    const auto t1 = rig.runtime.hostTarget(1 << 20);
+    const auto r1 = rig.runtime.invoke(rig.images.intArray, stream, t1,
+                                       stream.readyAt);
+    ASSERT_FALSE(r1.servedFromCache);
+    const auto t2 = rig.runtime.hostTarget(1 << 20);
+    const auto r2 = rig.runtime.invoke(rig.images.intArray, stream, t2,
+                                       r1.done);
+    ASSERT_TRUE(r2.servedFromCache);
+
+    const ob::Attribution a1 =
+        ob::attributeSpans(sink.spans(), r1.start, r1.done);
+    const ob::Attribution a2 =
+        ob::attributeSpans(sink.spans(), r2.start, r2.done);
+    EXPECT_EQ(a1.total(), r1.done - r1.start);
+    EXPECT_EQ(a2.total(), r2.done - r2.start);
+
+    // The replay shows up as cache-hit time and no deserialization
+    // ever ran in its window (the only parse-family span is the MINIT
+    // image install).
+    EXPECT_EQ(a1[ob::Stage::kCacheHit], 0u);
+    EXPECT_GT(a2[ob::Stage::kCacheHit], 0u);
+    for (const ob::Span &s : sink.spans()) {
+        if (s.name == "parse") {
+            EXPECT_LE(s.end, r1.done);
+        }
+    }
+}
+
+TEST(CriticalPath, RetryBackoffShapeChargesRetryWait)
+{
+    ho::SystemConfig cfg;
+    cfg.ssd.sched.maxInflightTotal = 1;  // second MINIT must bounce
+    RuntimeRig rig(cfg);
+    const auto file = rig.intFile(93, 6000);
+    ob::InMemoryTraceSink sink;
+    const ob::ScopedTraceSink attach(sink);
+
+    const auto stream = rig.runtime.streamCreate(file, file.readyAt);
+    const auto t1 = rig.runtime.hostTarget(1 << 20);
+    const auto t2 = rig.runtime.hostTarget(1 << 20);
+
+    auto s1 = rig.runtime.beginInvoke(rig.images.intArray, stream, t1,
+                                      stream.readyAt);
+    ASSERT_TRUE(s1.accepted);
+    auto s2 = rig.runtime.beginInvoke(rig.images.intArray, stream, t2,
+                                      stream.readyAt);
+    ASSERT_FALSE(s2.accepted);
+    ASSERT_TRUE(s2.retry);
+    ASSERT_FALSE(s2.traceIds.empty());
+    const Tick window_begin = s2.result.start;
+    const Tick bounced = s2.result.done;
+    std::vector<ob::TraceId> ids = s2.traceIds;
+
+    // Drain the winner; its completion is the loser's resume point.
+    while (!s1.streamDone())
+        rig.runtime.stepInvoke(s1);
+    const auto r1 = rig.runtime.finishInvoke(s1);
+
+    // What the serving driver records for the backoff window.
+    ob::Span wait;
+    wait.track = "host.serving";
+    wait.name = "retry_wait";
+    wait.category = "host";
+    wait.begin = bounced;
+    wait.end = r1.done;
+    wait.trace = ids.back();
+    sink.record(wait);
+
+    auto s2b = rig.runtime.beginInvoke(rig.images.intArray, stream, t2,
+                                       r1.done);
+    ASSERT_TRUE(s2b.accepted);
+    while (!s2b.streamDone())
+        rig.runtime.stepInvoke(s2b);
+    const auto r2 = rig.runtime.finishInvoke(s2b);
+    ids.insert(ids.end(), s2b.traceIds.begin(), s2b.traceIds.end());
+
+    const ob::Attribution attr = ob::attributeSpans(
+        spansOf(sink, ids), window_begin, r2.done);
+    EXPECT_EQ(attr.total(), r2.done - window_begin);
+    EXPECT_EQ(attr[ob::Stage::kRetry], r1.done - bounced);
+    EXPECT_GT(attr[ob::Stage::kParse], 0u);
+}
+
+TEST(CriticalPath, MigrationShapeStaysFullyAttributed)
+{
+    ho::SystemConfig cfg;
+    cfg.ssd.sched.placement =
+        morpheus::sched::PlacementPolicy::kLoadAware;
+    cfg.ssd.sched.migration = true;
+    RuntimeRig rig(cfg);
+    const auto file = rig.intFile(94, 20000);
+    ob::InMemoryTraceSink sink;
+    const ob::ScopedTraceSink attach(sink);
+
+    const auto stream = rig.runtime.streamCreate(file, file.readyAt);
+    const auto target = rig.runtime.hostTarget(1 << 20);
+    co::InvokeOptions opts;
+    opts.chunkBlocks = 128;  // 64 KiB chunks, batched: backlog builds
+    const auto res = rig.runtime.invoke(rig.images.intArray, stream,
+                                        target, stream.readyAt, opts);
+
+    // The shape really contains a migration.
+    EXPECT_GE(sink.count("dsram_move"), 1u);
+    EXPECT_GE(sink.count("isram_reload"), 1u);
+
+    const ob::Attribution attr =
+        ob::attributeSpans(sink.spans(), res.start, res.done);
+    EXPECT_EQ(attr.total(), res.done - res.start);
+    EXPECT_GT(attr[ob::Stage::kParse], 0u);
+}
+
+TEST(CriticalPath, FanOutShapeNamesTheStragglerShard)
+{
+    ho::SystemConfig cfg;
+    cfg.numSsds = 2;
+    ho::HostSystem sys(cfg);
+    morpheus::shard::ShardFabric fabric(
+        sys, morpheus::shard::ShardPolicy::kRange, 64 * 1024);
+    const auto images = co::StandardImages::make();
+
+    const auto a = wk::genIntArray(95, 60000);
+    sd::TextWriter w;
+    a.serialize(w);
+    const auto f = fabric.ingestSharded("ints", w.bytes());
+    Tick ready = 0;
+    for (const auto &ext : f.extents)
+        ready = std::max(ready, ext.readyAt);
+
+    ob::InMemoryTraceSink sink;
+    const ob::ScopedTraceSink attach(sink);
+    const auto r = fabric.fleetInvoke(images.intArray, f, ready);
+    ASSERT_TRUE(r.accepted);
+    ASSERT_FALSE(r.failed);
+
+    // Per-device convex hulls from the trace-id partitioning; the
+    // merged completion is the slowest leg's end.
+    const auto legs = ob::fanoutLegs(sink.spans());
+    ASSERT_EQ(legs.size(), 2u);
+    EXPECT_EQ(legs[0].device, 0u);
+    EXPECT_EQ(legs[1].device, 1u);
+    Tick worst_end = 0;
+    unsigned worst_dev = 0;
+    for (const auto &leg : legs) {
+        EXPECT_LT(leg.begin, leg.end);
+        if (leg.end > worst_end) {
+            worst_end = leg.end;
+            worst_dev = leg.device;
+        }
+    }
+    EXPECT_EQ(ob::stragglerDevice(legs), worst_dev);
+    // The merged completion trails the slowest leg only by host-side
+    // completion plumbing (buffer handoff), never precedes it.
+    EXPECT_LE(worst_end, r.merged.done);
+
+    // The fan-out window is fully attributed even with two devices'
+    // spans overlapping in time.
+    const ob::Attribution attr =
+        ob::attributeSpans(sink.spans(), ready, r.merged.done);
+    EXPECT_EQ(attr.total(), r.merged.done - ready);
+    EXPECT_GT(attr[ob::Stage::kParse], 0u);
 }
 
 // ------------------------------------------------------------ metrics

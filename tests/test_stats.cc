@@ -100,8 +100,9 @@ TEST(Histogram, QuantileTailReachesOverflowRegion)
     for (int i = 0; i < 99; ++i)
         h.sample(50.0);  // bucket 5
     h.sample(1000.0);    // one overflow outlier
-    // p50 stays in-range; p100 is the outlier, not the top edge.
-    EXPECT_DOUBLE_EQ(h.quantile(0.5), 55.0);
+    // p50 stays in-range (rank 50 of 99 through bucket [50, 60));
+    // p100 is the outlier, not the top edge.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0 + 10.0 * 50.0 / 99.0);
     EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
 }
 
@@ -111,8 +112,32 @@ TEST(Histogram, QuantileExtremesOnInRangeData)
     h.sample(12.0);
     h.sample(88.0);
     EXPECT_DOUBLE_EQ(h.quantile(0.0), 12.0);   // exact min
-    EXPECT_DOUBLE_EQ(h.quantile(1.0), 85.0);   // bucket-8 midpoint
-    EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);   // bucket-1 midpoint
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 88.0);   // exact max, not an edge
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 20.0);   // rank 1/1 of bucket 1
+}
+
+TEST(Histogram, QuantileInterpolatesWithinLandingBucket)
+{
+    // Regression pin for the final-bucket fix: ranks spread through
+    // the landing bucket instead of collapsing onto its midpoint, and
+    // the top quantile is the exact observed max rather than the
+    // bucket's upper edge.
+    st::Histogram h(0.0, 100.0, 10);
+    h.sample(5.0);  // bucket 0, pins the exact min
+    for (int i = 0; i < 4; ++i)
+        h.sample(45.0);  // four samples landing in bucket [40, 50)
+    h.sample(95.0);  // bucket 9, pins the exact max
+    // p50: rank 3 of 6; ranks 2..5 live in bucket 4, so rank 3 is 2/4
+    // of the way through [40, 50).
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 45.0);
+    // p25: rank 2 of 6 = 1/4 through the bucket.
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 42.5);
+    // p100 lands in the final bucket; the answer is the exact max
+    // (95.0), not the bucket edge (100.0) or its midpoint (95.0 here
+    // by coincidence of one sample — the clamp is what guarantees it).
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 95.0);
+    // The deep tail (p99.9 of 6 samples) also resolves to the max.
+    EXPECT_DOUBLE_EQ(h.quantile(0.999), 95.0);
 }
 
 TEST(Histogram, QuantileOfEmptyHistogramIsZero)

@@ -23,10 +23,14 @@
 #include <sstream>
 #include <string>
 
+#include "obs/critical_path.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
+#include "obs/timeline.hh"
 #include "obs/trace.hh"
 #include "shard/fleet_topology.hh"
 #include "workloads/runner.hh"
+#include "workloads/serving.hh"
 
 using namespace morpheus;
 namespace wk = morpheus::workloads;
@@ -38,7 +42,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: morpheus-run <app>|list [--mode baseline|morpheus|p2p]\n"
+        "usage: morpheus-run <app>|list|serve\n"
+        "                    [--mode baseline|morpheus|p2p]\n"
         "                    [--backend nvme|hdd|ram] [--freq GHZ]\n"
         "                    [--scale S] [--chunk-blocks N] [--seed N]\n"
         "                    [--stats] [--trace FILE.json]\n"
@@ -69,7 +74,253 @@ usage()
         "--cache enables the deserialized-object cache in controller\n"
         "DRAM; --cache-bytes sets its budget (shared with the\n"
         "readahead buffer, default 64 MiB), --cache-policy the\n"
-        "eviction policy.\n");
+        "eviction policy.\n"
+        "`morpheus-run serve --help` describes the multi-tenant\n"
+        "serving driver (stage breakdown, slow-trace flight recorder,\n"
+        "timeline telemetry, SLO burn tracking).\n");
+}
+
+void
+serveUsage()
+{
+    std::fprintf(
+        stderr,
+        "usage: morpheus-run serve [--tenants N] [--rate R] [--skew S]\n"
+        "                    [--duration-sec S] [--closed-loop]\n"
+        "                    [--seed N] [--ssds N]\n"
+        "                    [--shard-policy hash|range]\n"
+        "                    [--breakdown] [--slow-traces FILE.json]\n"
+        "                    [--slow-k N] [--timeline FILE.json]\n"
+        "                    [--timeline-csv FILE.csv]\n"
+        "                    [--timeline-interval-us N]\n"
+        "                    [--slo TARGET_US] [--slo-objective F]\n"
+        "                    [--slo-window-us N] [--stats-json FILE]\n"
+        "                    [--trace FILE.json]\n"
+        "Runs the multi-tenant serving driver once and prints the\n"
+        "report. --rate is total arrivals/s split S:1:...:1 across the\n"
+        "tenants (tenant 1 gets the S share). --breakdown attributes\n"
+        "every request's latency to pipeline stages; --slow-traces\n"
+        "writes the flight recorder's retained slowest-K/failed traces\n"
+        "as Chrome JSON (open in Perfetto); --timeline samples gauges\n"
+        "every --timeline-interval-us (default 100) into JSON/CSV;\n"
+        "--slo tracks per-tenant burn rate against TARGET_US at\n"
+        "--slo-objective (default 0.99) over --slo-window-us windows.\n");
+}
+
+int
+serveMain(int argc, char **argv)
+{
+    wk::ServingOptions opts;
+    opts.durationSec = 0.02;
+    opts.seed = 42;
+    unsigned tenants = 3;
+    double rate = 12000.0, skew = 1.0;
+    obs::FlightRecorderConfig frc;
+    std::string slow_path, timeline_path, timeline_csv_path;
+    std::string stats_json_path, trace_path;
+    sim::Tick timeline_interval = 100 * sim::kPsPerUs;
+    shard::ShardPolicy shard_policy = shard::ShardPolicy::kHash;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", what);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--tenants") {
+            tenants = static_cast<unsigned>(std::atoi(next("--tenants")));
+        } else if (arg == "--rate") {
+            rate = std::atof(next("--rate"));
+        } else if (arg == "--skew") {
+            skew = std::atof(next("--skew"));
+        } else if (arg == "--duration-sec") {
+            opts.durationSec = std::atof(next("--duration-sec"));
+        } else if (arg == "--closed-loop") {
+            opts.closedLoop = true;
+        } else if (arg == "--seed") {
+            opts.seed = static_cast<std::uint64_t>(
+                std::atoll(next("--seed")));
+        } else if (arg == "--ssds") {
+            opts.sys.numSsds = static_cast<unsigned>(
+                std::atoi(next("--ssds")));
+        } else if (arg == "--shard-policy") {
+            shard_policy =
+                shard::shardPolicyFromString(next("--shard-policy"));
+        } else if (arg == "--breakdown") {
+            opts.breakdown = true;
+        } else if (arg == "--slow-traces") {
+            slow_path = next("--slow-traces");
+        } else if (arg == "--slow-k") {
+            frc.slowestK = static_cast<std::size_t>(
+                std::atoll(next("--slow-k")));
+        } else if (arg == "--timeline") {
+            timeline_path = next("--timeline");
+        } else if (arg == "--timeline-csv") {
+            timeline_csv_path = next("--timeline-csv");
+        } else if (arg == "--timeline-interval-us") {
+            timeline_interval = static_cast<sim::Tick>(
+                std::atoll(next("--timeline-interval-us"))) *
+                sim::kPsPerUs;
+        } else if (arg == "--slo") {
+            opts.slo.enabled = true;
+            opts.slo.targetUs = std::atof(next("--slo"));
+        } else if (arg == "--slo-objective") {
+            opts.slo.enabled = true;
+            opts.slo.objective = std::atof(next("--slo-objective"));
+        } else if (arg == "--slo-window-us") {
+            opts.slo.enabled = true;
+            opts.slo.windowUs = std::atof(next("--slo-window-us"));
+        } else if (arg == "--stats-json") {
+            stats_json_path = next("--stats-json");
+        } else if (arg == "--trace") {
+            trace_path = next("--trace");
+        } else if (arg == "--help" || arg == "-h") {
+            serveUsage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            serveUsage();
+            return 2;
+        }
+    }
+    if (tenants == 0 || rate <= 0.0 || skew <= 0.0 ||
+        timeline_interval == 0) {
+        serveUsage();
+        return 2;
+    }
+
+    opts.shardPolicy = shard_policy;
+    const double base =
+        rate / (skew + static_cast<double>(tenants - 1));
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+        wk::TenantSpec spec;
+        spec.id = t + 1;
+        spec.weight = 1.0;
+        spec.arrivalsPerSec = (t == 0) ? skew * base : base;
+        opts.tenants.push_back(spec);
+    }
+
+    obs::MetricsRegistry registry;
+    if (!stats_json_path.empty())
+        opts.metrics = &registry;
+
+    // The flight recorder is the trace sink (tee-ing to a full-trace
+    // ChromeTraceSink when --trace also wants everything).
+    obs::ChromeTraceSink full_trace;
+    if (!trace_path.empty())
+        frc.downstream = &full_trace;
+    obs::FlightRecorder recorder(frc);
+    obs::FlightRecorder *rec = nullptr;
+    if (!slow_path.empty() || !trace_path.empty() || opts.breakdown) {
+        rec = &recorder;
+        opts.flightRecorder = rec;
+    }
+    obs::Timeline timeline(timeline_interval);
+    if (!timeline_path.empty() || !timeline_csv_path.empty())
+        opts.timeline = &timeline;
+
+    const wk::ServingReport r = wk::runServing(opts);
+
+    auto write_file = [](const std::string &path, auto &&emit) {
+        std::ofstream os(path);
+        if (!os) {
+            std::fprintf(stderr, "cannot open %s\n", path.c_str());
+            std::exit(2);
+        }
+        emit(os);
+    };
+    if (!slow_path.empty()) {
+        write_file(slow_path, [&](std::ostream &os) {
+            rec->writeChromeJson(os);
+        });
+        std::fprintf(stderr, "slow traces: %zu retained -> %s\n",
+                     rec->retained().size(), slow_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        write_file(trace_path, [&](std::ostream &os) {
+            full_trace.write(os);
+        });
+        std::fprintf(stderr, "trace: %zu events -> %s\n",
+                     full_trace.size(), trace_path.c_str());
+    }
+    if (!timeline_path.empty()) {
+        write_file(timeline_path, [&](std::ostream &os) {
+            timeline.writeJson(os);
+        });
+        std::fprintf(stderr, "timeline: %zu rows -> %s\n",
+                     timeline.rows().size(), timeline_path.c_str());
+    }
+    if (!timeline_csv_path.empty()) {
+        write_file(timeline_csv_path, [&](std::ostream &os) {
+            timeline.writeCsv(os);
+        });
+    }
+    if (!stats_json_path.empty()) {
+        write_file(stats_json_path, [&](std::ostream &os) {
+            registry.writeJson(os);
+        });
+    }
+
+    std::printf("submitted              %llu\n",
+                static_cast<unsigned long long>(r.submitted));
+    std::printf("completed              %llu\n",
+                static_cast<unsigned long long>(r.completed));
+    std::printf("rejected               %llu\n",
+                static_cast<unsigned long long>(r.rejected));
+    std::printf("lost                   %llu\n",
+                static_cast<unsigned long long>(r.lost));
+    std::printf("throughput             %.0f /s\n", r.throughputPerSec);
+    std::printf("latency mean/p50       %.1f / %.1f us\n", r.meanUs,
+                r.p50Us);
+    std::printf("latency p95/p99        %.1f / %.1f us\n", r.p95Us,
+                r.p99Us);
+    std::printf("latency p999/max       %.1f / %.1f us\n", r.p999Us,
+                r.maxUs);
+    std::printf("jain fairness          %.4f\n", r.jainFairness);
+    for (const wk::TenantReport &t : r.tenants) {
+        std::printf("tenant %-2u              completed %llu  "
+                    "p99 %.1f us  p999 %.1f us\n",
+                    t.id, static_cast<unsigned long long>(t.completed),
+                    t.p99Us, t.p999Us);
+        if (opts.slo.enabled) {
+            std::printf("  slo %.0f us           violations %llu  "
+                        "windows %llu good / %llu bad  burn %.2fx\n",
+                        t.sloTargetUs,
+                        static_cast<unsigned long long>(t.sloViolations),
+                        static_cast<unsigned long long>(t.sloGoodWindows),
+                        static_cast<unsigned long long>(t.sloBadWindows),
+                        t.sloBurnRate);
+        }
+    }
+    for (const wk::ShardReport &s : r.shards) {
+        std::printf("shard %-3u              requests %llu  "
+                    "p99 %.1f us%s\n",
+                    s.device,
+                    static_cast<unsigned long long>(s.requests), s.p99Us,
+                    s.device == r.stragglerShard ? "  <- straggler"
+                                                 : "");
+    }
+    if (opts.breakdown && r.attributed > 0) {
+        std::printf("\n-- p99 critical path (all tenants) --\n");
+        double total = 0.0;
+        for (const double v : r.stageP99Us)
+            total += v;
+        for (std::size_t s = 0; s < obs::kNumStages; ++s) {
+            if (r.stageP99Us[s] <= 0.0)
+                continue;
+            std::printf("%-12s %10.1f us  %5.1f%%\n",
+                        obs::stageName(static_cast<obs::Stage>(s)),
+                        r.stageP99Us[s],
+                        total > 0.0 ? 100.0 * r.stageP99Us[s] / total
+                                    : 0.0);
+        }
+        std::printf("%-12s %10.1f us  (p99 %.1f us)\n", "sum", total,
+                    r.p99Us);
+    }
+    return 0;
 }
 
 int
@@ -97,6 +348,8 @@ main(int argc, char **argv)
     const std::string app_name = argv[1];
     if (app_name == "list")
         return listApps();
+    if (app_name == "serve")
+        return serveMain(argc, argv);
     if (app_name == "--help" || app_name == "-h") {
         usage();
         return 0;
