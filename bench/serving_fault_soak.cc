@@ -246,6 +246,35 @@ main()
                  static_cast<unsigned long long>(cached.deviceFailures),
                  cached.p99Us);
 
+    // Run 7: run 2's schedule with hybrid host/device execution on.
+    // Overload spill, splits, and faults now interleave, but the
+    // availability contract must hold unchanged: nothing lost, bounded
+    // tail, and the whole hybrid run bit-deterministic in its seed
+    // (run 7b repeats it with identical options).
+    obs::MetricsRegistry hybrid_reg;
+    wk::ServingOptions hybrid_opts = makeOptions(true, true);
+    hybrid_opts.hybrid.enabled = true;
+    hybrid_opts.metrics = &hybrid_reg;
+    const wk::ServingReport hybrid = wk::runServing(hybrid_opts);
+    obs::MetricsRegistry hybrid2_reg;
+    wk::ServingOptions hybrid2_opts = makeOptions(true, true);
+    hybrid2_opts.hybrid.enabled = true;
+    hybrid2_opts.metrics = &hybrid2_reg;
+    (void)wk::runServing(hybrid2_opts);
+    std::fprintf(
+        stderr,
+        "hybrid   : %llu/%llu completed, %llu fallbacks "
+        "(%llu breaker / %llu overload / %llu probe), %llu splits, "
+        "p99 %8.1f us\n",
+        static_cast<unsigned long long>(hybrid.completed),
+        static_cast<unsigned long long>(hybrid.submitted),
+        static_cast<unsigned long long>(hybrid.fallbacks),
+        static_cast<unsigned long long>(hybrid.fallbackBreaker),
+        static_cast<unsigned long long>(hybrid.fallbackOverload),
+        static_cast<unsigned long long>(hybrid.fallbackProbe),
+        static_cast<unsigned long long>(hybrid.splitRequests),
+        hybrid.p99Us);
+
     bool ok = true;
     // Availability: with recovery on, nothing is lost — every request
     // either completes (device path or fallback) or is terminally
@@ -277,8 +306,25 @@ main()
     ok &= check(fault.fallbacks >= 1, "host fallback never used");
     ok &= check(fault.driverRetries >= 1, "driver never retried");
     // The ablation proves the faults are load-bearing: without
-    // retries/fallback the same schedule loses requests.
+    // retries/fallback the same schedule loses requests — and, since
+    // breakerThreshold == 0 disables the breaker entirely, the host
+    // fallback path must never have run.
     ok &= check(ablate.lost > 0, "ablated run lost nothing");
+    ok &= check(ablate.fallbacks == 0,
+                "recovery-off ablation used the host fallback");
+    // Hybrid execution under fire preserves the same contract and is
+    // itself bit-deterministic.
+    ok &= check(hybrid.lost == 0, "hybrid faulted run lost requests");
+    ok &= check(hybrid.completed + hybrid.rejected == hybrid.submitted,
+                "hybrid run: completed+rejected != submitted");
+    ok &= check(hybrid.p99Us <= 3.0 * clean.p99Us,
+                "hybrid faulted p99 exceeds 3x fault-free p99");
+    ok &= check(hybrid.fallbacks == hybrid.fallbackBreaker +
+                                        hybrid.fallbackOverload +
+                                        hybrid.fallbackProbe,
+                "per-reason fallback counters do not sum to total");
+    ok &= check(reportString(hybrid_reg) == reportString(hybrid2_reg),
+                "hybrid faulted rerun not bit-identical");
     // The pipeline preserves the availability contract under fire.
     ok &= check(pipe.lost == 0, "pipelined faulted run lost requests");
     ok &= check(pipe.completed + pipe.rejected == pipe.submitted,

@@ -171,12 +171,14 @@ MorpheusRuntime::beginInvokeImpl(const StorageAppImage &image,
     s.minitStatus = minit_cqe.status;
     if (s.minitStatus == nvme::Status::kAdmissionDenied ||
         s.minitStatus == nvme::Status::kInstanceBusy ||
-        s.minitStatus == nvme::Status::kDsramExhausted) {
+        s.minitStatus == nvme::Status::kDsramExhausted ||
+        s.minitStatus == nvme::Status::kOverloaded) {
         // Refused before the instance came up: admission quota (front
-        // end) or no D-SRAM budget on the core (engine). Either way
-        // discard the staged setup and report back to the caller.
-        // D-SRAM exhaustion, like a busy slot, clears when a resident
-        // instance finishes, so it is retryable.
+        // end), no D-SRAM budget on the core (engine), or the overload
+        // valve's backlog limit. Either way discard the staged setup
+        // and report back to the caller. D-SRAM exhaustion and
+        // overload, like a busy slot, clear as resident instances
+        // finish, so they are retryable.
         _device.unstageInstance(s.instance);
         s.retry = s.minitStatus != nvme::Status::kAdmissionDenied;
         s.retryAfterUs = s.retry ? minit_cqe.dw0 : 0;

@@ -123,6 +123,7 @@ statusName(Status s)
       case Status::kDsramExhausted: return "DsramExhausted";
       case Status::kAppFault: return "AppFault";
       case Status::kSequenceError: return "SequenceError";
+      case Status::kOverloaded: return "Overloaded";
       case Status::kMediaError: return "MediaError";
       case Status::kCommandTimeout: return "CommandTimeout";
     }
@@ -136,6 +137,7 @@ isRetryable(Status s)
       case Status::kTransientTransferError:  // link glitch; resubmit
       case Status::kInstanceBusy:            // table full; wait + retry
       case Status::kDsramExhausted:          // budget pressure; wait + retry
+      case Status::kOverloaded:              // backlog drains; wait + retry
       case Status::kMediaError:              // read-retry recoverable
       case Status::kSequenceError:           // gap fills, then resubmit
         return true;

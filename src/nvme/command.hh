@@ -82,6 +82,12 @@ enum class Status : std::uint16_t {
      *  parser across the gap. Retryable: resubmit once the missing
      *  chunk has landed. */
     kSequenceError = 0x1C6,
+    /** Morpheus: the scheduler front end's overload valve refused the
+     *  MINIT — the device-wide declared backlog already exceeds the
+     *  configured limit, so admitting more work would only grow the
+     *  queue. Retryable; the completion's DW0 carries a retry-after
+     *  hint derived from the backlog drain rate. */
+    kOverloaded = 0x1C7,
     kMediaError = 0x281,       // uncorrectable flash read; retryable
     /** Host-synthesized: no CQE arrived before the command deadline.
      *  Never produced by the device; the driver fabricates it when it

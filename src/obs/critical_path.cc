@@ -28,6 +28,8 @@ stageName(Stage s)
         return "cache_hit";
       case Stage::kRetry:
         return "retry";
+      case Stage::kHostExec:
+        return "host_exec";
     }
     return "?";
 }
@@ -89,6 +91,16 @@ classifySpan(const Span &span, Stage *stage, int *priority)
     if (n == "retry_wait") {
         *stage = Stage::kRetry;
         *priority = 45;
+        return true;
+    }
+    if (n == "host_exec") {
+        // The host-execution engine's read()+convert window (breaker
+        // fallback, overload spill, or the host half of a split). Sits
+        // below the device pipeline stages so a split request's
+        // concurrent device work keeps its attribution, and the host
+        // leg owns only the time nothing device-side covers.
+        *stage = Stage::kHostExec;
+        *priority = 40;
         return true;
     }
     if (isOpcodeUmbrella(n)) {

@@ -43,10 +43,11 @@ enum class Stage : std::uint8_t {
     kFlush,      ///< DMA flush / data movement to the host.
     kCacheHit,   ///< Deserialized-object cache hit service.
     kRetry,      ///< Host-side backoff between bounce and re-submit.
+    kHostExec,   ///< Host-path execution (fallback/overload/split).
 };
 
 /** Number of Stage values (array extent for per-stage aggregates). */
-constexpr std::size_t kNumStages = 9;
+constexpr std::size_t kNumStages = 10;
 
 /** Short stable name for a stage ("parse", "admission", ...). */
 const char *stageName(Stage s);

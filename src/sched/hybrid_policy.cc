@@ -1,0 +1,104 @@
+#include "sched/hybrid_policy.hh"
+
+#include <algorithm>
+
+namespace morpheus::sched {
+
+const char *
+placementName(ExecPlacement p)
+{
+    switch (p) {
+      case ExecPlacement::kDevice:
+        return "device";
+      case ExecPlacement::kHost:
+        return "host";
+      case ExecPlacement::kSplit:
+        return "split";
+      case ExecPlacement::kShed:
+        return "shed";
+    }
+    return "?";
+}
+
+HybridPlacementPolicy::HybridPlacementPolicy(const HybridConfig &config)
+    : _config(config)
+{
+}
+
+PlacementDecision
+HybridPlacementPolicy::decide(const HybridSignals &sig, sim::Tick now)
+{
+    PlacementDecision d;
+    if (!_config.enabled) {
+        // Disabled: no state is touched, so a disabled policy never
+        // perturbs anything a caller might compare bit-for-bit.
+        return d;
+    }
+    if (_config.forceHost) {
+        d.placement = ExecPlacement::kHost;
+        ++_decisions[static_cast<std::size_t>(d.placement)];
+        return d;
+    }
+
+    // Device pressure: declared backlog plus a per-resident equivalent
+    // (so undeclared streams still count), normalized so 1.0 is the
+    // spill watermark. A fresh D-SRAM bounce pins the score at the
+    // watermark for a hold window — scratchpad exhaustion is
+    // saturation regardless of how the byte backlog looks.
+    const double denom = static_cast<double>(
+        std::max<std::uint64_t>(1, _config.spillEnterBytes));
+    double device_load =
+        (static_cast<double>(sig.backlogBytes) +
+         static_cast<double>(sig.queueDepth) *
+             static_cast<double>(_config.residentBytes)) /
+        denom;
+    if (sig.dsramBounces > _lastDsramBounces) {
+        _lastDsramBounces = sig.dsramBounces;
+        _bounceHotUntil = now + _config.dsramBounceHold;
+    }
+    if (now < _bounceHotUntil)
+        device_load = std::max(device_load, 1.0);
+
+    const double host_load =
+        sig.hostBacklogUs / std::max(1e-9, _config.hostHighUs);
+    d.deviceLoad = device_load;
+    d.hostLoad = host_load;
+
+    // Two-watermark hysteresis: spill entered at 1.0, left below the
+    // exit fraction, so placement does not flap around the threshold.
+    if (!_spill && device_load >= 1.0) {
+        _spill = true;
+        ++_flips;
+    } else if (_spill &&
+               device_load < _config.spillExitFraction) {
+        _spill = false;
+        ++_flips;
+    }
+
+    if (!_spill) {
+        d.placement = ExecPlacement::kDevice;
+    } else if (_config.shed && device_load >= _config.shedFactor &&
+               host_load >= _config.shedFactor) {
+        // Both sides saturated: bounce with an explicit retry-after
+        // instead of queueing on either.
+        d.placement = ExecPlacement::kShed;
+        d.retryAfterUs = _config.shedRetryUs;
+    } else if (_config.split &&
+               sig.requestBytes >= _config.splitMinBytes &&
+               std::max(device_load, host_load) <=
+                   _config.splitBalance *
+                       std::max(1e-9,
+                                std::min(device_load, host_load))) {
+        // Comparable pressure on both sides: run them concurrently on
+        // one request instead of picking the (barely) lighter one.
+        d.placement = ExecPlacement::kSplit;
+        d.deviceShare = _config.splitDeviceShare;
+    } else {
+        d.placement = host_load < device_load ? ExecPlacement::kHost
+                                              : ExecPlacement::kDevice;
+    }
+    ++_decisions[static_cast<std::size_t>(d.placement)];
+    return d;
+}
+
+}  // namespace morpheus::sched

@@ -85,6 +85,17 @@ struct SchedConfig
      *  dsramBytes / maxInstancesPerCore. */
     unsigned maxInstancesPerCore = 4;
 
+    /**
+     * Admission-level overload valve: a MINIT whose declared stream
+     * would push the device-wide declared-but-unserved backlog past
+     * this many bytes completes with kOverloaded plus a retry-after
+     * hint, instead of queueing work the device cannot start for a
+     * long time. 0 (the default) disables the valve. This is the
+     * explicit backpressure signal the hybrid serving layer converts
+     * into host-path spill.
+     */
+    std::uint64_t overloadBacklogLimit = 0;
+
     AdmissionPolicy admission = AdmissionPolicy::kQueue;
     /** In-flight MINIT instances allowed per tenant (0 = unlimited). */
     unsigned maxInflightPerTenant = 0;

@@ -66,6 +66,20 @@ SsdScheduler::admitCommand(const nvme::Command &cmd, sim::Tick arrival)
 {
     switch (cmd.opcode) {
       case nvme::Opcode::kMInit: {
+        // Overload valve: refuse work the device could not start for a
+        // long time anyway, with a retry-after hint sized to the drain
+        // rate, so the host can spill or back off instead of queueing.
+        if (_config.overloadBacklogLimit > 0 &&
+            _arbiter.totalDeclaredBacklog() + cmd.slba >
+                _config.overloadBacklogLimit) {
+            ++_overloadBounces;
+            if (auto *sink = obs::traceSink()) {
+                recordSchedInstant(*sink, _trackPrefix, cmd, cmd.cdw15,
+                                   "overload_bounce", arrival);
+            }
+            return {arrival, nvme::Status::kOverloaded,
+                    _arbiter.retryAfterHintUs()};
+        }
         // MINIT repurposes its unused SLBA field to declare the byte
         // length of the upcoming stream (the host knows the extent).
         const AdmitDecision d = _arbiter.admitInstance(
@@ -160,6 +174,7 @@ SsdScheduler::registerStats(sim::stats::StatSet &set,
     _arbiter.registerStats(set, prefix + ".arbiter");
     _dispatcher.registerStats(set, prefix + ".dispatcher");
     set.registerCounter(prefix + ".dsramBounces", &_dsramBounces);
+    set.registerCounter(prefix + ".overloadBounces", &_overloadBounces);
 }
 
 }  // namespace morpheus::sched

@@ -72,6 +72,16 @@ class SsdScheduler
     void registerStats(sim::stats::StatSet &set,
                        const std::string &prefix) const;
 
+    /** MINITs bounced for lack of D-SRAM budget so far (the hybrid
+     *  layer's scratchpad-pressure signal). */
+    std::uint64_t dsramBounces() const { return _dsramBounces.value(); }
+
+    /** MINITs bounced by the overload valve so far. */
+    std::uint64_t overloadBounces() const
+    {
+        return _overloadBounces.value();
+    }
+
   private:
     const SchedConfig _config;
     /** Span-track prefix ("" for device 0, "dev1." etc. in a fleet). */
@@ -80,6 +90,8 @@ class SsdScheduler
     CoreDispatcher _dispatcher;
     /** MINITs the runtime bounced for lack of D-SRAM budget. */
     sim::stats::Counter _dsramBounces;
+    /** MINITs the overload valve refused with kOverloaded. */
+    sim::stats::Counter _overloadBounces;
 };
 
 }  // namespace morpheus::sched

@@ -161,12 +161,19 @@ TenantArbiter::declaredBacklog(std::uint32_t instance) const
     return it == _instanceBacklog.end() ? 0 : it->second;
 }
 
-std::uint32_t
-TenantArbiter::retryAfterHintUs() const
+std::uint64_t
+TenantArbiter::totalDeclaredBacklog() const
 {
     std::uint64_t backlog = 0;
     for (const auto &[inst, bytes] : _instanceBacklog)
         backlog += bytes;
+    return backlog;
+}
+
+std::uint32_t
+TenantArbiter::retryAfterHintUs() const
+{
+    const std::uint64_t backlog = totalDeclaredBacklog();
     const unsigned open = std::max(1u, _openTotal);
     double ticks;
     if (_ewmaBytesPerTick > 0.0 && backlog > 0) {

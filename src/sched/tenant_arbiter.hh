@@ -100,6 +100,10 @@ class TenantArbiter
      *  since, the placement signal behind backlogAwarePlacement. */
     std::uint64_t declaredBacklog(std::uint32_t instance) const;
 
+    /** Device-wide declared-but-unserved bytes over every open
+     *  instance — the overload valve's saturation signal. */
+    std::uint64_t totalDeclaredBacklog() const;
+
     /**
      * NVMe-style retry-after hint, in microseconds, for a bounced
      * command (kInstanceBusy / kDsramExhausted). Estimates when device

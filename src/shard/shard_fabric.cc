@@ -42,6 +42,32 @@ ShardFabric::setTenantWeight(std::uint32_t tenant, double weight)
                                                           weight);
 }
 
+std::uint64_t
+ShardFabric::deviceBacklogBytes(unsigned device)
+{
+    auto &ssd = _sys.ssd(device);
+    std::uint64_t bytes = 0;
+    for (unsigned c = 0; c < ssd.numCores(); ++c)
+        bytes += ssd.scheduler().dispatcher().pendingBytes(c);
+    return bytes;
+}
+
+unsigned
+ShardFabric::deviceQueueDepth(unsigned device)
+{
+    auto &ssd = _sys.ssd(device);
+    unsigned depth = 0;
+    for (unsigned c = 0; c < ssd.numCores(); ++c)
+        depth += ssd.scheduler().dispatcher().residents(c);
+    return depth;
+}
+
+std::uint64_t
+ShardFabric::deviceDsramBounces(unsigned device)
+{
+    return _sys.ssd(device).scheduler().dsramBounces();
+}
+
 ShardedFile
 ShardFabric::ingestSharded(const std::string &name,
                            const std::vector<std::uint8_t> &data)

@@ -86,6 +86,17 @@ class ShardFabric
     /** Set a tenant's DRR weight on every device's arbiter. */
     void setTenantWeight(std::uint32_t tenant, double weight);
 
+    // --- live per-device load signals (hybrid placement) -------------
+
+    /** Declared-but-unserved bytes across @p device's cores. */
+    std::uint64_t deviceBacklogBytes(unsigned device);
+
+    /** Resident StorageApp instances across @p device's cores. */
+    unsigned deviceQueueDepth(unsigned device);
+
+    /** Cumulative kDsramExhausted MINIT bounces on @p device. */
+    std::uint64_t deviceDsramBounces(unsigned device);
+
     /**
      * Stripe @p data across the fleet (router policy) and ingest each
      * device's shard through its normal write path. Per-device extents

@@ -14,6 +14,7 @@
 #include "core/host_runtime.hh"
 #include "core/nvme_p2p.hh"
 #include "core/standard_apps.hh"
+#include "host/host_exec.hh"
 #include "obs/critical_path.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/timeline.hh"
@@ -111,20 +112,10 @@ struct SizeClass
     std::vector<ObjectInstance> objects;
 };
 
-/** Read-chunk size of the host-fallback path (matches the baseline
- *  runner's default staging buffer). */
-constexpr std::uint64_t kFallbackChunkBytes = 256 * 1024;
-
-/** Per-tenant circuit breaker over the device path. */
-struct Breaker
-{
-    unsigned consecutive = 0;   ///< Consecutive device-path failures.
-    bool open = false;          ///< Requests route to the host path.
-    std::uint64_t sinceOpen = 0;  ///< Requests routed while open.
-};
-
+/** Instant on the serving driver's own track (breaker transitions,
+ *  fallback starts, hybrid placement decisions, shed bounces). */
 void
-recordBreakerInstant(const char *name, std::uint32_t tenant,
+recordServingInstant(const char *name, std::uint32_t tenant,
                      sim::Tick when)
 {
     if (auto *sink = obs::traceSink()) {
@@ -419,15 +410,43 @@ runServing(const ServingOptions &opts)
         bool completed = false;
         bool rejected = false;
         bool fellBack = false;
+        /** Valid when fellBack: which trigger host-routed it. */
+        host::HostExecReason fallbackReason =
+            host::HostExecReason::kBreaker;
+        bool split = false;
+        bool shedRejected = false;
         std::uint64_t retries = 0;
         std::uint64_t dsramBounces = 0;
+        std::uint64_t overloadBounces = 0;
+        std::uint64_t shedBounces = 0;
         std::uint64_t deviceFailures = 0;
         bool servedFromCache = false;
         sim::Tick latency = 0;
         std::uint64_t servedBytes = 0;
     };
     std::vector<Outcome> outcomes(requests.size());
-    std::vector<Breaker> breakers(opts.tenants.size());
+    std::vector<sched::CircuitBreaker> breakers(
+        opts.tenants.size(),
+        sched::CircuitBreaker(opts.breakerThreshold,
+                              opts.breakerProbeEvery));
+    // Whether the request's latest device-path attempt was a half-open
+    // probe (a failed probe's rescue counts under the probe reason).
+    std::vector<char> is_probe(requests.size(), 0);
+
+    // The host-execution engine serves breaker fallbacks always; with
+    // hybrid enabled it also takes overload spill and split halves,
+    // placed by one policy per device (per-device hysteresis state).
+    host::HostExecEngine host_exec(sys, opts.hybrid.hostCostScale);
+    std::vector<sched::HybridPlacementPolicy> hybrid_pol(
+        num_ssds, sched::HybridPlacementPolicy(opts.hybrid));
+    // In-flight split state: device-prefix bytes and the host half's
+    // completion tick, indexed by request (hybrid runs only).
+    std::vector<std::uint64_t> split_cut;
+    std::vector<sim::Tick> split_host_done;
+    if (opts.hybrid.enabled) {
+        split_cut.assign(requests.size(), 0);
+        split_host_done.assign(requests.size(), 0);
+    }
     sim::Tick last_done = ingest_done;
 
     // Per-request observability state (sized only with a recorder, so
@@ -457,6 +476,22 @@ runServing(const ServingOptions &opts)
             return;
         req_traces[req_idx].insert(req_traces[req_idx].end(),
                                    ids.begin(), ids.end());
+    };
+
+    // Trace id the host-side spans of a request ride under: the last
+    // device-command id when the request touched the device, else a
+    // synthetic id in a device range (0xFF) no fleet reaches — so a
+    // host-only request's spans are still collectible by id.
+    std::uint32_t host_trace_seq = 0;
+    auto host_trace = [&](unsigned req_idx) -> obs::TraceId {
+        if (recorder == nullptr)
+            return 0;
+        if (!req_traces[req_idx].empty())
+            return req_traces[req_idx].back();
+        const obs::TraceId id =
+            (obs::TraceId{0xFFu} << 24) | ++host_trace_seq;
+        req_traces[req_idx].push_back(id);
+        return id;
     };
 
     // Synthetic host-side backoff span: the wait between a bounce and
@@ -523,79 +558,80 @@ runServing(const ServingOptions &opts)
         }
     };
 
-    // The paper's baseline path (Fig 1): host read()s the raw text in
-    // chunks and converts on the CPU. This is what keeps availability
-    // at 100% while the device path is faulting.
-    auto fallback_request = [&](unsigned req_idx, sim::Tick when) {
+    // The paper's baseline path (Fig 1), via the host-execution
+    // engine: host read()s the raw text in chunks and converts on the
+    // CPU. The breaker uses it to keep availability at 100% while the
+    // device path is faulting; the hybrid policy uses it as spill
+    // capacity past device saturation.
+    auto fallback_request = [&](unsigned req_idx, sim::Tick when,
+                                host::HostExecReason reason) {
         const Request &req = requests[req_idx];
         const ObjectInstance &inst =
             classes[req.tenantIdx][req.classIdx].objects[req.objIdx];
+        // Breaker-path rescues keep the classic tenant-pinned core;
+        // overload spill spreads over the least-loaded core.
         const unsigned core =
-            req.tenantIdx % sys.cpu().config().cores;
-        host::OsModel &os = sys.os();
-        host::HostCpu &cpu = sys.cpu();
+            reason == host::HostExecReason::kOverload
+                ? host_exec.leastLoadedCore(when)
+                : req.tenantIdx % sys.cpu().config().cores;
 
-        // Raw staging buffer X and the object buffer Y.
-        const pcie::Addr buf_x = sys.allocHost(kFallbackChunkBytes);
-        sys.allocHost(inst.objectBytes);
-        const sim::Tick opened = os.syscall(core, when);  // open()
-        sim::Tick cpu_cursor = os.pageFaults(
-            core, os.faultsForBytes(inst.objectBytes), opened);
-
-        const std::uint64_t file_bytes = inst.extent.sizeBytes;
-        const double total_convert = cpu.convertCycles(inst.cost);
-        std::uint64_t offset = 0;
-        while (offset < file_bytes) {
-            const std::uint64_t len = std::min<std::uint64_t>(
-                kFallbackChunkBytes, file_bytes - offset);
-            const sim::Tick io_done = sys.ssdBackend(inst.device).read(
-                inst.extent.startByte + offset, len, buf_x, when);
-            const sim::Tick ready = std::max(cpu_cursor, io_done);
-            const sim::Tick fs_done =
-                os.blockingReadOverhead(core, len, ready);
-            const double convert =
-                total_convert * static_cast<double>(len) /
-                static_cast<double>(file_bytes);
-            cpu_cursor = cpu.execute(core, convert, fs_done);
-            sys.mem().cpuAccess(
-                len, inst.objectBytes * len / file_bytes, fs_done);
-            offset += len;
+        host::HostExecRequest hreq;
+        hreq.extent = inst.extent;
+        // A failed split session is rescued over its device prefix
+        // only: the host half of the remainder already ran.
+        const std::uint64_t cut =
+            opts.hybrid.enabled ? split_cut[req_idx] : 0;
+        if (cut > 0)
+            hreq.extent.sizeBytes = cut;
+        hreq.fileBytes = inst.extent.sizeBytes;
+        hreq.objectBytes = inst.objectBytes;
+        hreq.cost = inst.cost;
+        hreq.device = inst.device;
+        hreq.tenant = opts.tenants[req.tenantIdx].id;
+        hreq.reason = reason;
+        hreq.trace = host_trace(req_idx);
+        sim::Tick done = host_exec.execute(hreq, core, when);
+        if (cut > 0) {
+            done = std::max(done, split_host_done[req_idx]);
+            split_cut[req_idx] = 0;
         }
-        recordBreakerInstant("fallback",
+
+        recordServingInstant("fallback",
                              opts.tenants[req.tenantIdx].id, when);
         Outcome &out = outcomes[req_idx];
         out.completed = true;
         out.fellBack = true;
-        out.latency = cpu_cursor - req.arrival;
+        out.fallbackReason = reason;
+        out.latency = done - req.arrival;
         out.servedBytes = inst.objectBytes;
-        last_done = std::max(last_done, cpu_cursor);
+        last_done = std::max(last_done, done);
         ++completed_run;
         ++fallbacks_run;
         ++tenant_done_run[req.tenantIdx];
-        finish_observability(req_idx, /*failed=*/false, cpu_cursor);
-        release_parked(cpu_cursor);
-        issue_next(req.tenantIdx, cpu_cursor);
+        finish_observability(req_idx, /*failed=*/false, done);
+        release_parked(done);
+        issue_next(req.tenantIdx, done);
     };
 
     // A device-path attempt for req_idx failed terminally at `when`.
     auto device_failure = [&](unsigned req_idx, sim::Tick when) {
         const Request &req = requests[req_idx];
         Outcome &out = outcomes[req_idx];
-        Breaker &br = breakers[req.tenantIdx];
         ++out.deviceFailures;
-        ++br.consecutive;
-        if (opts.breakerThreshold > 0 && !br.open &&
-            br.consecutive >= opts.breakerThreshold) {
-            br.open = true;
-            br.sinceOpen = 0;
-            recordBreakerInstant("breaker_open",
+        if (breakers[req.tenantIdx].onDeviceFailure()) {
+            recordServingInstant("breaker_open",
                                  opts.tenants[req.tenantIdx].id, when);
         }
         last_done = std::max(last_done, when);
         if (opts.breakerThreshold > 0) {
             // Rescue the request on the host path: completion stays
-            // at 100% even while the device is faulting.
-            fallback_request(req_idx, when);
+            // at 100% even while the device is faulting. A failed
+            // half-open probe's rescue is counted under its own
+            // reason so the breaker's duty cycle is visible.
+            fallback_request(req_idx, when,
+                             is_probe[req_idx]
+                                 ? host::HostExecReason::kProbe
+                                 : host::HostExecReason::kBreaker);
         } else {
             // The recovery-off ablation: the request is lost (neither
             // completed nor rejected) — still a terminal outcome for
@@ -613,17 +649,81 @@ runServing(const ServingOptions &opts)
             classes[req.tenantIdx][req.classIdx].objects[req.objIdx];
         core::MorpheusRuntime &runtime = fabric.runtime(inst.device);
 
-        Breaker &br = breakers[req.tenantIdx];
-        if (br.open) {
-            // Open: serve from the host path, except a periodic
-            // half-open probe that tests whether the device healed.
-            ++br.sinceOpen;
-            const bool probe =
-                opts.breakerProbeEvery > 0 &&
-                br.sinceOpen % opts.breakerProbeEvery == 0;
-            if (!probe) {
-                fallback_request(req_idx, when);
+        // The breaker outranks placement: an open breaker's requests
+        // are host-routed under the breaker reason (except periodic
+        // half-open probes, which always test the device), and never
+        // reach the hybrid policy — no double-routing.
+        const sched::CircuitBreaker::Route br_route =
+            breakers[req.tenantIdx].route();
+        is_probe[req_idx] =
+            br_route == sched::CircuitBreaker::Route::kProbe;
+        if (br_route == sched::CircuitBreaker::Route::kHost) {
+            fallback_request(req_idx, when,
+                             host::HostExecReason::kBreaker);
+            return;
+        }
+
+        // Hybrid placement: a closed-breaker request may be spilled
+        // to the host, split across both executors, or shed, by live
+        // device pressure vs. modeled host backlog.
+        std::uint64_t cut = 0;
+        if (opts.hybrid.enabled &&
+            br_route == sched::CircuitBreaker::Route::kDevice) {
+            sched::HybridSignals sig;
+            sig.backlogBytes = fabric.deviceBacklogBytes(inst.device);
+            sig.queueDepth = fabric.deviceQueueDepth(inst.device);
+            sig.dsramBounces = fabric.deviceDsramBounces(inst.device);
+            sig.hostBacklogUs = host_exec.minBacklogUs(when);
+            sig.requestBytes = inst.extent.sizeBytes;
+            const sched::PlacementDecision pd =
+                hybrid_pol[inst.device].decide(sig, when);
+            if (pd.placement == sched::ExecPlacement::kHost) {
+                recordServingInstant("place_host", tenant.id, when);
+                fallback_request(req_idx, when,
+                                 host::HostExecReason::kOverload);
                 return;
+            }
+            if (pd.placement == sched::ExecPlacement::kShed) {
+                Outcome &out = outcomes[req_idx];
+                ++out.shedBounces;
+                recordServingInstant("shed_bounce", tenant.id, when);
+                if (out.shedBounces > opts.hybrid.shedMaxBounces) {
+                    // Deterministic shedding: past the bounce budget
+                    // the request is rejected outright instead of
+                    // feeding an unbounded retry queue.
+                    out.shedRejected = true;
+                    out.rejected = true;
+                    last_done = std::max(last_done, when);
+                    ++rejected_run;
+                    finish_observability(req_idx, /*failed=*/true,
+                                         when);
+                    issue_next(req.tenantIdx, when);
+                    return;
+                }
+                ++out.retries;
+                // Linear backoff over the request's bounce count so
+                // repeated sheds spread re-offered load out.
+                const sim::Tick resume =
+                    when + sim::Tick(pd.retryAfterUs) *
+                               sim::kPsPerUs *
+                               sim::Tick(out.shedBounces);
+                if (recorder != nullptr) {
+                    host_trace(req_idx);
+                    record_retry_wait(req_idx, when, resume);
+                }
+                events.push(
+                    Event{resume, seq++, Event::kArrival, req_idx});
+                return;
+            }
+            if (pd.placement == sched::ExecPlacement::kSplit) {
+                cut = static_cast<std::uint64_t>(
+                    static_cast<double>(inst.extent.sizeBytes) *
+                    pd.deviceShare);
+                if (cut == 0 || cut >= inst.extent.sizeBytes)
+                    cut = 0;  // degenerate split: plain device path
+                else
+                    recordServingInstant("place_split", tenant.id,
+                                         when);
             }
         }
 
@@ -632,10 +732,18 @@ runServing(const ServingOptions &opts)
         iopts.chunkBlocks = opts.chunkBlocks;
         iopts.flushThreshold = opts.flushThreshold;
         iopts.tenantId = tenant.id;
+        // A split streams only the prefix sub-extent through the
+        // device (MINIT declares the prefix length, MREAD chunks are
+        // byte-precise, and the int-array parser tolerates the
+        // truncated tail); the host converts the remainder
+        // concurrently once the MINIT is accepted.
+        host::FileExtent dev_extent = inst.extent;
+        if (cut > 0)
+            dev_extent.sizeBytes = cut;
         const core::DmaTarget target =
             runtime.hostTarget(inst.objectBytes);
         const core::MsStream stream =
-            runtime.streamCreate(inst.extent, when, iopts.hostCore);
+            runtime.streamCreate(dev_extent, when, iopts.hostCore);
 
         core::InvokeSession s = runtime.beginInvoke(
             image, stream, target, when, iopts);
@@ -651,6 +759,18 @@ runServing(const ServingOptions &opts)
                 ++outcomes[req_idx].retries;
                 if (s.minitStatus == nvme::Status::kDsramExhausted)
                     ++outcomes[req_idx].dsramBounces;
+                if (s.minitStatus == nvme::Status::kOverloaded) {
+                    ++outcomes[req_idx].overloadBounces;
+                    if (opts.hybrid.enabled) {
+                        // The device named its condition with an
+                        // explicit kOverloaded: spill to the host now
+                        // instead of re-queueing on the device.
+                        fallback_request(
+                            req_idx, s.result.done,
+                            host::HostExecReason::kOverload);
+                        return;
+                    }
+                }
                 if (s.retryAfterUs > 0) {
                     // Honor the completion's retry-after hint instead
                     // of waiting for an unrelated completion.
@@ -674,6 +794,27 @@ runServing(const ServingOptions &opts)
                 issue_next(req.tenantIdx, s.result.done);
             }
             return;
+        }
+        if (cut > 0) {
+            // MINIT accepted the prefix: charge the host half of the
+            // split now, concurrent (in simulated time) with the
+            // device stream. A bounced MINIT never reaches here, so a
+            // bounce costs no host work.
+            split_cut[req_idx] = cut;
+            host::HostExecRequest hreq;
+            hreq.extent = inst.extent;
+            hreq.extent.startByte += cut;
+            hreq.extent.sizeBytes -= cut;
+            hreq.fileBytes = inst.extent.sizeBytes;
+            hreq.objectBytes = inst.objectBytes;
+            hreq.cost = inst.cost;
+            hreq.device = inst.device;
+            hreq.tenant = tenant.id;
+            hreq.reason = host::HostExecReason::kSplit;
+            hreq.trace = host_trace(req_idx);
+            split_host_done[req_idx] = host_exec.execute(
+                hreq, host_exec.leastLoadedCore(when), when);
+            outcomes[req_idx].split = true;
         }
         unsigned slot;
         if (!free_slots.empty()) {
@@ -774,32 +915,44 @@ runServing(const ServingOptions &opts)
                               : runtime.finishInvoke(as.session);
         note_traces(req_idx, as.session.traceIds);
         free_slots.push_back(ev.idx);
-        Breaker &br = breakers[requests[req_idx].tenantIdx];
+        sched::CircuitBreaker &br =
+            breakers[requests[req_idx].tenantIdx];
         if (result.failed) {
             device_failure(req_idx, result.done);
             release_parked(result.done);
             continue;
         }
-        if (br.open) {
+        if (br.onDeviceSuccess()) {
             // A successful device-path probe: the device healed.
-            br.open = false;
-            recordBreakerInstant(
+            recordServingInstant(
                 "breaker_close",
                 opts.tenants[requests[req_idx].tenantIdx].id,
                 result.done);
         }
-        br.consecutive = 0;
         Outcome &out = outcomes[req_idx];
+        sim::Tick term = result.done;
+        std::uint64_t served = result.objectBytes;
+        if (opts.hybrid.enabled && split_cut[req_idx] > 0) {
+            // A split request finishes when BOTH halves have: the
+            // device's prefix stream and the host's concurrent
+            // remainder. The whole object counts as served.
+            term = std::max(term, split_host_done[req_idx]);
+            const Request &rq = requests[req_idx];
+            served = classes[rq.tenantIdx][rq.classIdx]
+                         .objects[rq.objIdx]
+                         .objectBytes;
+            split_cut[req_idx] = 0;
+        }
         out.completed = true;
         out.servedFromCache = result.servedFromCache;
-        out.latency = result.done - requests[req_idx].arrival;
-        out.servedBytes = result.objectBytes;
-        last_done = std::max(last_done, result.done);
+        out.latency = term - requests[req_idx].arrival;
+        out.servedBytes = served;
+        last_done = std::max(last_done, term);
         ++completed_run;
         ++tenant_done_run[requests[req_idx].tenantIdx];
-        finish_observability(req_idx, /*failed=*/false, result.done);
-        release_parked(result.done);
-        issue_next(requests[req_idx].tenantIdx, result.done);
+        finish_observability(req_idx, /*failed=*/false, term);
+        release_parked(term);
+        issue_next(requests[req_idx].tenantIdx, term);
     }
     MORPHEUS_ASSERT(parked.empty(),
                     "parked requests with no active session left");
@@ -880,11 +1033,29 @@ runServing(const ServingOptions &opts)
             ++tr.submitted;
             tr.retries += outcomes[i].retries;
             tr.dsramBounces += outcomes[i].dsramBounces;
+            tr.overloadBounces += outcomes[i].overloadBounces;
+            tr.shedBounces += outcomes[i].shedBounces;
             tr.deviceFailures += outcomes[i].deviceFailures;
-            if (outcomes[i].fellBack)
+            if (outcomes[i].fellBack) {
                 ++tr.fallbacks;
+                switch (outcomes[i].fallbackReason) {
+                case host::HostExecReason::kBreaker:
+                    ++tr.fallbackBreaker;
+                    break;
+                case host::HostExecReason::kProbe:
+                    ++tr.fallbackProbe;
+                    break;
+                case host::HostExecReason::kOverload:
+                    ++tr.fallbackOverload;
+                    break;
+                case host::HostExecReason::kSplit:
+                    break;  // split halves are not fallbacks
+                }
+            }
             if (outcomes[i].rejected) {
                 ++tr.rejected;
+                if (outcomes[i].shedRejected)
+                    ++tr.shedRejected;
                 continue;
             }
             if (!outcomes[i].completed) {
@@ -892,6 +1063,8 @@ runServing(const ServingOptions &opts)
                 continue;
             }
             ++tr.completed;
+            if (outcomes[i].split && !outcomes[i].fellBack)
+                ++tr.splitRequests;
             if (outcomes[i].servedFromCache)
                 ++tr.cacheHits;
             tr.servedBytes += outcomes[i].servedBytes;
@@ -950,6 +1123,13 @@ runServing(const ServingOptions &opts)
         report.rejected += tr.rejected;
         report.deviceFailures += tr.deviceFailures;
         report.fallbacks += tr.fallbacks;
+        report.fallbackBreaker += tr.fallbackBreaker;
+        report.fallbackOverload += tr.fallbackOverload;
+        report.fallbackProbe += tr.fallbackProbe;
+        report.splitRequests += tr.splitRequests;
+        report.overloadBounces += tr.overloadBounces;
+        report.shedBounces += tr.shedBounces;
+        report.shedRejected += tr.shedRejected;
         report.lost += tr.lost;
         report.cacheHits += tr.cacheHits;
         fairness_x.push_back(static_cast<double>(tr.servedBytes) /
@@ -976,6 +1156,15 @@ runServing(const ServingOptions &opts)
                            (static_cast<double>(fairness_x.size()) *
                             sum_sq)
                      : 1.0;
+
+    if (opts.hybrid.enabled) {
+        for (const sched::HybridPlacementPolicy &pol : hybrid_pol) {
+            for (unsigned p = 0; p < sched::kNumPlacements; ++p)
+                report.hybridDecisions[p] += pol.decisions(
+                    static_cast<sched::ExecPlacement>(p));
+            report.hybridFlips += pol.flips();
+        }
+    }
 
     report.makespan = last_done - first_arrival;
     report.throughputPerSec =
@@ -1058,6 +1247,10 @@ runServing(const ServingOptions &opts)
             reg.setCounter(p + "dsramBounces", tr.dsramBounces);
             reg.setCounter(p + "deviceFailures", tr.deviceFailures);
             reg.setCounter(p + "fallbacks", tr.fallbacks);
+            reg.setCounter(p + "fallback.breaker", tr.fallbackBreaker);
+            reg.setCounter(p + "fallback.overload",
+                           tr.fallbackOverload);
+            reg.setCounter(p + "fallback.probe", tr.fallbackProbe);
             reg.setCounter(p + "lost", tr.lost);
             reg.setCounter(p + "cacheHits", tr.cacheHits);
             reg.setScalar(p + "cache_hit_rate", tr.cacheHitRate);
@@ -1093,6 +1286,11 @@ runServing(const ServingOptions &opts)
         reg.setCounter("serving.rejected", report.rejected);
         reg.setCounter("serving.deviceFailures", report.deviceFailures);
         reg.setCounter("serving.fallbacks", report.fallbacks);
+        reg.setCounter("serving.fallback.breaker",
+                       report.fallbackBreaker);
+        reg.setCounter("serving.fallback.overload",
+                       report.fallbackOverload);
+        reg.setCounter("serving.fallback.probe", report.fallbackProbe);
         reg.setCounter("serving.lost", report.lost);
         reg.setCounter("serving.cacheHits", report.cacheHits);
         reg.setCounter("serving.driverRetries", report.driverRetries);
@@ -1109,6 +1307,22 @@ runServing(const ServingOptions &opts)
         reg.setScalar("serving.jain_fairness", report.jainFairness);
         reg.setScalar("serving.throughput_per_sec",
                       report.throughputPerSec);
+        if (opts.hybrid.enabled) {
+            for (unsigned p = 0; p < sched::kNumPlacements; ++p) {
+                reg.setCounter(
+                    std::string("sched.hybrid.decisions.") +
+                        sched::placementName(
+                            static_cast<sched::ExecPlacement>(p)),
+                    report.hybridDecisions[p]);
+            }
+            reg.setCounter("sched.hybrid.flips", report.hybridFlips);
+            reg.setCounter("serving.split", report.splitRequests);
+            reg.setCounter("serving.overloadBounces",
+                           report.overloadBounces);
+            reg.setCounter("serving.shed.bounces", report.shedBounces);
+            reg.setCounter("serving.shed.rejected",
+                           report.shedRejected);
+        }
         if (report.attributed > 0) {
             reg.setCounter("serving.attributed", report.attributed);
             for (std::size_t s = 0; s < obs::kNumStages; ++s) {

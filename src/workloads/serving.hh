@@ -34,6 +34,7 @@
 #include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
 #include "obs/timeline.hh"
+#include "sched/hybrid_policy.hh"
 #include "shard/shard_router.hh"
 #include "sim/fault.hh"
 
@@ -155,6 +156,17 @@ struct ServingOptions
     unsigned breakerProbeEvery = 8;
 
     /**
+     * Overload-aware hybrid execution (sched::HybridPlacementPolicy):
+     * per request, choose the embedded core, the host CPU, or a split
+     * of the two by live device pressure vs. modeled host backlog,
+     * with hysteresis and an optional shed valve. Off by default —
+     * disabled runs are bit-identical to pre-hybrid builds. The
+     * breaker always outranks it: a breaker-open tenant is host-routed
+     * (reason "breaker"), never double-routed by overload.
+     */
+    sched::HybridConfig hybrid{};
+
+    /**
      * Optional federation target. When set, runServing() snapshots the
      * whole system StatSet (under "sys.") plus per-tenant serving
      * outcomes (under "serving.") into it before the simulated machine
@@ -207,8 +219,25 @@ struct TenantReport
     /** Device-path invocations that died on an injected fault. */
     std::uint64_t deviceFailures = 0;
     /** Requests completed by the baseline host path (circuit breaker
-     *  open, or per-request rescue after a device failure). */
+     *  open, or per-request rescue after a device failure), equal to
+     *  fallbackBreaker + fallbackOverload + fallbackProbe. */
     std::uint64_t fallbacks = 0;
+    /** ...split by trigger: breaker-open routing and post-failure
+     *  rescues; hybrid overload spill; failed half-open probes. */
+    std::uint64_t fallbackBreaker = 0;
+    std::uint64_t fallbackOverload = 0;
+    std::uint64_t fallbackProbe = 0;
+    /** Requests served by the split path (device prefix + host
+     *  remainder, hybrid only; not counted in fallbacks). */
+    std::uint64_t splitRequests = 0;
+    /** MINITs bounced by the device's admission-level overload valve
+     *  (SchedConfig::overloadBacklogLimit). */
+    std::uint64_t overloadBounces = 0;
+    /** Hybrid shed-valve bounces (retry-after re-submissions). */
+    std::uint64_t shedBounces = 0;
+    /** Requests terminally rejected by the shed valve (counted in
+     *  rejected as well). */
+    std::uint64_t shedRejected = 0;
     /** Requests neither completed nor terminally rejected (recovery
      *  and fallback both off while faults fire). */
     std::uint64_t lost = 0;
@@ -271,6 +300,20 @@ struct ServingReport
     std::uint64_t rejected = 0;
     std::uint64_t deviceFailures = 0;
     std::uint64_t fallbacks = 0;
+    /** fallbacks split by trigger (sums to fallbacks). */
+    std::uint64_t fallbackBreaker = 0;
+    std::uint64_t fallbackOverload = 0;
+    std::uint64_t fallbackProbe = 0;
+    /** Hybrid execution outcome counters (all zero when disabled). */
+    std::uint64_t splitRequests = 0;
+    std::uint64_t overloadBounces = 0;
+    std::uint64_t shedBounces = 0;
+    std::uint64_t shedRejected = 0;
+    /** Placement decisions the hybrid policy handed out, indexed by
+     *  sched::ExecPlacement. */
+    std::array<std::uint64_t, sched::kNumPlacements> hybridDecisions{};
+    /** Spill-mode transitions (hysteresis flips). */
+    std::uint64_t hybridFlips = 0;
     std::uint64_t lost = 0;
     /** Completions served from the device object cache (all tenants). */
     std::uint64_t cacheHits = 0;

@@ -176,6 +176,44 @@ TEST(AttributeSpans, InstantsClaimNoTime)
     EXPECT_EQ(attr[ob::Stage::kHost], 100u);
 }
 
+TEST(ClassifySpan, HostExecSitsBetweenRetryAndExecUmbrella)
+{
+    ob::Stage stage;
+    int prio_host = 0, prio_exec = 0, prio_retry = 0;
+    ASSERT_TRUE(ob::classifySpan(span("host.exec", "host_exec", 0, 1),
+                                 &stage, &prio_host));
+    EXPECT_EQ(stage, ob::Stage::kHostExec);
+    ASSERT_TRUE(ob::classifySpan(span("nvme.exec[0]", "MREAD", 0, 1),
+                                 &stage, &prio_exec));
+    ASSERT_TRUE(ob::classifySpan(
+        span("host.serving", "retry_wait", 0, 1), &stage,
+        &prio_retry));
+    // Below retry_wait (a backoff that overlaps the rescue start is
+    // still backoff) and above the exec umbrella (a split's host half
+    // must not swallow the device prefix's attribution).
+    EXPECT_GT(prio_retry, prio_host);
+    EXPECT_GT(prio_host, prio_exec);
+}
+
+TEST(AttributeSpans, BreakerRescuedRequestSumsExactlyToItsWindow)
+{
+    // A breaker-rescued request's life: a device attempt (exec
+    // umbrella), the backoff wait, then the host-path rescue — with
+    // uncovered gaps at both ends and an overlap between the wait and
+    // the rescue.
+    const std::vector<ob::Span> spans{
+        span("nvme.exec[0]", "MREAD", 100, 300),
+        span("host.serving", "retry_wait", 300, 500),
+        span("host.exec", "host_exec", 450, 900),
+    };
+    const ob::Attribution a = ob::attributeSpans(spans, 0, 1000);
+    EXPECT_EQ(a.total(), 1000u);  // exact: no double count, no gap
+    EXPECT_EQ(a[ob::Stage::kDispatch], 200u);
+    EXPECT_EQ(a[ob::Stage::kRetry], 200u);  // owns the 450-500 overlap
+    EXPECT_EQ(a[ob::Stage::kHostExec], 400u);
+    EXPECT_EQ(a[ob::Stage::kHost], 200u);   // 0-100 and 900-1000
+}
+
 // ------------------------------------------------------ fan-out legs
 
 TEST(FanoutLegs, GroupsHostQueueHullsByDeviceAndFindsStraggler)

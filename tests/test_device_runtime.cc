@@ -1542,3 +1542,41 @@ TEST(DeviceRuntime, ObjectCacheSharesBudgetWithPipelineReadahead)
     EXPECT_EQ(rig2.sys.ssd().objectCache().capacityBytes(),
               1024u * 1024u);
 }
+
+TEST(DeviceRuntime, OverloadValveBouncesMInitPastBacklogLimit)
+{
+    ho::SystemConfig cfg;
+    cfg.ssd.sched.overloadBacklogLimit = 64 * 1024;
+    Rig rig(cfg);
+    auto &sched = rig.sys.ssd().scheduler();
+    const auto target = co::DmaTarget{rig.sys.allocHost(4096), false};
+
+    // A declared stream under the limit is admitted normally.
+    ASSERT_TRUE(rig.minit(1, rig.images.intArray, target, 0, 0, 0,
+                          48 * 1024).ok());
+    EXPECT_EQ(sched.overloadBounces(), 0u);
+    EXPECT_EQ(sched.arbiter().totalDeclaredBacklog(), 48u * 1024u);
+
+    // A second declaration that would push total backlog past the
+    // limit bounces with the explicit overload status: retryable, and
+    // carrying a nonzero retry-after hint in DW0.
+    const auto cqe = rig.minit(2, rig.images.intArray, target, 0, 0, 0,
+                               32 * 1024);
+    EXPECT_EQ(cqe.status, nv::Status::kOverloaded);
+    EXPECT_TRUE(nv::isRetryable(cqe.status));
+    EXPECT_GT(cqe.dw0, 0u);
+    EXPECT_EQ(sched.overloadBounces(), 1u);
+    // The bounce must not leak arbiter or backlog state.
+    EXPECT_EQ(sched.arbiter().openInstances(), 1u);
+    EXPECT_EQ(sched.arbiter().totalDeclaredBacklog(), 48u * 1024u);
+
+    // Once the first stream retires its declared backlog, the bounced
+    // MINIT succeeds on resubmission — the valve is load shedding, not
+    // a terminal refusal.
+    ASSERT_TRUE(rig.mdeinit(1).ok());
+    EXPECT_EQ(sched.arbiter().totalDeclaredBacklog(), 0u);
+    ASSERT_TRUE(rig.minit(2, rig.images.intArray, target, 0, 0, 0,
+                          32 * 1024).ok());
+    EXPECT_EQ(sched.overloadBounces(), 1u);
+    ASSERT_TRUE(rig.mdeinit(2).ok());
+}

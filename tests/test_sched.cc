@@ -496,3 +496,275 @@ TEST(Serving, ClosedLoopConcurrencyTradesThroughputForLatency)
     EXPECT_GT(hi.throughputPerSec, lo.throughputPerSec);
     EXPECT_GE(hi.meanUs, lo.meanUs);
 }
+
+// ------------------------------------------------------ circuit breaker
+
+TEST(CircuitBreaker, OpensAfterThresholdConsecutiveFailures)
+{
+    sched::CircuitBreaker br(3, 8);
+    EXPECT_FALSE(br.onDeviceFailure());
+    EXPECT_FALSE(br.onDeviceFailure());
+    EXPECT_FALSE(br.open());
+    EXPECT_TRUE(br.onDeviceFailure());  // third: trips
+    EXPECT_TRUE(br.open());
+    // Already open: further failures never re-report the transition.
+    EXPECT_FALSE(br.onDeviceFailure());
+}
+
+TEST(CircuitBreaker, SuccessResetsTheConsecutiveCount)
+{
+    sched::CircuitBreaker br(3, 8);
+    br.onDeviceFailure();
+    br.onDeviceFailure();
+    EXPECT_FALSE(br.onDeviceSuccess());  // nothing to close
+    br.onDeviceFailure();
+    br.onDeviceFailure();
+    EXPECT_FALSE(br.open());  // the streak restarted at the success
+}
+
+TEST(CircuitBreaker, ProbesEveryNthRoutedRequestWhileOpen)
+{
+    sched::CircuitBreaker br(1, 4);
+    br.onDeviceFailure();
+    ASSERT_TRUE(br.open());
+    // Requests 1-3 host-route; every 4th is a half-open probe.
+    for (int round = 0; round < 2; ++round) {
+        EXPECT_EQ(br.route(), sched::CircuitBreaker::Route::kHost);
+        EXPECT_EQ(br.route(), sched::CircuitBreaker::Route::kHost);
+        EXPECT_EQ(br.route(), sched::CircuitBreaker::Route::kHost);
+        EXPECT_EQ(br.route(), sched::CircuitBreaker::Route::kProbe);
+    }
+}
+
+TEST(CircuitBreaker, ProbeSuccessReclosesProbeFailureDoesNot)
+{
+    sched::CircuitBreaker br(1, 2);
+    br.onDeviceFailure();
+    br.route();  // host
+    ASSERT_EQ(br.route(), sched::CircuitBreaker::Route::kProbe);
+    // Failed probe: stays open (no new transition), keeps probing.
+    EXPECT_FALSE(br.onDeviceFailure());
+    EXPECT_TRUE(br.open());
+    br.route();
+    ASSERT_EQ(br.route(), sched::CircuitBreaker::Route::kProbe);
+    // Successful probe: closes, and routing returns to the device.
+    EXPECT_TRUE(br.onDeviceSuccess());
+    EXPECT_FALSE(br.open());
+    EXPECT_EQ(br.route(), sched::CircuitBreaker::Route::kDevice);
+}
+
+TEST(CircuitBreaker, ZeroThresholdNeverOpens)
+{
+    sched::CircuitBreaker br(0, 8);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_FALSE(br.onDeviceFailure());
+    EXPECT_FALSE(br.open());
+    EXPECT_EQ(br.route(), sched::CircuitBreaker::Route::kDevice);
+}
+
+// ------------------------------------------------------- hybrid policy
+
+namespace {
+
+sched::HybridConfig
+hybridOn()
+{
+    sched::HybridConfig h;
+    h.enabled = true;
+    return h;
+}
+
+sched::HybridSignals
+signals(std::uint64_t backlog, double host_us,
+        std::uint64_t bytes = 64 * sim::kKiB)
+{
+    sched::HybridSignals sig;
+    sig.backlogBytes = backlog;
+    sig.hostBacklogUs = host_us;
+    sig.requestBytes = bytes;
+    return sig;
+}
+
+}  // namespace
+
+TEST(HybridPolicy, DisabledIsInertAndAlwaysDevice)
+{
+    sched::HybridPlacementPolicy pol(sched::HybridConfig{});
+    const auto d = pol.decide(signals(1u << 30, 1e9), 0);
+    EXPECT_EQ(d.placement, sched::ExecPlacement::kDevice);
+    EXPECT_EQ(pol.flips(), 0u);
+    for (unsigned p = 0; p < sched::kNumPlacements; ++p)
+        EXPECT_EQ(pol.decisions(static_cast<sched::ExecPlacement>(p)),
+                  0u);
+}
+
+TEST(HybridPolicy, ForceHostRoutesEverything)
+{
+    sched::HybridConfig h = hybridOn();
+    h.forceHost = true;
+    sched::HybridPlacementPolicy pol(h);
+    EXPECT_EQ(pol.decide(signals(0, 0.0), 0).placement,
+              sched::ExecPlacement::kHost);
+    EXPECT_EQ(pol.decisions(sched::ExecPlacement::kHost), 1u);
+}
+
+TEST(HybridPolicy, HysteresisEntersAtHighExitsAtLowWatermark)
+{
+    sched::HybridConfig h = hybridOn();
+    h.split = false;
+    sched::HybridPlacementPolicy pol(h);
+    const std::uint64_t high = h.spillEnterBytes;
+
+    // Below the high watermark: device, no spill.
+    EXPECT_EQ(pol.decide(signals(high - 1, 0.0), 0).placement,
+              sched::ExecPlacement::kDevice);
+    EXPECT_FALSE(pol.spilling());
+
+    // At the watermark: spill mode, host is the lighter side.
+    EXPECT_EQ(pol.decide(signals(high, 0.0), 0).placement,
+              sched::ExecPlacement::kHost);
+    EXPECT_TRUE(pol.spilling());
+    EXPECT_EQ(pol.flips(), 1u);
+
+    // Back between the watermarks: still spilling (hysteresis).
+    EXPECT_TRUE(pol.decide(signals(3 * high / 4, 0.0), 0).deviceLoad <
+                1.0);
+    EXPECT_TRUE(pol.spilling());
+    EXPECT_EQ(pol.flips(), 1u);
+
+    // Below the exit fraction: spill mode left.
+    (void)pol.decide(signals(high / 4, 0.0), 0);
+    EXPECT_FALSE(pol.spilling());
+    EXPECT_EQ(pol.flips(), 2u);
+}
+
+TEST(HybridPolicy, DsramBouncePinsDeviceLoadForTheHoldWindow)
+{
+    sched::HybridConfig h = hybridOn();
+    h.split = false;
+    sched::HybridPlacementPolicy pol(h);
+    sched::HybridSignals sig = signals(0, 0.0);
+    sig.dsramBounces = 1;  // a fresh bounce, empty byte backlog
+    EXPECT_EQ(pol.decide(sig, 0).placement,
+              sched::ExecPlacement::kHost);
+    EXPECT_TRUE(pol.spilling());
+    // Past the hold window (and no new bounce) pressure decays.
+    const auto d = pol.decide(sig, h.dsramBounceHold + 1);
+    EXPECT_LT(d.deviceLoad, 1.0);
+    EXPECT_FALSE(pol.spilling());
+}
+
+TEST(HybridPolicy, ShedsOnlyWhenBothSidesSaturated)
+{
+    sched::HybridConfig h = hybridOn();
+    h.split = false;
+    h.shed = true;
+    h.shedFactor = 2.0;
+    sched::HybridPlacementPolicy pol(h);
+    const std::uint64_t saturated = 4 * h.spillEnterBytes;
+
+    // Device saturated, host idle: spill to the host, don't shed.
+    EXPECT_EQ(pol.decide(signals(saturated, 0.0), 0).placement,
+              sched::ExecPlacement::kHost);
+    // Both past shedFactor x watermark: bounce with retry-after.
+    const auto d =
+        pol.decide(signals(saturated, 4.0 * h.hostHighUs), 0);
+    EXPECT_EQ(d.placement, sched::ExecPlacement::kShed);
+    EXPECT_EQ(d.retryAfterUs, h.shedRetryUs);
+}
+
+TEST(HybridPolicy, SplitsWhenLoadsComparableRoutesLighterOtherwise)
+{
+    sched::HybridConfig h = hybridOn();
+    sched::HybridPlacementPolicy pol(h);
+    const std::uint64_t high = h.spillEnterBytes;
+
+    // Comparable pressure (within splitBalance): split.
+    const auto split =
+        pol.decide(signals(2 * high, 2.0 * h.hostHighUs), 0);
+    EXPECT_EQ(split.placement, sched::ExecPlacement::kSplit);
+    EXPECT_DOUBLE_EQ(split.deviceShare, h.splitDeviceShare);
+
+    // Lopsided toward the device: the host is the lighter side.
+    EXPECT_EQ(pol.decide(signals(16 * high, 0.1), 0).placement,
+              sched::ExecPlacement::kHost);
+
+    // Tiny requests never split — lighter side instead.
+    EXPECT_EQ(pol.decide(signals(2 * high, 1.0 * h.hostHighUs,
+                                 h.splitMinBytes - 1), 0)
+                  .placement,
+              sched::ExecPlacement::kHost);
+}
+
+// ------------------------------------------------- hybrid serving runs
+
+TEST(Serving, HybridSplitEngagesAndEveryRequestResolves)
+{
+    wk::ServingOptions opts =
+        skewedServing(sched::PlacementPolicy::kLoadAware, true);
+    opts.hybrid.enabled = true;
+    // Spill immediately and split everything splittable: the point is
+    // exercising the split machinery, not a realistic posture.
+    opts.hybrid.spillEnterBytes = 1;
+    opts.hybrid.splitBalance = 1e12;
+    opts.hybrid.splitMinBytes = 1;
+
+    const wk::ServingReport r = wk::runServing(opts);
+    EXPECT_GT(r.splitRequests, 0u);
+    EXPECT_EQ(r.completed + r.rejected, r.submitted);
+    EXPECT_EQ(r.lost, 0u);
+    EXPECT_GT(r.hybridDecisions[static_cast<std::size_t>(
+                  sched::ExecPlacement::kSplit)],
+              0u);
+}
+
+TEST(Serving, HybridRunsAreDeterministic)
+{
+    wk::ServingOptions opts =
+        skewedServing(sched::PlacementPolicy::kLoadAware, true);
+    opts.hybrid.enabled = true;
+    opts.hybrid.shed = true;
+    opts.hybrid.shedFactor = 1.0;
+
+    const wk::ServingReport a = wk::runServing(opts);
+    const wk::ServingReport b = wk::runServing(opts);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.fallbackOverload, b.fallbackOverload);
+    EXPECT_EQ(a.splitRequests, b.splitRequests);
+    EXPECT_EQ(a.shedBounces, b.shedBounces);
+    EXPECT_EQ(a.hybridFlips, b.hybridFlips);
+    EXPECT_DOUBLE_EQ(a.p99Us, b.p99Us);
+}
+
+TEST(Serving, BreakerOpenTenantIsNotDoubleRoutedByOverload)
+{
+    // Faults trip breakers while hybrid overload routing is active;
+    // the two host-path triggers must stay disjoint: every fallback
+    // carries exactly one reason, and the per-reason counters close
+    // the accounting.
+    wk::ServingOptions opts =
+        skewedServing(sched::PlacementPolicy::kLoadAware, true);
+    opts.hybrid.enabled = true;
+    opts.hybrid.spillEnterBytes = 64 * sim::kKiB;
+    opts.recovery.enabled = true;
+    opts.breakerThreshold = 2;
+    sim::FaultPlan plan;
+    plan.mediaRate = 8e-3;
+    plan.crashRate = 4e-3;
+    plan.seed = 9;
+    opts.faults = plan;
+
+    const wk::ServingReport r = wk::runServing(opts);
+    EXPECT_EQ(r.lost, 0u);
+    EXPECT_EQ(r.completed + r.rejected, r.submitted);
+    EXPECT_GT(r.fallbacks, 0u);
+    EXPECT_EQ(r.fallbacks,
+              r.fallbackBreaker + r.fallbackOverload + r.fallbackProbe);
+    for (const wk::TenantReport &t : r.tenants) {
+        EXPECT_EQ(t.fallbacks, t.fallbackBreaker + t.fallbackOverload +
+                                   t.fallbackProbe)
+            << "tenant " << t.id;
+    }
+}

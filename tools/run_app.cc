@@ -95,7 +95,8 @@ serveUsage()
         "                    [--timeline-interval-us N]\n"
         "                    [--slo TARGET_US] [--slo-objective F]\n"
         "                    [--slo-window-us N] [--stats-json FILE]\n"
-        "                    [--trace FILE.json]\n"
+        "                    [--trace FILE.json] [--hybrid]\n"
+        "                    [--host-cost-scale F] [--shed]\n"
         "Runs the multi-tenant serving driver once and prints the\n"
         "report. --rate is total arrivals/s split S:1:...:1 across the\n"
         "tenants (tenant 1 gets the S share). --breakdown attributes\n"
@@ -104,7 +105,16 @@ serveUsage()
         "as Chrome JSON (open in Perfetto); --timeline samples gauges\n"
         "every --timeline-interval-us (default 100) into JSON/CSV;\n"
         "--slo tracks per-tenant burn rate against TARGET_US at\n"
-        "--slo-objective (default 0.99) over --slo-window-us windows.\n");
+        "--slo-objective (default 0.99) over --slo-window-us windows.\n"
+        "Hybrid execution (all off by default):\n"
+        "  --hybrid             place each request on the device, the\n"
+        "                       host CPU, or a split of the two by live\n"
+        "                       load (graceful degradation past device\n"
+        "                       saturation)\n"
+        "  --host-cost-scale F  multiply the host path's modeled\n"
+        "                       conversion cycles by F (slower host)\n"
+        "  --shed               bounce requests with retry-after when\n"
+        "                       BOTH device and host are saturated\n");
 }
 
 int
@@ -177,6 +187,14 @@ serveMain(int argc, char **argv)
             stats_json_path = next("--stats-json");
         } else if (arg == "--trace") {
             trace_path = next("--trace");
+        } else if (arg == "--hybrid") {
+            opts.hybrid.enabled = true;
+        } else if (arg == "--host-cost-scale") {
+            opts.hybrid.hostCostScale =
+                std::atof(next("--host-cost-scale"));
+        } else if (arg == "--shed") {
+            opts.hybrid.enabled = true;
+            opts.hybrid.shed = true;
         } else if (arg == "--help" || arg == "-h") {
             serveUsage();
             return 0;
@@ -187,7 +205,7 @@ serveMain(int argc, char **argv)
         }
     }
     if (tenants == 0 || rate <= 0.0 || skew <= 0.0 ||
-        timeline_interval == 0) {
+        timeline_interval == 0 || opts.hybrid.hostCostScale <= 0.0) {
         serveUsage();
         return 2;
     }
@@ -280,6 +298,23 @@ serveMain(int argc, char **argv)
     std::printf("latency p999/max       %.1f / %.1f us\n", r.p999Us,
                 r.maxUs);
     std::printf("jain fairness          %.4f\n", r.jainFairness);
+    if (opts.hybrid.enabled) {
+        std::printf(
+            "hybrid placements      device %llu  host %llu  "
+            "split %llu  shed %llu  (flips %llu)\n",
+            static_cast<unsigned long long>(r.hybridDecisions[0]),
+            static_cast<unsigned long long>(r.hybridDecisions[1]),
+            static_cast<unsigned long long>(r.hybridDecisions[2]),
+            static_cast<unsigned long long>(r.hybridDecisions[3]),
+            static_cast<unsigned long long>(r.hybridFlips));
+        std::printf(
+            "host-path fallbacks    breaker %llu  overload %llu  "
+            "probe %llu  shed-rejected %llu\n",
+            static_cast<unsigned long long>(r.fallbackBreaker),
+            static_cast<unsigned long long>(r.fallbackOverload),
+            static_cast<unsigned long long>(r.fallbackProbe),
+            static_cast<unsigned long long>(r.shedRejected));
+    }
     for (const wk::TenantReport &t : r.tenants) {
         std::printf("tenant %-2u              completed %llu  "
                     "p99 %.1f us  p999 %.1f us\n",
