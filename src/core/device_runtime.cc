@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "serde/columnar.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
 
@@ -60,6 +61,7 @@ MorpheusDeviceRuntime::cacheKeyFor(const Instance &inst) const
     key.rawLen = inst.declaredStreamBytes;
     key.applet = inst.setup.image->name;
     key.appletVersion = inst.setup.image->version;
+    key.pushdownDigest = inst.pushdownDigest;
     return key;
 }
 
@@ -99,16 +101,36 @@ MorpheusDeviceRuntime::doMInit(const nvme::Command &cmd, sim::Tick start)
     // the scratchpad across maxInstancesPerCore co-residents. The
     // grant is also a placement signal: the dispatcher prefers cores
     // with room for it.
+    // PRP2's low dword is the D-SRAM request; the high dword carries
+    // the pushdown descriptor digest when MINIT ships one (NLB holds
+    // the descriptor's dword count).
     const sched::SchedConfig &sc = _ssd.config().sched;
     std::uint32_t granted = 0;
     if (sc.dsramPartitioning) {
-        const auto requested = static_cast<std::uint32_t>(
-            cmd.prp2 ? cmd.prp2 : setup.dsramBytes);
+        const auto prp2_low =
+            static_cast<std::uint32_t>(cmd.prp2 & 0xFFFFFFFFull);
+        const std::uint32_t requested =
+            prp2_low ? prp2_low : setup.dsramBytes;
         granted = requested
                       ? requested
                       : _ssd.config().core.dsramBytes /
                             std::max(1u, sc.maxInstancesPerCore);
     }
+
+    // Pushdown descriptor integrity: the staged dwords must match the
+    // in-band count and digest, exactly as the staged factory stands
+    // in for the PRP1 code bytes. A mismatched program must never run
+    // (its cache entries would replay under the wrong key).
+    const std::uint32_t desc_dwords = cmd.nlb;
+    std::uint32_t desc_digest = 0;
+    if (desc_dwords > 0) {
+        if (setup.pushdown.size() != desc_dwords)
+            return {start, nvme::Status::kInvalidField, 0};
+        desc_digest = serde::pushdownDigest(setup.pushdown);
+        if (desc_digest != static_cast<std::uint32_t>(cmd.prp2 >> 32))
+            return {start, nvme::Status::kInvalidField, 0};
+    }
+    const std::uint32_t desc_bytes = desc_dwords * 4;
 
     ssd::EmbeddedCore &core = _ssd.coreFor(cmd.instanceId, start, granted);
     const std::uint32_t code_bytes =
@@ -123,10 +145,11 @@ MorpheusDeviceRuntime::doMInit(const nvme::Command &cmd, sim::Tick start)
         return {start, nvme::Status::kDsramExhausted, 0};
     }
 
-    // Fetch the code image from host memory (prp1), then spend a few
-    // core cycles installing it into I-SRAM.
+    // Fetch the code image (plus any pushdown descriptor riding behind
+    // it) from host memory (prp1), then spend a few core cycles
+    // installing it into I-SRAM.
     const sim::Tick fetched = _ssd.fabric().dmaRead(
-        _ssd.port(), cmd.prp1, code_bytes, start);
+        _ssd.port(), cmd.prp1, code_bytes + desc_bytes, start);
     if (_ssd.fabric().consumeDmaFault()) {
         // The image arrived corrupted: refuse the install and undo the
         // SRAM reservations. The scheduler front end frees the slot and
@@ -171,6 +194,10 @@ MorpheusDeviceRuntime::doMInit(const nvme::Command &cmd, sim::Tick start)
                : dsram / 4);
     inst.ctx = std::make_unique<MsChunkContext>(dsram, threshold,
                                                 cmd.cdw14);
+    if (desc_dwords > 0) {
+        inst.pushdownDigest = desc_digest;
+        inst.ctx->setPushdown(setup.pushdown);
+    }
     inst.coreId = core.id();
     inst.codeBytes = code_bytes;
     inst.dsramGranted = granted;
@@ -481,9 +508,12 @@ MorpheusDeviceRuntime::doMRead(const nvme::Command &cmd, sim::Tick start)
         core.config().cyclesPerCommand +
         core.config().cyclesPerFlush *
             static_cast<double>(flushes.size());
-    const sim::Tick parsed =
-        core.execute(cycles, fetched, "parse",
-                     {cmd.traceId, inst.tenant, inst.id, valid});
+    // A pushdown instance's core work is predicate/projection
+    // evaluation, not a parse — name it so stage breakdowns separate
+    // scan (core) from emit (flush_dma).
+    const sim::Tick parsed = core.execute(
+        cycles, fetched, inst.pushdownDigest ? "scan" : "parse",
+        {cmd.traceId, inst.tenant, inst.id, valid});
 
     // Ship whatever ms_memcpy flushed during this chunk.
     const sim::Tick done =
@@ -737,7 +767,8 @@ MorpheusDeviceRuntime::mreadPipelined(Instance &inst,
         // sub_i may not start before sub_{i-1} finished even when its
         // data landed earlier.
         parsed = core_ptr->execute(
-            cycles, std::max(ready, parsed), "parse",
+            cycles, std::max(ready, parsed),
+            inst.pushdownDigest ? "scan" : "parse",
             {cmd.traceId, inst.tenant, inst.id, take});
         // Stage 3 — sub_i's flush DMA proceeds while sub_{i+1}
         // parses; only the command completion waits for the last DMA.

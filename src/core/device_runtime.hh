@@ -40,6 +40,14 @@ struct InstanceSetup
      * (dsramBytes / maxInstancesPerCore).
      */
     std::uint32_t dsramBytes = 0;
+    /**
+     * Pushdown descriptor dwords (DESIGN.md §16): the projection mask
+     * + predicate program a scan applet executes. Functionally staged
+     * like the code image; MINIT carries the dword count (NLB) and the
+     * descriptor digest (PRP2 high dword) in-band, and the descriptor
+     * bytes ride the PRP1 image fetch. Empty = no pushdown.
+     */
+    std::vector<std::uint32_t> pushdown;
 };
 
 /** The Morpheus command engine inside the SSD. */
@@ -166,6 +174,10 @@ class MorpheusDeviceRuntime : public ssd::MorpheusEngine
         std::uint64_t declaredStreamBytes = 0;
         std::uint64_t streamOrigin = ~std::uint64_t{0};
         std::uint32_t streamNsid = 1;
+        /** Digest of the MINIT pushdown descriptor (0 = none). Part of
+         *  the cache key: a differently-predicated scan of the same
+         *  raw range is a different object. */
+        std::uint32_t pushdownDigest = 0;
         bool cacheServed = false;
         std::uint32_t cachedReturnValue = 0;
         bool cacheable = true;

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "serde/columnar.hh"
 #include "sim/logging.hh"
 
 namespace morpheus::core {
@@ -129,12 +130,21 @@ MorpheusRuntime::beginInvokeImpl(const StorageAppImage &image,
     setup.arg = opts.arg;
     setup.flushThreshold = opts.flushThreshold;
     setup.dsramBytes = opts.dsramBytes;
+    setup.pushdown = opts.pushdown;
     _device.stageInstance(s.instance, setup);
 
     // Stage the code image bytes in host memory for the device to
-    // fetch (content is a placeholder; the size is what matters).
-    const pcie::Addr image_addr = _sys.allocHost(image.textBytes);
-    const std::vector<std::uint8_t> image_bytes(image.textBytes, 0x90);
+    // fetch (content is a placeholder; the size is what matters). A
+    // pushdown descriptor rides behind the image in the same buffer.
+    const std::uint32_t desc_bytes =
+        static_cast<std::uint32_t>(opts.pushdown.size() * 4);
+    const pcie::Addr image_addr =
+        _sys.allocHost(image.textBytes + desc_bytes);
+    std::vector<std::uint8_t> image_bytes(image.textBytes, 0x90);
+    for (const std::uint32_t dw : opts.pushdown) {
+        const auto *p = reinterpret_cast<const std::uint8_t *>(&dw);
+        image_bytes.insert(image_bytes.end(), p, p + 4);
+    }
     _sys.mem().store().writeVec(image_addr, image_bytes);
 
     s.now = _sys.os().syscall(core, s.now);  // ioctl into the driver
@@ -149,8 +159,15 @@ MorpheusRuntime::beginInvokeImpl(const StorageAppImage &image,
     minit.cdw14 = opts.arg;
     minit.cdw15 = opts.tenantId;
     // Requested per-instance D-SRAM budget rides in PRP2's low dword
-    // (MINIT has no second data pointer).
+    // (MINIT has no second data pointer). A pushdown descriptor adds
+    // its dword count in NLB and its digest in PRP2's high dword.
     minit.prp2 = opts.dsramBytes;
+    if (!opts.pushdown.empty()) {
+        minit.nlb =
+            static_cast<std::uint16_t>(opts.pushdown.size());
+        minit.prp2 |=
+            std::uint64_t(serde::pushdownDigest(opts.pushdown)) << 32;
+    }
     nvme::Completion minit_cqe = driver.io(s.qid, minit, s.now);
     if (driver.recovery().enabled) {
         // Transient image-fetch corruption is retryable, but the
@@ -242,14 +259,25 @@ MorpheusRuntime::stepInvoke(InvokeSession &s)
             s.chunkBytes, s.stream.extent.sizeBytes - s.offset);
         const std::uint64_t blocks =
             (valid + nvme::kBlockBytes - 1) / nvme::kBlockBytes;
-        nvme::Command mread;
-        mread.opcode = nvme::Opcode::kMRead;
-        mread.instanceId = s.instance;
-        mread.slba = s.fileStartBlock + s.offset / nvme::kBlockBytes;
-        mread.nlb = static_cast<std::uint16_t>(blocks - 1);
-        mread.cdw13 = static_cast<std::uint32_t>(valid);
-        mread.prp1 = s.target.addr;  // informational; cursor advances
-        batch.emplace_back(mread, driver.submit(s.qid, mread));
+        nvme::Command cmd;
+        if (s.opts.serialize) {
+            // MWRITE: binary values flow host -> device; successive
+            // chunks append behind the region's base SLBA device-side.
+            cmd.opcode = nvme::Opcode::kMWrite;
+            cmd.instanceId = s.instance;
+            cmd.slba = s.opts.writeDstByte / nvme::kBlockBytes;
+            cmd.nlb = static_cast<std::uint16_t>(blocks - 1);
+            cmd.cdw13 = static_cast<std::uint32_t>(valid);
+            cmd.prp1 = s.opts.writeSrc + s.offset;
+        } else {
+            cmd.opcode = nvme::Opcode::kMRead;
+            cmd.instanceId = s.instance;
+            cmd.slba = s.fileStartBlock + s.offset / nvme::kBlockBytes;
+            cmd.nlb = static_cast<std::uint16_t>(blocks - 1);
+            cmd.cdw13 = static_cast<std::uint32_t>(valid);
+            cmd.prp1 = s.target.addr;  // informational; cursor advances
+        }
+        batch.emplace_back(cmd, driver.submit(s.qid, cmd));
         s.offset += valid;
         ++s.result.mreadCommands;
     }

@@ -59,6 +59,23 @@ struct InvokeOptions
      * core's default equal share.
      */
     std::uint32_t dsramBytes = 0;
+    /**
+     * Pushdown descriptor dwords (serde::ScanSpec::encode()). When
+     * non-empty, MINIT carries the dword count in NLB, the descriptor
+     * digest in PRP2's high dword, and the descriptor bytes behind the
+     * code image in the PRP1 fetch. Empty = no pushdown (default, and
+     * bit-identical to the pre-pushdown wire encoding).
+     */
+    std::vector<std::uint32_t> pushdown;
+    /**
+     * MWRITE (on-device serialization) session: stepInvoke streams the
+     * host buffer at @p writeSrc through MWRITE commands landing at
+     * flash byte @p writeDstByte, instead of MREADs. The session's
+     * stream extent declares the source buffer length.
+     */
+    bool serialize = false;
+    pcie::Addr writeSrc = 0;
+    std::uint64_t writeDstByte = 0;
 };
 
 /** Measured outcome of one StorageApp invocation. */

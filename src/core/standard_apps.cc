@@ -387,6 +387,54 @@ JsonRecordsApp::finish(MsChunkContext &ctx)
     pump(ctx);
 }
 
+void
+ColumnarScanApp::drain(MsChunkContext &ctx)
+{
+    const std::vector<std::uint8_t> out = _scanner->takeEmitted();
+    if (!out.empty())
+        ctx.msEmit(out.data(), out.size());
+    ctx.msChargeCost(_scanner->takeCost());
+}
+
+void
+ColumnarScanApp::processChunk(MsChunkContext &ctx)
+{
+    if (_badSpec)
+        return;
+    if (!_scanner) {
+        serde::ScanSpec spec;  // no descriptor == full scan
+        if (!ctx.pushdown().empty() &&
+            !serde::ScanSpec::decode(ctx.pushdown(), &spec)) {
+            _badSpec = true;
+            return;
+        }
+        _scanner = std::make_unique<serde::ColumnarScanner>(spec);
+    }
+    std::vector<std::uint8_t> raw(ctx.msRawAvailable());
+    if (!raw.empty()) {
+        ctx.msReadRaw(raw.data(), raw.size());
+        _scanner->feed(raw.data(), raw.size());
+    }
+    drain(ctx);
+}
+
+void
+ColumnarScanApp::finish(MsChunkContext &ctx)
+{
+    if (_badSpec || !_scanner)
+        return;
+    _scanner->finish();
+    drain(ctx);
+}
+
+std::uint32_t
+ColumnarScanApp::returnValue() const
+{
+    if (_badSpec || !_scanner || _scanner->error())
+        return kScanError;
+    return static_cast<std::uint32_t>(_scanner->survivingRows());
+}
+
 StandardImages
 StandardImages::make()
 {
@@ -425,6 +473,10 @@ StandardImages::make()
     imgs.csvTable = MorpheusCompiler::compile(
         "csv-table-applet", [](std::uint32_t arg) {
             return std::make_unique<CsvTableApp>(arg);
+        });
+    imgs.columnarScan = MorpheusCompiler::compile(
+        "columnar-scan-applet", [](std::uint32_t arg) {
+            return std::make_unique<ColumnarScanApp>(arg);
         });
     return imgs;
 }

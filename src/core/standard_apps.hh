@@ -14,8 +14,11 @@
 #ifndef MORPHEUS_CORE_STANDARD_APPS_HH
 #define MORPHEUS_CORE_STANDARD_APPS_HH
 
+#include <memory>
+
 #include "core/compiler.hh"
 #include "core/storage_app.hh"
+#include "serde/columnar.hh"
 #include "serde/csv.hh"
 #include "serde/json.hh"
 
@@ -230,6 +233,34 @@ class JsonRecordsApp : public StorageApp
     static constexpr std::uint32_t kEndMarker = 0xFFFFFFFFu;
 };
 
+/**
+ * Columnar scan applet with projection / predicate pushdown (the
+ * Arrow-native direction from PAPERS.md): streams a CMF1 flash table,
+ * evaluates the AND-chain predicate program column-at-a-time per row
+ * group in D-SRAM, and emits only surviving rows x projected columns —
+ * outbound DMA scales with selectivity, not file size. The program
+ * arrives as the MINIT pushdown descriptor (ctx.pushdown()); no
+ * descriptor means a full scan. Errors (malformed file, bad program,
+ * dictionary miss) stop emission and report kScanError in MDEINIT DW0.
+ */
+class ColumnarScanApp : public StorageApp
+{
+  public:
+    static constexpr std::uint32_t kScanError = 0xFFFFFFFFu;
+
+    explicit ColumnarScanApp(std::uint32_t) {}
+
+    void processChunk(MsChunkContext &ctx) override;
+    void finish(MsChunkContext &ctx) override;
+    std::uint32_t returnValue() const override;
+
+  private:
+    void drain(MsChunkContext &ctx);
+
+    std::unique_ptr<serde::ColumnarScanner> _scanner;
+    bool _badSpec = false;
+};
+
 /** Compiled images for all standard apps (compiler-packaged once). */
 struct StandardImages
 {
@@ -243,6 +274,7 @@ struct StandardImages
     StorageAppImage jsonRecords;
     StorageAppImage flatNumbers;
     StorageAppImage csvTable;
+    StorageAppImage columnarScan;
 
     /** Build the full set. */
     static StandardImages make();

@@ -20,6 +20,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pcie/pcie.hh"
@@ -108,6 +109,16 @@ class MsChunkContext
     /** The argument word the host passed at invocation. */
     std::uint32_t arg() const { return _arg; }
 
+    /**
+     * The pushdown descriptor dwords MINIT carried alongside the code
+     * image (empty for ordinary invocations). Applets that support
+     * pushdown (the columnar scanner) decode their program from here.
+     */
+    const std::vector<std::uint32_t> &pushdown() const
+    {
+        return _pushdown;
+    }
+
     /** True once the host has signalled MDEINIT (no more chunks). */
     bool endOfStream() const { return _eof; }
 
@@ -115,6 +126,12 @@ class MsChunkContext
 
     /** Deliver the next chunk of raw file bytes. */
     void feedChunk(std::vector<std::uint8_t> chunk);
+
+    /** Install the MINIT pushdown descriptor (engine, before chunk 0). */
+    void setPushdown(std::vector<std::uint32_t> dwords)
+    {
+        _pushdown = std::move(dwords);
+    }
 
     /** Signal that no further chunks will arrive. */
     void signalEndOfStream();
@@ -162,6 +179,7 @@ class MsChunkContext
     std::uint32_t _dsramBytes;
     std::uint32_t _flushThreshold;
     std::uint32_t _arg;
+    std::vector<std::uint32_t> _pushdown;
     bool _eof = false;
 
     std::vector<std::uint8_t> _chunk;  // current MREAD payload

@@ -33,6 +33,7 @@
 
 #include "host/host_system.hh"
 #include "obs/trace.hh"
+#include "serde/columnar.hh"
 #include "serde/parse.hh"
 
 namespace morpheus::host {
@@ -94,6 +95,26 @@ class HostExecEngine
      */
     sim::Tick execute(const HostExecRequest &req, unsigned core,
                       sim::Tick when);
+
+    /**
+     * Functional host-side columnar scan: the same shared kernel the
+     * firmware applet runs (serde::ColumnarScanner over the raw CMF1
+     * bytes), so a breaker fallback, a hybrid spill, or the host half
+     * of a split returns byte-identical output to the device pushdown
+     * path. @p first_group > 0 selects split-suffix mode (scan row
+     * groups from there on, no result header, trailer counts
+     * @p base_surviving prefix rows). Timing is charged by execute()
+     * with the scan's ParseCost like any other host conversion.
+     */
+    static serde::ScanResult
+    scanColumnar(const std::uint8_t *data, std::size_t size,
+                 const serde::ScanSpec &spec,
+                 std::uint64_t first_group = 0,
+                 std::uint64_t base_surviving = 0)
+    {
+        return serde::scanTable(data, size, spec, first_group,
+                                base_surviving);
+    }
 
     /** Queued host-CPU work on @p core at @p now, in microseconds. */
     double coreBacklogUs(unsigned core, sim::Tick now) const;

@@ -56,8 +56,11 @@ classifySpan(const Span &span, Stage *stage, int *priority)
 
     // Deep pipeline work outranks the umbrellas it nests under, so a
     // "parse" slice inside an MREAD exec umbrella claims its ticks.
-    if (n == "parse" || n == "serialize" || n == "install" ||
-        n == "crash" || n == "isram_reload") {
+    // "scan" is the columnar applet's predicate/projection evaluation —
+    // same core occupancy, distinct name so scan vs. emit (flush_dma)
+    // attribution is visible in stage breakdowns.
+    if (n == "parse" || n == "scan" || n == "serialize" ||
+        n == "install" || n == "crash" || n == "isram_reload") {
         *stage = Stage::kParse;
         *priority = 90;
         return true;

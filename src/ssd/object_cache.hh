@@ -61,7 +61,8 @@ const char *cachePolicyName(ObjectCacheConfig::Policy policy);
  * Cache key: the identity of a deserialized object. Two invocations
  * produce bit-identical objects iff they parse the same raw bytes
  * (namespace + flash byte range) with the same applet at the same
- * version — all five fields participate in equality.
+ * version under the same pushdown program — all six fields
+ * participate in equality.
  */
 struct ObjectCacheKey
 {
@@ -73,13 +74,19 @@ struct ObjectCacheKey
     std::uint64_t rawLen = 0;
     std::string applet;
     std::uint32_t appletVersion = 0;
+    /** Digest of the MINIT pushdown descriptor (projection mask +
+     *  predicate program), 0 when the invocation carried none. A
+     *  differently-predicated scan of the same raw range emits
+     *  different bytes, so it must never replay another scan's
+     *  entry. */
+    std::uint32_t pushdownDigest = 0;
 
     bool
     operator==(const ObjectCacheKey &o) const
     {
         return nsid == o.nsid && rawBegin == o.rawBegin &&
                rawLen == o.rawLen && appletVersion == o.appletVersion &&
-               applet == o.applet;
+               pushdownDigest == o.pushdownDigest && applet == o.applet;
     }
 };
 

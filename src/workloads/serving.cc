@@ -18,6 +18,7 @@
 #include "obs/critical_path.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/timeline.hh"
+#include "serde/columnar.hh"
 #include "shard/shard_fabric.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
@@ -91,6 +92,8 @@ struct Request
     unsigned tenantIdx = 0;
     unsigned classIdx = 0;  ///< Into the tenant's size classes.
     unsigned objIdx = 0;    ///< Into the class's object instances.
+    /** MWRITE serialization request instead of a read. */
+    bool write = false;
 };
 
 /** One pre-ingested object file a request can target. */
@@ -99,10 +102,20 @@ struct ObjectInstance
     host::FileExtent extent;
     std::uint64_t objectBytes = 0;
     /** Parse cost of the file, for the host-fallback path's CPU
-     *  conversion charge (the paper's baseline model). */
+     *  conversion charge (the paper's baseline model). For columnar
+     *  tenants this is the reference scan's cost (same kernel the
+     *  device runs), so the fallback charge matches the pushdown. */
     serde::ParseCost cost;
     /** SSD holding the file (0 outside fleet runs). */
     unsigned device = 0;
+
+    // Write-path resources (tenants with writeFraction > 0 only).
+    /** Host buffer of binary i64 values an MWRITE request streams. */
+    pcie::Addr writeSrc = 0;
+    std::uint64_t writeSrcBytes = 0;
+    /** Scratch flash region the serialized text lands in (disjoint
+     *  from every read file, so read-object cache entries survive). */
+    host::FileExtent writeDst;
 };
 
 /** A request's size class: its object instances. Single-SSD runs keep
@@ -178,6 +191,16 @@ drawObject(const ZipfianGenerator *zipf, sim::Rng &rng)
     return zipf != nullptr ? zipf->draw(rng) : 0;
 }
 
+/** Draw whether the request is an MWRITE serialization: the extra Rng
+ *  draw happens only for tenants with writeFraction > 0, so read-only
+ *  runs keep the classic draw sequence bit-identical. */
+bool
+drawWrite(const TenantSpec &tenant, sim::Rng &rng)
+{
+    return tenant.writeFraction > 0.0 &&
+           rng.nextDouble() < tenant.writeFraction;
+}
+
 /** Poisson (or on/off-modulated) arrival trace for one tenant. */
 std::vector<Request>
 genArrivals(const ServingOptions &opts, unsigned tenant_idx,
@@ -223,6 +246,7 @@ genArrivals(const ServingOptions &opts, unsigned tenant_idx,
         r.tenantIdx = tenant_idx;
         r.classIdx = drawClass(tenant, rng);
         r.objIdx = drawObject(obj_zipf, rng);
+        r.write = drawWrite(tenant, rng);
         out.push_back(r);
     }
     return out;
@@ -235,6 +259,38 @@ ticksToUs(sim::Tick t)
 }
 
 }  // namespace
+
+const char *
+tenantFormatName(TenantFormat f)
+{
+    switch (f) {
+      case TenantFormat::kIntArray:
+        return "intarray";
+      case TenantFormat::kCsv:
+        return "csv";
+      case TenantFormat::kJson:
+        return "json";
+      case TenantFormat::kColumnar:
+        return "columnar";
+    }
+    return "?";
+}
+
+bool
+tenantFormatFromName(const std::string &name, TenantFormat *out)
+{
+    if (name == "intarray" || name == "int")
+        *out = TenantFormat::kIntArray;
+    else if (name == "csv")
+        *out = TenantFormat::kCsv;
+    else if (name == "json")
+        *out = TenantFormat::kJson;
+    else if (name == "columnar")
+        *out = TenantFormat::kColumnar;
+    else
+        return false;
+    return true;
+}
 
 ServingReport
 runServing(const ServingOptions &opts)
@@ -259,6 +315,26 @@ runServing(const ServingOptions &opts)
         obj_zipf ? &*obj_zipf : nullptr;
 
     // ---- ingest the object files per (tenant, size class) ------------
+    // Per-tenant pushdown descriptor: columnar tenants with pushdown on
+    // carry their encoded ScanSpec on every read's MINIT; everyone else
+    // keeps an empty vector — and an empty vector produces the exact
+    // pre-pushdown MINIT wire encoding.
+    std::vector<serde::ScanSpec> tenant_spec(opts.tenants.size());
+    std::vector<std::vector<std::uint32_t>> tenant_pushdown(
+        opts.tenants.size());
+    for (unsigned ti = 0; ti < opts.tenants.size(); ++ti) {
+        const TenantSpec &t = opts.tenants[ti];
+        if (t.format != TenantFormat::kColumnar)
+            continue;
+        if (t.pushdown) {
+            tenant_spec[ti] = serde::makeSelectivitySpec(
+                t.selectivity, t.projectColumns, t.tableColumns);
+            tenant_pushdown[ti] = tenant_spec[ti].encode();
+        }
+        // pushdown off: the default ScanSpec — a full-table scan the
+        // applet runs descriptor-less (the full-object baseline).
+    }
+
     std::vector<std::vector<SizeClass>> classes(opts.tenants.size());
     sim::Tick ingest_done = 0;
     for (unsigned ti = 0; ti < opts.tenants.size(); ++ti) {
@@ -271,15 +347,60 @@ runServing(const ServingOptions &opts)
             classes[ti][k].objects.resize(objs_per_class);
             for (unsigned o = 0; o < objs_per_class; ++o) {
                 ObjectInstance &inst = classes[ti][k].objects[o];
-                const AnyObject obj = genIntArray(
-                    opts.seed + ti * 131 + k + o * 7919,
-                    tenant.sizeClassValues[k]);
-                const auto text = serializeObject(obj);
-                inst.objectBytes = objectBytes(obj);
-                // Reference parse for the host-fallback conversion
-                // charge.
-                parseObject(ObjectKind::kIntArray, text.data(),
-                            text.size(), &inst.cost);
+                const std::uint64_t gen_seed =
+                    opts.seed + ti * 131 + k + o * 7919;
+                std::vector<std::uint8_t> text;
+                switch (tenant.format) {
+                  case TenantFormat::kIntArray: {
+                    const AnyObject obj = genIntArray(
+                        gen_seed, tenant.sizeClassValues[k]);
+                    text = serializeObject(obj);
+                    inst.objectBytes = objectBytes(obj);
+                    // Reference parse for the host-fallback conversion
+                    // charge.
+                    parseObject(ObjectKind::kIntArray, text.data(),
+                                text.size(), &inst.cost);
+                    break;
+                  }
+                  case TenantFormat::kCsv: {
+                    const AnyObject obj = genCsvTable(
+                        gen_seed, tenant.sizeClassValues[k], 8);
+                    text = serializeObject(obj);
+                    inst.objectBytes = objectBytes(obj);
+                    parseObject(ObjectKind::kCsvTable, text.data(),
+                                text.size(), &inst.cost);
+                    break;
+                  }
+                  case TenantFormat::kJson: {
+                    const AnyObject obj = genJsonRecords(
+                        gen_seed, tenant.sizeClassValues[k]);
+                    text = serializeObject(obj);
+                    inst.objectBytes = objectBytes(obj);
+                    parseObject(ObjectKind::kJsonRecords, text.data(),
+                                text.size(), &inst.cost);
+                    break;
+                  }
+                  case TenantFormat::kColumnar: {
+                    const serde::ColumnarTableObject tab =
+                        serde::genColumnarTable(
+                            gen_seed, tenant.sizeClassValues[k],
+                            tenant.tableColumns);
+                    text = tab.toFlash();
+                    // Reference scan with the tenant's effective spec
+                    // (full scan when pushdown is off): the emitted
+                    // size is what the device DMAs out, and the cost
+                    // is the host fallback's conversion charge — the
+                    // same shared kernel either way.
+                    const serde::ScanSpec &spec = tenant_spec[ti];
+                    const serde::ScanResult ref = serde::scanTable(
+                        text.data(), text.size(), spec);
+                    MORPHEUS_ASSERT(ref.ok,
+                                    "columnar ingest scan failed");
+                    inst.objectBytes = ref.out.size();
+                    inst.cost = ref.cost;
+                    break;
+                  }
+                }
                 // Single-object classes keep the classic file name so
                 // single-SSD runs stay bit-identical.
                 std::string name = "serve.t" +
@@ -293,6 +414,33 @@ runServing(const ServingOptions &opts)
                     sys.createFileOn(inst.device, name, text);
                 ingest_done =
                     std::max(ingest_done, inst.extent.readyAt);
+                if (tenant.writeFraction > 0.0) {
+                    // MWRITE resources: the binary values a write
+                    // request streams through the on-device
+                    // serializer, and a scratch flash region (its own
+                    // file, disjoint from every read extent) the text
+                    // lands in.
+                    const serde::IntArrayObject wobj = genIntArray(
+                        gen_seed + 0x9E3779B9u,
+                        tenant.sizeClassValues[k]);
+                    std::vector<std::uint8_t> binary;
+                    binary.reserve(wobj.values.size() * 8);
+                    for (const auto v : wobj.values) {
+                        const auto *p =
+                            reinterpret_cast<const std::uint8_t *>(&v);
+                        binary.insert(binary.end(), p, p + 8);
+                    }
+                    inst.writeSrcBytes = binary.size();
+                    inst.writeSrc = sys.allocHost(binary.size());
+                    sys.mem().store().writeVec(inst.writeSrc, binary);
+                    const auto wtext =
+                        serializeObject(AnyObject(wobj));
+                    inst.writeDst = sys.createFileOn(
+                        inst.device, name + ".wdst",
+                        std::vector<std::uint8_t>(wtext.size(), 0));
+                    ingest_done = std::max(ingest_done,
+                                           inst.writeDst.readyAt);
+                }
             }
         }
     }
@@ -312,6 +460,7 @@ runServing(const ServingOptions &opts)
                 r.tenantIdx = ti;
                 r.classIdx = drawClass(opts.tenants[ti], rng);
                 r.objIdx = drawObject(zipf_ptr, rng);
+                r.write = drawWrite(opts.tenants[ti], rng);
                 requests.push_back(r);
             }
         }
@@ -331,8 +480,26 @@ runServing(const ServingOptions &opts)
                          });
     }
 
-    const core::StorageAppImage &image =
-        imageFor(ObjectKind::kIntArray, images);
+    // Per-request applet selection by the tenant's format (the write
+    // path always runs the int64 serializer). All-int-array mixes
+    // resolve to the same image reference every request, exactly as
+    // the pre-format hoisted lookup did.
+    auto image_for = [&](const TenantSpec &t,
+                         bool write) -> const core::StorageAppImage & {
+        if (write)
+            return images.int64Serializer;
+        switch (t.format) {
+          case TenantFormat::kIntArray:
+            return imageFor(ObjectKind::kIntArray, images);
+          case TenantFormat::kCsv:
+            return imageFor(ObjectKind::kCsvTable, images);
+          case TenantFormat::kJson:
+            return imageFor(ObjectKind::kJsonRecords, images);
+          case TenantFormat::kColumnar:
+            return images.columnarScan;
+        }
+        return imageFor(ObjectKind::kIntArray, images);
+    };
 
     // ---- event loop ---------------------------------------------------
     // Fault injection covers only the measured loop (ingest ran clean);
@@ -361,9 +528,12 @@ runServing(const ServingOptions &opts)
         local_recorder.emplace(frc);
         recorder = &*local_recorder;
     }
-    std::optional<obs::ScopedTraceSink> recorder_scope;
+    // Attach/detach by hand instead of an optional ScopedTraceSink:
+    // GCC 12's -Wmaybe-uninitialized misfires on the optional's
+    // destructor path at this inlining depth.
+    obs::TraceSink *const prev_sink = obs::traceSink();
     if (recorder != nullptr)
-        recorder_scope.emplace(*recorder);
+        obs::setTraceSink(recorder);
 
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
         events;
@@ -576,15 +746,22 @@ runServing(const ServingOptions &opts)
                 : req.tenantIdx % sys.cpu().config().cores;
 
         host::HostExecRequest hreq;
-        hreq.extent = inst.extent;
+        // A write request's rescue is the baseline host serialization:
+        // the CPU formats the values and a plain write lands the text,
+        // modeled with the same chunked transfer+convert charge over
+        // the destination region.
+        hreq.extent = req.write ? inst.writeDst : inst.extent;
         // A failed split session is rescued over its device prefix
         // only: the host half of the remainder already ran.
         const std::uint64_t cut =
-            opts.hybrid.enabled ? split_cut[req_idx] : 0;
+            !req.write && opts.hybrid.enabled ? split_cut[req_idx] : 0;
         if (cut > 0)
             hreq.extent.sizeBytes = cut;
-        hreq.fileBytes = inst.extent.sizeBytes;
-        hreq.objectBytes = inst.objectBytes;
+        hreq.fileBytes = hreq.extent.sizeBytes;
+        if (cut > 0)
+            hreq.fileBytes = inst.extent.sizeBytes;
+        hreq.objectBytes =
+            req.write ? inst.writeSrcBytes : inst.objectBytes;
         hreq.cost = inst.cost;
         hreq.device = inst.device;
         hreq.tenant = opts.tenants[req.tenantIdx].id;
@@ -603,7 +780,8 @@ runServing(const ServingOptions &opts)
         out.fellBack = true;
         out.fallbackReason = reason;
         out.latency = done - req.arrival;
-        out.servedBytes = inst.objectBytes;
+        out.servedBytes =
+            req.write ? inst.writeSrcBytes : inst.objectBytes;
         last_done = std::max(last_done, done);
         ++completed_run;
         ++fallbacks_run;
@@ -667,7 +845,7 @@ runServing(const ServingOptions &opts)
         // to the host, split across both executors, or shed, by live
         // device pressure vs. modeled host backlog.
         std::uint64_t cut = 0;
-        if (opts.hybrid.enabled &&
+        if (opts.hybrid.enabled && !req.write &&
             br_route == sched::CircuitBreaker::Route::kDevice) {
             sched::HybridSignals sig;
             sig.backlogBytes = fabric.deviceBacklogBytes(inst.device);
@@ -738,15 +916,27 @@ runServing(const ServingOptions &opts)
         // truncated tail); the host converts the remainder
         // concurrently once the MINIT is accepted.
         host::FileExtent dev_extent = inst.extent;
-        if (cut > 0)
-            dev_extent.sizeBytes = cut;
+        if (req.write) {
+            // MWRITE session: the stream declares the binary source
+            // length; chunks land behind the scratch region's base.
+            iopts.serialize = true;
+            iopts.writeSrc = inst.writeSrc;
+            iopts.writeDstByte = inst.writeDst.startByte;
+            dev_extent = inst.writeDst;
+            dev_extent.sizeBytes = inst.writeSrcBytes;
+        } else {
+            iopts.pushdown = tenant_pushdown[req.tenantIdx];
+            if (cut > 0)
+                dev_extent.sizeBytes = cut;
+        }
         const core::DmaTarget target =
-            runtime.hostTarget(inst.objectBytes);
+            req.write ? core::DmaTarget{inst.writeSrc, false}
+                      : runtime.hostTarget(inst.objectBytes);
         const core::MsStream stream =
             runtime.streamCreate(dev_extent, when, iopts.hostCore);
 
         core::InvokeSession s = runtime.beginInvoke(
-            image, stream, target, when, iopts);
+            image_for(tenant, req.write), stream, target, when, iopts);
         if (!s.accepted) {
             note_traces(req_idx, s.traceIds);
             if (s.failed) {
@@ -932,6 +1122,14 @@ runServing(const ServingOptions &opts)
         Outcome &out = outcomes[req_idx];
         sim::Tick term = result.done;
         std::uint64_t served = result.objectBytes;
+        if (requests[req_idx].write) {
+            // A serialize session delivers nothing to the host; the
+            // served volume is the binary stream it pushed down.
+            const Request &rq = requests[req_idx];
+            served = classes[rq.tenantIdx][rq.classIdx]
+                         .objects[rq.objIdx]
+                         .writeSrcBytes;
+        }
         if (opts.hybrid.enabled && split_cut[req_idx] > 0) {
             // A split request finishes when BOTH halves have: the
             // device's prefix stream and the host's concurrent
@@ -965,7 +1163,8 @@ runServing(const ServingOptions &opts)
     }
     // Detach the recorder before teardown; retained traces and the
     // per-request attributions survive in `recorder`/`req_attr`.
-    recorder_scope.reset();
+    if (recorder != nullptr)
+        obs::setTraceSink(prev_sink);
 
     // ---- aggregate ----------------------------------------------------
     ServingReport report;
@@ -1015,6 +1214,7 @@ runServing(const ServingOptions &opts)
         TenantReport tr;
         tr.id = tenant.id;
         tr.weight = tenant.weight;
+        tr.format = tenant.format;
         if (opts.slo.enabled) {
             tr.sloTargetUs = tenant.sloTargetUs > 0.0
                                  ? tenant.sloTargetUs
@@ -1067,6 +1267,10 @@ runServing(const ServingOptions &opts)
                 ++tr.splitRequests;
             if (outcomes[i].servedFromCache)
                 ++tr.cacheHits;
+            if (requests[i].write) {
+                ++tr.writes;
+                tr.writeBytes += outcomes[i].servedBytes;
+            }
             tr.servedBytes += outcomes[i].servedBytes;
             const double us = ticksToUs(outcomes[i].latency);
             lat.sample(us);
@@ -1131,6 +1335,8 @@ runServing(const ServingOptions &opts)
         report.shedBounces += tr.shedBounces;
         report.shedRejected += tr.shedRejected;
         report.lost += tr.lost;
+        report.writes += tr.writes;
+        report.writeBytes += tr.writeBytes;
         report.cacheHits += tr.cacheHits;
         fairness_x.push_back(static_cast<double>(tr.servedBytes) /
                              tenant.weight);
@@ -1252,6 +1458,10 @@ runServing(const ServingOptions &opts)
                            tr.fallbackOverload);
             reg.setCounter(p + "fallback.probe", tr.fallbackProbe);
             reg.setCounter(p + "lost", tr.lost);
+            reg.setCounter(p + "format",
+                           static_cast<std::uint64_t>(tr.format));
+            reg.setCounter(p + "writes", tr.writes);
+            reg.setCounter(p + "writeBytes", tr.writeBytes);
             reg.setCounter(p + "cacheHits", tr.cacheHits);
             reg.setScalar(p + "cache_hit_rate", tr.cacheHitRate);
             reg.setCounter(p + "servedBytes", tr.servedBytes);
@@ -1292,6 +1502,8 @@ runServing(const ServingOptions &opts)
                        report.fallbackOverload);
         reg.setCounter("serving.fallback.probe", report.fallbackProbe);
         reg.setCounter("serving.lost", report.lost);
+        reg.setCounter("serving.writes", report.writes);
+        reg.setCounter("serving.writeBytes", report.writeBytes);
         reg.setCounter("serving.cacheHits", report.cacheHits);
         reg.setCounter("serving.driverRetries", report.driverRetries);
         reg.setCounter("serving.driverTimeouts", report.driverTimeouts);

@@ -26,6 +26,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "host/system_config.hh"
@@ -40,6 +41,21 @@
 
 namespace morpheus::workloads {
 
+/** Object format a tenant's requests deserialize (and which applet
+ *  runs on the device for them). */
+enum class TenantFormat : std::uint8_t {
+    kIntArray = 0,  ///< Classic int-array text deserializer.
+    kCsv,           ///< CSV-to-columns applet.
+    kJson,          ///< JSON record-array applet.
+    kColumnar,      ///< Columnar scan applet (projection + predicate
+                    ///< pushdown when TenantSpec::pushdown is set).
+};
+
+/** "intarray" / "csv" / "json" / "columnar". */
+const char *tenantFormatName(TenantFormat f);
+/** Inverse of tenantFormatName(); @return false on junk. */
+bool tenantFormatFromName(const std::string &name, TenantFormat *out);
+
 /** One traffic source. */
 struct TenantSpec
 {
@@ -48,7 +64,8 @@ struct TenantSpec
     double weight = 1.0;
     /** Mean request arrival rate (open loop). */
     double arrivalsPerSec = 2000.0;
-    /** Request size classes, in int-array values per request... */
+    /** Request size classes, in int-array values per request (rows
+     *  for kCsv/kColumnar, records for kJson)... */
     std::vector<std::uint32_t> sizeClassValues{2000, 8000, 32000};
     /** ...and their draw probabilities (normalized internally). */
     std::vector<double> sizeClassProb{0.70, 0.25, 0.05};
@@ -56,6 +73,26 @@ struct TenantSpec
      *  SloOptions::targetUs (latency classes: an interactive tenant
      *  can carry a tighter target than a batch one). */
     double sloTargetUs = 0.0;
+
+    /** Object format of this tenant's requests. The default keeps the
+     *  classic all-int-array mix (and its Rng draw sequence)
+     *  bit-identical to pre-format builds. */
+    TenantFormat format = TenantFormat::kIntArray;
+    /** Columnar tenants: fraction of rows the predicate keeps
+     *  (1.0 = no predicate). */
+    double selectivity = 1.0;
+    /** Columnar tenants: leading columns projected (0 = all). */
+    unsigned projectColumns = 0;
+    /** Columnar tenants: total table columns. */
+    unsigned tableColumns = 6;
+    /** Columnar tenants: evaluate the scan on the device (MINIT
+     *  pushdown descriptor). False ships the full table — the
+     *  full-object baseline a pushdown tenant is compared against. */
+    bool pushdown = true;
+    /** Fraction of requests that are MWRITE serializations (the host
+     *  streams binary values through the on-device serializer) instead
+     *  of reads. 0 (the default) draws nothing extra from the Rng. */
+    double writeFraction = 0.0;
 };
 
 /** Per-tenant latency-SLO tracking (burn-rate accounting). */
@@ -210,6 +247,8 @@ struct TenantReport
 {
     std::uint32_t id = 0;
     double weight = 1.0;
+    /** Object format the tenant's requests used. */
+    TenantFormat format = TenantFormat::kIntArray;
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
     std::uint64_t rejected = 0;   ///< Terminal admission refusals.
@@ -246,6 +285,11 @@ struct TenantReport
     /** cacheHits / completed (0 when nothing completed). */
     double cacheHitRate = 0.0;
     std::uint64_t servedBytes = 0;
+    /** Completed MWRITE (serialization) requests and the binary bytes
+     *  they streamed host -> device (a subset of completed /
+     *  servedBytes). */
+    std::uint64_t writes = 0;
+    std::uint64_t writeBytes = 0;
     double meanUs = 0.0;
     double p50Us = 0.0;
     double p95Us = 0.0;
@@ -315,6 +359,9 @@ struct ServingReport
     /** Spill-mode transitions (hysteresis flips). */
     std::uint64_t hybridFlips = 0;
     std::uint64_t lost = 0;
+    /** Completed MWRITE requests / streamed bytes (all tenants). */
+    std::uint64_t writes = 0;
+    std::uint64_t writeBytes = 0;
     /** Completions served from the device object cache (all tenants). */
     std::uint64_t cacheHits = 0;
     /** Host-side driver recovery activity during the run. */

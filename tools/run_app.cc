@@ -97,6 +97,9 @@ serveUsage()
         "                    [--slo-window-us N] [--stats-json FILE]\n"
         "                    [--trace FILE.json] [--hybrid]\n"
         "                    [--host-cost-scale F] [--shed]\n"
+        "                    [--format int|csv|json|columnar]\n"
+        "                    [--selectivity F] [--project N]\n"
+        "                    [--no-pushdown] [--write-fraction F]\n"
         "Runs the multi-tenant serving driver once and prints the\n"
         "report. --rate is total arrivals/s split S:1:...:1 across the\n"
         "tenants (tenant 1 gets the S share). --breakdown attributes\n"
@@ -114,7 +117,18 @@ serveUsage()
         "  --host-cost-scale F  multiply the host path's modeled\n"
         "                       conversion cycles by F (slower host)\n"
         "  --shed               bounce requests with retry-after when\n"
-        "                       BOTH device and host are saturated\n");
+        "                       BOTH device and host are saturated\n"
+        "Object format (all tenants; default int = binary int arrays):\n"
+        "  --format NAME        int, csv, json, or columnar\n"
+        "  --selectivity F      columnar: fraction of rows the pushdown\n"
+        "                       predicate keeps (0 < F <= 1, default 1)\n"
+        "  --project N          columnar: project only the first N\n"
+        "                       columns (0 = all, the default)\n"
+        "  --no-pushdown        columnar: ship the full table instead\n"
+        "                       of pushing the scan down to the device\n"
+        "  --write-fraction F   fraction of requests that serialize\n"
+        "                       host objects to flash via MWRITE\n"
+        "                       (default 0 = read-only)\n");
 }
 
 int
@@ -130,6 +144,10 @@ serveMain(int argc, char **argv)
     std::string stats_json_path, trace_path;
     sim::Tick timeline_interval = 100 * sim::kPsPerUs;
     shard::ShardPolicy shard_policy = shard::ShardPolicy::kHash;
+    wk::TenantFormat format = wk::TenantFormat::kIntArray;
+    double selectivity = 1.0, write_fraction = 0.0;
+    unsigned project = 0;
+    bool pushdown = true;
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -195,6 +213,20 @@ serveMain(int argc, char **argv)
         } else if (arg == "--shed") {
             opts.hybrid.enabled = true;
             opts.hybrid.shed = true;
+        } else if (arg == "--format") {
+            const char *name = next("--format");
+            if (!wk::tenantFormatFromName(name, &format)) {
+                std::fprintf(stderr, "unknown format: %s\n", name);
+                return 2;
+            }
+        } else if (arg == "--selectivity") {
+            selectivity = std::atof(next("--selectivity"));
+        } else if (arg == "--project") {
+            project = static_cast<unsigned>(std::atoi(next("--project")));
+        } else if (arg == "--no-pushdown") {
+            pushdown = false;
+        } else if (arg == "--write-fraction") {
+            write_fraction = std::atof(next("--write-fraction"));
         } else if (arg == "--help" || arg == "-h") {
             serveUsage();
             return 0;
@@ -205,12 +237,23 @@ serveMain(int argc, char **argv)
         }
     }
     if (tenants == 0 || rate <= 0.0 || skew <= 0.0 ||
-        timeline_interval == 0 || opts.hybrid.hostCostScale <= 0.0) {
+        timeline_interval == 0 || opts.hybrid.hostCostScale <= 0.0 ||
+        selectivity <= 0.0 || selectivity > 1.0 ||
+        write_fraction < 0.0 || write_fraction > 1.0) {
         serveUsage();
         return 2;
     }
 
     opts.shardPolicy = shard_policy;
+    // Non-default mixes (text parsers, MWRITE traffic) hold instances
+    // longer than the classic binary int-array read; bound concurrent
+    // instances so overload queues host-side instead of overflowing
+    // I-SRAM into hard MINIT failures. The default mix keeps the
+    // unbounded legacy posture (and its exact output).
+    if ((format != wk::TenantFormat::kIntArray ||
+         write_fraction > 0.0) &&
+        opts.sys.ssd.sched.maxInflightTotal == 0)
+        opts.sys.ssd.sched.maxInflightTotal = 12;
     const double base =
         rate / (skew + static_cast<double>(tenants - 1));
     for (std::uint32_t t = 0; t < tenants; ++t) {
@@ -218,6 +261,11 @@ serveMain(int argc, char **argv)
         spec.id = t + 1;
         spec.weight = 1.0;
         spec.arrivalsPerSec = (t == 0) ? skew * base : base;
+        spec.format = format;
+        spec.selectivity = selectivity;
+        spec.projectColumns = project;
+        spec.pushdown = pushdown;
+        spec.writeFraction = write_fraction;
         opts.tenants.push_back(spec);
     }
 
